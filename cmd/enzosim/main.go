@@ -1,0 +1,90 @@
+// Command enzosim runs one simulated ENZO configuration — platform, file
+// system, processor count, problem size and I/O backend — and prints the
+// timed phases, byte accounting and verification status.
+//
+// Usage:
+//
+//	enzosim [-machine origin2000|sp2|chiba] [-fs xfs|gpfs|pvfs|local]
+//	        [-np N] [-problem AMR64|AMR128|AMR256|tiny]
+//	        [-backend hdf4|mpiio|mpiio-cb|hdf5] [-dumps N]
+//
+// Times are deterministic virtual seconds on the modelled platform, not
+// wall-clock time of the simulator.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/enzo"
+	"repro/internal/iotrace"
+	"repro/internal/machine"
+	"repro/internal/pfs"
+)
+
+func main() {
+	machName := flag.String("machine", "origin2000", "platform model: origin2000, sp2, chiba")
+	fsKind := flag.String("fs", "xfs", "file system model: xfs, gpfs, pvfs, local")
+	np := flag.Int("np", 8, "number of MPI ranks")
+	problem := flag.String("problem", "AMR64", "problem size: AMR64, AMR128, AMR256, tiny")
+	backendName := flag.String("backend", "mpiio", "I/O backend: hdf4, mpiio, mpiio-cb, hdf5")
+	dumps := flag.Int("dumps", 1, "checkpoint dumps per run")
+	refine := flag.Int("refine", 0, "dynamic refinement passes during evolution")
+	trace := flag.Bool("trace", false, "print a Pablo-style I/O characterization of the run")
+	flag.Parse()
+
+	var cfg enzo.Config
+	switch *problem {
+	case "AMR64":
+		cfg = enzo.AMR64()
+	case "AMR128":
+		cfg = enzo.AMR128()
+	case "AMR256":
+		cfg = enzo.AMR256()
+	case "tiny":
+		cfg = enzo.Tiny()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown problem %q\n", *problem)
+		os.Exit(2)
+	}
+	cfg.Dumps = *dumps
+	cfg.RefineCycles = *refine
+
+	backend, err := enzo.BackendByName(*backendName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	var rec *iotrace.Recorder
+	var wrap func(pfs.FileSystem) pfs.FileSystem
+	if *trace {
+		rec = iotrace.NewRecorder()
+		wrap = func(fs pfs.FileSystem) pfs.FileSystem { return iotrace.Wrap(fs, rec) }
+	}
+	res, err := enzo.RunOnceWrapped(machine.ByName(*machName), *fsKind, *np, cfg, backend, wrap)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "simulation failed:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("problem      %s (%d grids)\n", res.Problem, res.Grids)
+	fmt.Printf("platform     %s / %s, %d ranks\n", *machName, *fsKind, *np)
+	fmt.Printf("backend      %s\n", res.Backend)
+	for _, p := range res.Phases {
+		fmt.Printf("  %-10s %10.3f s\n", p.Name, p.Seconds)
+	}
+	fmt.Printf("bytes read   %d (%.1f MB)\n", res.BytesRead, float64(res.BytesRead)/(1<<20))
+	fmt.Printf("bytes written%d (%.1f MB)\n", res.BytesWritten, float64(res.BytesWritten)/(1<<20))
+	fmt.Printf("verified     %v\n", res.Verified)
+	if rec != nil {
+		fmt.Println()
+		rec.Report(os.Stdout)
+		fmt.Println()
+		rec.ReportPatterns(os.Stdout)
+	}
+	if !res.Verified {
+		os.Exit(1)
+	}
+}

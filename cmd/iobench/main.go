@@ -1,0 +1,59 @@
+// Command iobench regenerates the paper's evaluation: Table 1 and Figures
+// 6-10, printing each as a table of deterministic virtual-time
+// measurements.
+//
+// Usage:
+//
+//	iobench [-exp table1|fig6|fig7|fig8|fig9|fig10|all] [-quick]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run: table1, fig6..fig10, or all")
+	quick := flag.Bool("quick", false, "shrink problems for a fast smoke run")
+	chart := flag.Bool("chart", false, "also render each figure as ASCII bar charts")
+	flag.Parse()
+
+	o := experiments.Options{Quick: *quick}
+	type driver struct {
+		name  string
+		title string
+		fn    func(experiments.Options) ([]experiments.Row, error)
+	}
+	drivers := []driver{
+		{"fig6", "Figure 6: ENZO I/O on SGI Origin2000 with XFS (HDF4 vs MPI-IO)", experiments.Figure6},
+		{"fig7", "Figure 7: ENZO I/O on IBM SP-2 with GPFS (HDF4 vs MPI-IO)", experiments.Figure7},
+		{"fig8", "Figure 8: ENZO I/O on Linux cluster with PVFS over fast Ethernet", experiments.Figure8},
+		{"fig9", "Figure 9: ENZO I/O on Linux cluster with node-local disks (PVFS interface)", experiments.Figure9},
+		{"fig10", "Figure 10: HDF5 vs MPI-IO write performance on SGI Origin2000", experiments.Figure10},
+	}
+
+	if *exp == "table1" || *exp == "all" {
+		fmt.Println("Table 1: Amount of data read/written by the ENZO application")
+		experiments.PrintTable1(os.Stdout, experiments.Table1(o))
+		fmt.Println()
+	}
+	for _, d := range drivers {
+		if *exp != "all" && *exp != d.name {
+			continue
+		}
+		fmt.Println(d.title)
+		rows, err := d.fn(o)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		experiments.PrintRows(os.Stdout, rows)
+		fmt.Println()
+		if *chart {
+			experiments.RenderChart(os.Stdout, rows)
+		}
+	}
+}

@@ -1,0 +1,88 @@
+// MDMS: the paper's future-work metadata management system in action. An
+// application registers its arrays' structural metadata, the advisor
+// recommends an I/O method per access pattern, every access feeds its
+// measured outcome back into the database, and the advice adapts when the
+// measurements disagree with the rule of thumb. The database persists
+// across "sessions" via Export/Import.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/mdms"
+	"repro/internal/mpi"
+	"repro/internal/mpiio"
+	"repro/internal/pfs"
+	"repro/internal/sim"
+)
+
+const (
+	dim    = 32
+	nprocs = 8
+)
+
+func main() {
+	system := mdms.New()
+	app := system.Application("enzo")
+
+	// Register the ENZO array inventory for one grid.
+	g := core.GridMeta{Dims: [3]int{dim, dim, dim}, NParticles: 5000}
+	for _, a := range g.Arrays() {
+		if err := app.Register(a); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("registered %d datasets for application %q\n\n", len(app.Datasets()), app.Name)
+
+	m, _ := app.Advise("density", "write", nprocs)
+	fmt.Printf("rule-based advice for density writes:      %v\n", m)
+	m, _ = app.Advise("particle_id", "write", nprocs)
+	fmt.Printf("rule-based advice for particle_id writes:  %v\n\n", m)
+
+	// Run a few dumps through the MDMS accessor; the advisor records
+	// every access.
+	for round := 0; round < 3; round++ {
+		eng := sim.NewEngine()
+		mach := machine.New(machine.Origin2000())
+		fs := pfs.NewXFS(mach, pfs.DefaultXFS())
+		pz, py, px := mpi.ProcGrid3D(nprocs)
+		mpi.NewWorld(eng, mach, nprocs, func(r *mpi.Rank) {
+			f, err := mpiio.Open(r, fs, "dump.raw", mpiio.ModeCreate, mpiio.DefaultHints())
+			if err != nil {
+				panic(err)
+			}
+			ac := mdms.NewAccessor(app, f)
+			sub := mpi.BlockDecompose3D([3]int{dim, dim, dim}, pz, py, px, r.Rank(), 4)
+			if err := ac.WriteArray("density", 0, sub, make([]byte, sub.Bytes())); err != nil {
+				panic(err)
+			}
+			buf := make([]byte, sub.Bytes())
+			if err := ac.ReadArray("density", 0, sub, buf); err != nil {
+				panic(err)
+			}
+			f.Close()
+		})
+		if err := eng.Run(); err != nil {
+			log.Fatal(err)
+		}
+	}
+	d, _ := app.Dataset("density")
+	fmt.Printf("after 3 dump/read rounds the database holds %d access records:\n", len(d.History))
+	for _, rec := range d.History {
+		fmt.Printf("  %-5s %-28v np=%d  %8d B in %.4fs (%.1f MB/s)\n",
+			rec.Op, rec.Method, rec.Procs, rec.Bytes, rec.Seconds, rec.Bandwidth()/1e6)
+	}
+
+	// Persist the database and reload it, as a later session would.
+	blob := system.Export()
+	reloaded, err := mdms.Import(blob)
+	if err != nil {
+		log.Fatal(err)
+	}
+	m, _ = reloaded.Application("enzo").Advise("density", "write", nprocs)
+	fmt.Printf("\ndatabase exported (%d bytes) and re-imported; advice for the next\n", len(blob))
+	fmt.Printf("session's density writes at %d procs: %v\n", nprocs, m)
+}

@@ -1,0 +1,116 @@
+// Particles: the paper's irregular access pattern in isolation. Particle
+// records clustered around density clumps are dumped with a parallel
+// sample sort by ID followed by block-wise contiguous writes, then read
+// back block-wise and redistributed to the ranks owning their positions —
+// Section 3.2's method for the 1-D particle arrays.
+package main
+
+import (
+	"encoding/binary"
+	"fmt"
+	"log"
+
+	"repro/internal/amr"
+	"repro/internal/machine"
+	"repro/internal/mpi"
+	"repro/internal/mpiio"
+	"repro/internal/pfs"
+	"repro/internal/psort"
+	"repro/internal/sim"
+)
+
+const nprocs = 8
+
+func main() {
+	eng := sim.NewEngine()
+	mach := machine.New(machine.ChibaCity())
+	fs := pfs.NewPVFS(mach, pfs.DefaultPVFS())
+
+	clumps := amr.DefaultClumps(7, 4)
+	counts := make([]int, nprocs)
+	sortedOK := make([]bool, nprocs)
+	var writeTime, readTime float64
+
+	mpi.NewWorld(eng, mach, nprocs, func(r *mpi.Rank) {
+		// Every rank starts with particles clustered around the clumps —
+		// the irregular spatial distribution.
+		ps := amr.NewParticleSet(0)
+		local := amr.NewTopGrid([3]int{8, 8, 8}, 2000, clumps, int64(100+r.Rank()))
+		ps = local.Particles
+		for i := 0; i < ps.N; i++ {
+			ps.SetID(i, int64(r.Rank()*1_000_000+i)) // globally unique IDs
+		}
+
+		rowSize := int(amr.BytesPerParticle())
+		rows := make([][]byte, ps.N)
+		for i := range rows {
+			rows[i] = ps.Row(i)
+		}
+
+		f, err := mpiio.Open(r, fs, "particles.dat", mpiio.ModeCreate, mpiio.DefaultHints())
+		if err != nil {
+			panic(err)
+		}
+
+		// Write path: parallel sample sort by ID, then one contiguous
+		// block-wise write per rank.
+		t0 := r.Now()
+		sorted := psort.SampleSort(r, rows, rowSize, psort.IDKey(0))
+		sortedOK[r.Rank()] = psort.IsGloballySorted(r, sorted, psort.IDKey(0))
+		var blob []byte
+		for _, row := range sorted {
+			blob = append(blob, row...)
+		}
+		off := r.ExscanInt64(int64(len(blob)))
+		f.WriteAt(blob, off)
+		r.Barrier()
+		if dt := r.AllreduceFloat64(r.Now()-t0, mpi.OpMax); r.Rank() == 0 {
+			writeTime = dt
+		}
+
+		// Read path: block-wise contiguous read of an even share, then
+		// inspect the IDs (a redistribution by position would follow in
+		// the application).
+		total := r.AllreduceInt64(int64(len(blob)), mpi.OpSum)
+		nRows := total / int64(rowSize)
+		per := nRows / int64(r.Size())
+		lo := per * int64(r.Rank())
+		hi := lo + per
+		if r.Rank() == r.Size()-1 {
+			hi = nRows
+		}
+		t0 = r.Now()
+		buf := make([]byte, (hi-lo)*int64(rowSize))
+		f.ReadAt(buf, lo*int64(rowSize))
+		r.Barrier()
+		if dt := r.AllreduceFloat64(r.Now()-t0, mpi.OpMax); r.Rank() == 0 {
+			readTime = dt
+		}
+		counts[r.Rank()] = int(hi - lo)
+
+		// Sanity: the IDs in my block are ascending (globally sorted file).
+		prev := int64(-1)
+		for p := 0; p+rowSize <= len(buf); p += rowSize {
+			id := int64(binary.LittleEndian.Uint64(buf[p:]))
+			if id < prev {
+				panic("file not globally sorted")
+			}
+			prev = id
+		}
+		f.Close()
+	})
+	if err := eng.Run(); err != nil {
+		log.Fatal(err)
+	}
+
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	fmt.Printf("Irregular particle I/O on chiba/pvfs with %d ranks\n\n", nprocs)
+	fmt.Printf("parallel sample sort + block-wise write: %.4f s (globally sorted: %v)\n",
+		writeTime, sortedOK[0])
+	fmt.Printf("block-wise contiguous read:              %.4f s (%d particles)\n", readTime, total)
+	fmt.Println("\nBlock-wise 1-D access is always contiguous per processor, so no")
+	fmt.Println("collective I/O is needed — redistribution happens in memory instead.")
+}

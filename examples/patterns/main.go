@@ -1,0 +1,88 @@
+// Patterns: the paper's Figure 5 idea in isolation. A 3-D array stored in
+// a file is read by every rank in (Block,Block,Block) decomposition, first
+// with naive independent per-run requests, then with two-phase collective
+// I/O, then with independent data sieving — showing how the access-pattern
+// metadata of internal/core picks the right method.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/mpi"
+	"repro/internal/mpiio"
+	"repro/internal/pfs"
+	"repro/internal/sim"
+)
+
+const (
+	dim    = 64
+	elem   = 4
+	nprocs = 8
+)
+
+// readArray measures one strategy for reading the (Block,Block,Block)
+// partitioned array and returns the virtual makespan.
+func readArray(strategy string) float64 {
+	eng := sim.NewEngine()
+	mach := machine.New(machine.Origin2000())
+	fs := pfs.NewXFS(mach, pfs.DefaultXFS())
+	pz, py, px := mpi.ProcGrid3D(nprocs)
+	var elapsed float64
+	mpi.NewWorld(eng, mach, nprocs, func(r *mpi.Rank) {
+		hints := mpiio.DefaultHints()
+		if strategy == "independent" {
+			hints.DataSieving = false
+		}
+		f, err := mpiio.Open(r, fs, "array.dat", mpiio.ModeCreate, hints)
+		if err != nil {
+			panic(err)
+		}
+		if r.Rank() == 0 {
+			f.WriteAt(make([]byte, dim*dim*dim*elem), 0)
+		}
+		r.Barrier()
+		sub := mpi.BlockDecompose3D([3]int{dim, dim, dim}, pz, py, px, r.Rank(), elem)
+		buf := make([]byte, sub.Bytes())
+		t0 := r.Now()
+		switch strategy {
+		case "collective":
+			f.ReadAtAll(sub.Flatten(), buf)
+		default: // independent per-run, or data-sieving
+			f.ReadRuns(sub.Flatten(), buf)
+		}
+		dt := r.AllreduceFloat64(r.Now()-t0, mpi.OpMax)
+		if r.Rank() == 0 {
+			elapsed = dt
+		}
+		f.Close()
+	})
+	if err := eng.Run(); err != nil {
+		log.Fatal(err)
+	}
+	return elapsed
+}
+
+func main() {
+	fmt.Printf("Reading a %d^3 array in (Block,Block,Block) over %d ranks (origin2000/xfs)\n\n", dim, nprocs)
+
+	// First: what does the metadata say?
+	g := core.GridMeta{Dims: [3]int{dim, dim, dim}}
+	for _, a := range g.Arrays()[:1] {
+		fmt.Printf("array %q: rank %d, pattern %v -> recommended method: %v\n",
+			a.Name, a.Rank, a.Pattern, core.Recommend(a, true))
+	}
+	pmeta := core.GridMeta{Dims: [3]int{1, 1, 1}, NParticles: 1000}
+	pa := pmeta.Arrays()[len(pmeta.Arrays())-1]
+	fmt.Printf("array %q: rank %d, pattern %v -> recommended method: %v\n\n",
+		pa.Name, pa.Rank, pa.Pattern, core.Recommend(pa, true))
+
+	for _, s := range []string{"independent", "sieving", "collective"} {
+		fmt.Printf("%-12s %.4f s\n", s, readArray(s))
+	}
+	fmt.Println("\nCollective two-phase I/O turns thousands of small strided requests")
+	fmt.Println("into one large contiguous access per aggregator plus an in-memory")
+	fmt.Println("redistribution — the optimization of Section 3.2.")
+}

@@ -1,0 +1,30 @@
+// Quickstart: run a small ENZO-style AMR simulation on a simulated SGI
+// Origin2000 with XFS, once with the original sequential HDF4 I/O and once
+// with the optimized MPI-IO path, and compare the timed I/O phases.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/enzo"
+	"repro/internal/machine"
+)
+
+func main() {
+	cfg := enzo.Tiny() // a 16^3 root grid with two pre-refined levels
+	const nprocs = 8
+
+	fmt.Printf("ENZO I/O quickstart: %s on origin2000/xfs, %d ranks\n\n", cfg.Problem, nprocs)
+	for _, backend := range []enzo.Backend{enzo.BackendHDF4, enzo.BackendMPIIO} {
+		res, err := enzo.RunOnce(machine.Origin2000(), "xfs", nprocs, cfg, backend)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-6s  init-read %.4fs  dump %.4fs  restart-read %.4fs  (verified=%v, %d grids)\n",
+			res.Backend, res.ReadTime(), res.WriteTime(), res.RestartTime(), res.Verified, res.Grids)
+	}
+	fmt.Println("\nThe MPI-IO port reads and writes the same bytes through collective")
+	fmt.Println("two-phase I/O and block-wise particle access instead of funnelling")
+	fmt.Println("everything through processor 0 — the paper's core optimization.")
+}

@@ -1,0 +1,37 @@
+// Restart: write several checkpoint dumps of an evolving AMR hierarchy and
+// restart from the last one, for each I/O backend, verifying that the
+// restart state matches the pre-dump state byte-for-byte — the round trip
+// the paper's checkpoint/restart design must preserve.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/enzo"
+	"repro/internal/machine"
+)
+
+func main() {
+	cfg := enzo.Tiny()
+	cfg.Dumps = 3
+	cfg.RefineCycles = 1 // the hierarchy deepens during the evolution
+	const nprocs = 4
+
+	fmt.Printf("Checkpoint/restart cycle: %s (+1 dynamic refinement), %d dumps, %d ranks, sp2/gpfs\n\n",
+		cfg.Problem, cfg.Dumps, nprocs)
+	for _, backend := range []enzo.Backend{enzo.BackendHDF4, enzo.BackendMPIIO, enzo.BackendHDF5} {
+		res, err := enzo.RunOnce(machine.SP2(), "gpfs", nprocs, cfg, backend)
+		if err != nil {
+			log.Fatal(err)
+		}
+		status := "OK: restart state identical to checkpoint"
+		if !res.Verified {
+			status = "FAILED: restart state differs!"
+		}
+		fmt.Printf("%-6s  %d grids after refinement, dumps %.4fs total, restart-read %.4fs  -> %s\n",
+			res.Backend, res.Grids, res.WriteTime(), res.RestartTime(), status)
+	}
+	fmt.Println("\nEvery backend moves real bytes through its own on-disk format;")
+	fmt.Println("the verification hashes fields per rank and particles as multisets.")
+}

@@ -1,0 +1,666 @@
+// Package enzo reproduces the ENZO cosmology application's simulation flow
+// and its three I/O implementations from the paper:
+//
+//   - BackendHDF4: the original design — sequential HDF4 containers, all
+//     top-grid I/O funnelled through processor 0, subgrids in individual
+//     files written in parallel without communication;
+//   - BackendMPIIO: the paper's direct MPI-IO port — collective two-phase
+//     I/O for the regularly partitioned baryon fields, block-wise
+//     independent I/O plus redistribution (and a parallel sort on writes)
+//     for the irregular particle arrays, and all grids in a single shared
+//     file at offsets computed from the replicated hierarchy metadata;
+//   - BackendHDF5: the parallel HDF5 port — the same access strategy
+//     expressed through hyperslab selections, paying HDF5's dataset
+//     create/close synchronization, interleaved metadata and hyperslab
+//     packing costs.
+//
+// A run performs the full measured cycle: write initial conditions
+// (untimed setup), read the initial grids, evolve/load-balance, dump
+// checkpoints, then restart-read the dump and verify byte-for-byte that
+// the state survived the round trip.
+package enzo
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"sync"
+
+	"repro/internal/amr"
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/mpi"
+	"repro/internal/mpiio"
+	"repro/internal/pfs"
+	"repro/internal/sim"
+)
+
+// Backend selects an I/O implementation.
+type Backend int
+
+// The three I/O implementations compared in the paper, plus a variant of
+// the MPI-IO port that routes even the single-owner subgrid arrays
+// through MPI_File_write_all with collective buffering forced
+// (romio_cb_write=enable, ROMIO's default of the era). The variant
+// demonstrates how per-array collective writes serialize the dump — the
+// communication overhead the paper measures on the Ethernet cluster.
+const (
+	BackendHDF4 Backend = iota
+	BackendMPIIO
+	BackendHDF5
+	BackendMPIIOCB
+)
+
+func (b Backend) String() string {
+	switch b {
+	case BackendHDF4:
+		return "hdf4"
+	case BackendMPIIO:
+		return "mpiio"
+	case BackendHDF5:
+		return "hdf5"
+	case BackendMPIIOCB:
+		return "mpiio-cb"
+	}
+	return "unknown"
+}
+
+// BackendByName parses a backend name.
+func BackendByName(s string) (Backend, error) {
+	switch s {
+	case "hdf4":
+		return BackendHDF4, nil
+	case "mpiio":
+		return BackendMPIIO, nil
+	case "hdf5":
+		return BackendHDF5, nil
+	case "mpiio-cb":
+		return BackendMPIIOCB, nil
+	}
+	return 0, fmt.Errorf("enzo: unknown backend %q", s)
+}
+
+// Config defines a problem instance.
+type Config struct {
+	Problem      string  // display name (AMR64, AMR128, ...)
+	Dims         [3]int  // root grid cells
+	NParticles   int     // particles in the root grid at start
+	PreRefine    int     // pre-refined subgrid levels in the initial data
+	Threshold    float64 // refinement density threshold
+	Seed         int64
+	Dumps        int   // checkpoint dumps per run
+	FlopsPerCell int64 // evolution work per cell per cycle
+	// RefineCycles adds this many dynamic refinement passes during the
+	// evolution between the initial read and the dumps: the hierarchy
+	// deepens, IDs and metadata are exchanged, and the dump layout grows
+	// (Figure 2's evolution loop). 0 keeps the pre-refined hierarchy.
+	RefineCycles int
+}
+
+// AMR64 is the paper's smallest problem: a 64^3 root grid.
+func AMR64() Config {
+	return Config{Problem: "AMR64", Dims: [3]int{64, 64, 64}, NParticles: 64 * 64 * 64 / 2,
+		PreRefine: 2, Threshold: 2.0, Seed: 1789, Dumps: 1, FlopsPerCell: 40}
+}
+
+// AMR128 is the 128^3 problem.
+func AMR128() Config {
+	return Config{Problem: "AMR128", Dims: [3]int{128, 128, 128}, NParticles: 128 * 128 * 128 / 2,
+		PreRefine: 2, Threshold: 2.0, Seed: 1789, Dumps: 1, FlopsPerCell: 40}
+}
+
+// AMR256 is the 256^3 problem (used for the Table 1 accounting; running it
+// end-to-end is possible but slow).
+func AMR256() Config {
+	return Config{Problem: "AMR256", Dims: [3]int{256, 256, 256}, NParticles: 256 * 256 * 256 / 2,
+		PreRefine: 2, Threshold: 2.0, Seed: 1789, Dumps: 1, FlopsPerCell: 40}
+}
+
+// Tiny is a small problem for tests and the quickstart example.
+func Tiny() Config {
+	return Config{Problem: "Tiny", Dims: [3]int{16, 16, 16}, NParticles: 800,
+		PreRefine: 2, Threshold: 2.0, Seed: 1789, Dumps: 1, FlopsPerCell: 40}
+}
+
+// Phase is one timed region of the run.
+type Phase struct {
+	Name    string
+	Seconds float64
+}
+
+// Result is the outcome of one simulated run, filled in by rank 0.
+type Result struct {
+	Problem string
+	Backend Backend
+	FS      string
+	Procs   int
+
+	Phases []Phase
+
+	// BytesRead/BytesWritten cover the measured phases only (setup IC
+	// writes are excluded).
+	BytesRead    int64
+	BytesWritten int64
+
+	// Verified reports that the restart state matched the pre-dump state
+	// byte-for-byte (fields) and as a multiset (particles).
+	Verified bool
+
+	// Grids is the hierarchy size (root + subgrids).
+	Grids int
+}
+
+// Phase returns a named phase duration (0 if absent).
+func (res *Result) Phase(name string) float64 {
+	for _, p := range res.Phases {
+		if p.Name == name {
+			return p.Seconds
+		}
+	}
+	return 0
+}
+
+// ReadTime is the initial grid read phase.
+func (res *Result) ReadTime() float64 { return res.Phase("read") }
+
+// WriteTime is the checkpoint dump phase (sum over dumps).
+func (res *Result) WriteTime() float64 { return res.Phase("write") }
+
+// RestartTime is the restart read phase.
+func (res *Result) RestartTime() float64 { return res.Phase("restart") }
+
+// IOTime is read + write + restart.
+func (res *Result) IOTime() float64 {
+	return res.ReadTime() + res.WriteTime() + res.RestartTime()
+}
+
+// partition is the rank-local piece of one block-partitioned grid: the
+// (Block,Block,Block) sub-block of every baryon field plus the particles
+// whose positions fall in this rank's sub-domain.
+type partition struct {
+	gridID    int
+	sub       mpi.Subarray
+	fields    [][]byte
+	particles amr.ParticleSet
+}
+
+// Sim is the per-rank simulation state.
+type Sim struct {
+	r       *mpi.Rank
+	fs      pfs.FileSystem
+	backend Backend
+	hints   mpiio.Hints
+	cfg     Config
+
+	meta   *core.HierarchyMeta
+	layout *core.Layout
+
+	pz, py, px int
+
+	top      *partition
+	partials []*partition      // initial subgrid partitions, index gridID-1
+	owned    map[int]*amr.Grid // wholly owned subgrids after load balance
+
+	// dumpOwners records which rank holds each subgrid at dump time (the
+	// consolidation assignment, extended by refinement); node-local
+	// restarts must follow it exactly.
+	dumpOwners []int
+
+	// local-disk mode: a node can only read what it wrote.
+	localMode     bool
+	localPartRows [2]int64         // top-grid particle rows written at the last dump
+	localICRows   map[int][2]int64 // per-grid particle rows staged at setup
+
+	res *Result
+}
+
+// client returns this rank's file-system client identity.
+func (s *Sim) client() pfs.Client {
+	return pfs.Client{Proc: s.r.Proc(), Node: s.r.World().Machine().Node(s.r.Rank())}
+}
+
+// timed runs f between barriers and accumulates the maximum duration
+// across ranks into the named phase on rank 0.
+func (s *Sim) timed(name string, f func()) {
+	s.r.Barrier()
+	t0 := s.r.Now()
+	f()
+	s.r.Barrier()
+	dt := s.r.AllreduceFloat64(s.r.Now()-t0, mpi.OpMax)
+	if s.r.Rank() == 0 {
+		for i := range s.res.Phases {
+			if s.res.Phases[i].Name == name {
+				s.res.Phases[i].Seconds += dt
+				return
+			}
+		}
+		s.res.Phases = append(s.res.Phases, Phase{Name: name, Seconds: dt})
+	}
+}
+
+// RunOnce executes the complete experiment for one configuration and
+// returns the timing result. It builds a fresh machine, file system and
+// world, so repeated calls are independent and deterministic.
+func RunOnce(machCfg machine.Config, fsKind string, nprocs int, cfg Config, backend Backend) (*Result, error) {
+	return RunOnceWrapped(machCfg, fsKind, nprocs, cfg, backend, nil)
+}
+
+// RunOnceWrapped is RunOnce with an optional file-system wrapper applied
+// before the run — used to interpose instrumentation such as the iotrace
+// recorder without changing the simulation.
+func RunOnceWrapped(machCfg machine.Config, fsKind string, nprocs int, cfg Config,
+	backend Backend, wrap func(pfs.FileSystem) pfs.FileSystem) (*Result, error) {
+	eng := sim.NewEngine()
+	mach := machine.New(machCfg)
+	fs, err := MakeFS(fsKind, mach)
+	if err != nil {
+		return nil, err
+	}
+	if wrap != nil {
+		fs = wrap(fs)
+	}
+	res := &Result{Problem: cfg.Problem, Backend: backend, FS: fsKind, Procs: nprocs}
+	mpi.NewWorld(eng, mach, nprocs, func(r *mpi.Rank) {
+		s := NewSim(r, fs, backend, cfg, res)
+		s.Run()
+	})
+	if err := eng.Run(); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// MakeFS builds a file system model by name: xfs, gpfs, pvfs or local.
+func MakeFS(kind string, mach *machine.Machine) (pfs.FileSystem, error) {
+	switch kind {
+	case "xfs":
+		return pfs.NewXFS(mach, pfs.DefaultXFS()), nil
+	case "gpfs":
+		return pfs.NewGPFS(mach, pfs.DefaultGPFS()), nil
+	case "pvfs":
+		return pfs.NewPVFS(mach, pfs.DefaultPVFS()), nil
+	case "local":
+		return pfs.NewLocalFS(mach, pfs.DefaultLocal()), nil
+	}
+	return nil, fmt.Errorf("enzo: unknown file system %q", kind)
+}
+
+// NewSim builds the per-rank state. hints follow ROMIO defaults, with
+// cb_nodes set to one aggregator per physical node (ROMIO's host-based
+// default).
+func NewSim(r *mpi.Rank, fs pfs.FileSystem, backend Backend, cfg Config, res *Result) *Sim {
+	hints := mpiio.DefaultHints()
+	mach := r.World().Machine()
+	nodes := map[int]bool{}
+	for i := 0; i < r.Size(); i++ {
+		nodes[mach.Node(i)] = true
+	}
+	hints.CBNodes = len(nodes)
+	if backend == BackendMPIIOCB {
+		hints.CBForce = true
+	}
+	pz, py, px := mpi.ProcGrid3D(r.Size())
+	return &Sim{
+		r: r, fs: fs, backend: backend, hints: hints, cfg: cfg,
+		pz: pz, py: py, px: px,
+		owned:     make(map[int]*amr.Grid),
+		localMode: fs.Name() == "local",
+		res:       res,
+	}
+}
+
+// Run performs the whole measured flow.
+func (s *Sim) Run() {
+	s.setup()
+	statsBefore := s.fs.Stats()
+
+	s.timed("read", s.readInitial)
+	s.timed("evolve", s.evolve)
+
+	snap := s.snapshot()
+
+	s.timed("write", func() {
+		for d := 0; d < s.cfg.Dumps; d++ {
+			s.writeDump(d)
+		}
+	})
+
+	s.clearState()
+	s.timed("restart", func() { s.readRestart(s.cfg.Dumps - 1) })
+
+	verified := s.verify(snap)
+	statsAfter := s.fs.Stats()
+	if s.r.Rank() == 0 {
+		s.res.Verified = verified
+		s.res.BytesRead = statsAfter.BytesRead - statsBefore.BytesRead
+		s.res.BytesWritten = statsAfter.BytesWritten - statsBefore.BytesWritten
+		s.res.Grids = len(s.meta.Grids)
+	}
+}
+
+// hierCache memoizes built hierarchies across runs: initial conditions are
+// deterministic in the Config, immutable once built, and expensive for the
+// large problems (AMR128 takes seconds and half a gigabyte to generate).
+var hierCache sync.Map
+
+func hierarchyFor(cfg Config) *amr.Hierarchy {
+	key := fmt.Sprintf("%v|%d|%d|%g|%d", cfg.Dims, cfg.NParticles, cfg.PreRefine, cfg.Threshold, cfg.Seed)
+	if v, ok := hierCache.Load(key); ok {
+		return v.(*amr.Hierarchy)
+	}
+	h := amr.BuildHierarchy(cfg.Dims, cfg.NParticles, cfg.PreRefine, cfg.Threshold, cfg.Seed)
+	hierCache.Store(key, h)
+	return h
+}
+
+// setup (untimed): rank 0 builds the hierarchy in memory and writes the
+// initial-condition files plus the replicated hierarchy metadata.
+func (s *Sim) setup() {
+	var h *amr.Hierarchy
+	var enc []byte
+	if s.r.Rank() == 0 {
+		h = hierarchyFor(s.cfg)
+		s.meta = core.FromHierarchy(h)
+		enc = s.meta.Encode()
+		// The ".hierarchy" metadata file: tiny, written by rank 0.
+		f, err := s.fs.Create(s.client(), "ic.hierarchy")
+		if err != nil {
+			panic(err)
+		}
+		f.WriteAt(s.client(), enc, 0)
+		f.Close(s.client())
+		enc = s.r.Bcast(0, enc)
+	} else {
+		enc = s.r.Bcast(0, nil)
+		m, err := core.DecodeHierarchyMeta(enc)
+		if err != nil {
+			panic(err)
+		}
+		s.meta = m
+	}
+	s.layout = core.NewLayout(s.meta)
+	s.writeIC(h)
+	s.r.Barrier()
+}
+
+// dispatch helpers
+
+func (s *Sim) writeIC(h *amr.Hierarchy) {
+	switch s.backend {
+	case BackendHDF4:
+		s.hdf4WriteIC(h)
+	case BackendMPIIO, BackendMPIIOCB:
+		if s.localMode {
+			s.rawProvisionLocalIC(h)
+		} else {
+			s.rawWriteIC(h)
+		}
+	case BackendHDF5:
+		if s.localMode {
+			s.h5ProvisionLocalIC(h)
+		} else {
+			s.h5WriteIC(h)
+		}
+	}
+}
+
+func (s *Sim) readInitial() {
+	switch s.backend {
+	case BackendHDF4:
+		s.hdf4ReadInitial()
+	case BackendMPIIO, BackendMPIIOCB:
+		s.rawReadInitial()
+	case BackendHDF5:
+		s.h5ReadInitial()
+	}
+}
+
+func (s *Sim) writeDump(d int) {
+	s.writeDumpHierarchy(d)
+	switch s.backend {
+	case BackendHDF4:
+		s.hdf4WriteDump(d)
+	case BackendMPIIO, BackendMPIIOCB:
+		s.rawWriteDump(d)
+	case BackendHDF5:
+		s.h5WriteDump(d)
+	}
+}
+
+func (s *Sim) readRestart(d int) {
+	switch s.backend {
+	case BackendHDF4:
+		s.hdf4ReadRestart(d)
+	case BackendMPIIO, BackendMPIIOCB:
+		s.rawReadRestart(d)
+	case BackendHDF5:
+		s.h5ReadRestart(d)
+	}
+}
+
+// assignSubgrids maps every subgrid to its post-load-balance owner with
+// the greedy work-balanced policy over the replicated metadata, so all
+// ranks compute identical assignments without communication.
+func (s *Sim) assignSubgrids() []int {
+	subs := s.meta.Subgrids()
+	order := make([]int, len(subs))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		ca, cb := subs[order[a]].Cells(), subs[order[b]].Cells()
+		if ca != cb {
+			return ca > cb
+		}
+		return order[a] < order[b]
+	})
+	owners := make([]int, len(s.meta.Grids)) // indexed by grid ID; 0 unused
+	load := make([]int64, s.r.Size())
+	for _, i := range order {
+		best := 0
+		for p := 1; p < s.r.Size(); p++ {
+			if load[p] < load[best] {
+				best = p
+			}
+		}
+		owners[subs[i].ID] = best
+		load[best] += subs[i].Cells()
+	}
+	return owners
+}
+
+// restartOwners maps subgrids to restart readers: round-robin per the
+// paper, except on node-local disks where only the dump writer has the
+// bytes.
+func (s *Sim) restartOwners() []int {
+	if s.localMode {
+		return s.dumpOwners
+	}
+	owners := make([]int, len(s.meta.Grids))
+	for i, g := range s.meta.Subgrids() {
+		owners[g.ID] = i % s.r.Size()
+	}
+	return owners
+}
+
+// evolve models the computation between dumps: the load-balance
+// consolidation of the block-partitioned initial subgrids onto their
+// owners, plus the hydrodynamics work on owned cells.
+func (s *Sim) evolve() {
+	owners := s.assignSubgrids()
+	s.dumpOwners = owners
+	for _, g := range s.meta.Subgrids() {
+		p := s.partials[g.ID-1]
+		grid := s.consolidate(g, p, owners[g.ID])
+		if grid != nil {
+			s.owned[g.ID] = grid
+		}
+	}
+	s.partials = nil
+	var cells int64
+	if s.top != nil {
+		cells += s.top.sub.NumElems()
+	}
+	for _, g := range s.owned {
+		cells += g.Cells()
+	}
+	s.r.Compute(cells * s.cfg.FlopsPerCell)
+	for i := 0; i < s.cfg.RefineCycles; i++ {
+		s.refineOwned()
+	}
+}
+
+// consolidate gathers one block-partitioned subgrid onto its owner,
+// returning the assembled grid there (nil elsewhere).
+func (s *Sim) consolidate(g core.GridMeta, p *partition, owner int) *amr.Grid {
+	var grid *amr.Grid
+	if s.r.Rank() == owner {
+		grid = &amr.Grid{
+			ID: g.ID, Level: g.Level, Parent: g.Parent, Dims: g.Dims,
+			LeftEdge: g.LeftEdge, RightEdge: g.RightEdge,
+		}
+		grid.Fields = make([][]byte, len(amr.FieldNames))
+	}
+	for f := range amr.FieldNames {
+		blocks := s.r.Gatherv(owner, p.fields[f])
+		if s.r.Rank() == owner {
+			full := make([]byte, g.Cells()*amr.FieldElemSize)
+			for rank, blk := range blocks {
+				sub := core.FieldSubarray(g, s.pz, s.py, s.px, rank)
+				sub.ScatterSub(full, blk)
+			}
+			s.r.CopyCost(g.Cells() * amr.FieldElemSize)
+			grid.Fields[f] = full
+		}
+	}
+	rows := packRows(&p.particles)
+	gathered := s.r.Gatherv(owner, rows)
+	if s.r.Rank() == owner {
+		var all []byte
+		for _, chunk := range gathered {
+			all = append(all, chunk...)
+		}
+		grid.Particles = unpackRows(all)
+	}
+	return grid
+}
+
+func (s *Sim) clearState() {
+	s.top = nil
+	s.partials = nil
+	s.owned = make(map[int]*amr.Grid)
+}
+
+// --- verification ---
+
+type snapshotState struct {
+	topFields    uint64
+	topParticles uint64
+	topCount     int64
+	grids        map[int]uint64
+}
+
+func hashBytes(h64 uint64, b []byte) uint64 {
+	h := fnv.New64a()
+	var seed [8]byte
+	for i := 0; i < 8; i++ {
+		seed[i] = byte(h64 >> (8 * i))
+	}
+	h.Write(seed[:])
+	h.Write(b)
+	return h.Sum64()
+}
+
+// particleSetHash hashes a particle set order-independently (sum of
+// per-row hashes), so redistribution order does not matter.
+func particleSetHash(ps *amr.ParticleSet) uint64 {
+	var sum uint64
+	for i := 0; i < ps.N; i++ {
+		sum += hashBytes(0, ps.Row(i))
+	}
+	return sum
+}
+
+func gridHash(g *amr.Grid) uint64 {
+	var h uint64
+	for _, f := range g.Fields {
+		h = hashBytes(h, f)
+	}
+	return h + particleSetHash(&g.Particles)
+}
+
+func (s *Sim) snapshot() snapshotState {
+	snap := snapshotState{grids: make(map[int]uint64)}
+	if s.top != nil {
+		var h uint64
+		for _, f := range s.top.fields {
+			h = hashBytes(h, f)
+		}
+		snap.topFields = h
+		snap.topParticles = particleSetHash(&s.top.particles)
+		snap.topCount = int64(s.top.particles.N)
+	}
+	for id, g := range s.owned {
+		snap.grids[id] = gridHash(g)
+	}
+	return snap
+}
+
+// verify compares the restart state against the pre-dump snapshot. Field
+// blocks must match per rank (the decomposition is identical); particles
+// must match as a per-rank multiset; subgrid hashes are compared globally
+// because restart ownership differs from dump ownership.
+func (s *Sim) verify(snap snapshotState) bool {
+	now := s.snapshot()
+	localOK := int64(1)
+	if now.topFields != snap.topFields || now.topParticles != snap.topParticles ||
+		now.topCount != snap.topCount {
+		localOK = 0
+	}
+	// Exchange (gridID, hash) pairs via gather on rank 0.
+	enc := func(m map[int]uint64) []byte {
+		ids := make([]int, 0, len(m))
+		for id := range m {
+			ids = append(ids, id)
+		}
+		sort.Ints(ids)
+		out := make([]byte, 0, len(ids)*16)
+		for _, id := range ids {
+			var b [16]byte
+			for i := 0; i < 8; i++ {
+				b[i] = byte(uint64(id) >> (8 * i))
+				b[8+i] = byte(m[id] >> (8 * i))
+			}
+			out = append(out, b[:]...)
+		}
+		return out
+	}
+	dec := func(chunks [][]byte) map[int]uint64 {
+		m := make(map[int]uint64)
+		for _, c := range chunks {
+			for p := 0; p+16 <= len(c); p += 16 {
+				var id, h uint64
+				for i := 0; i < 8; i++ {
+					id |= uint64(c[p+i]) << (8 * i)
+					h |= uint64(c[p+8+i]) << (8 * i)
+				}
+				m[int(id)] = h
+			}
+		}
+		return m
+	}
+	before := s.r.Gatherv(0, enc(snap.grids))
+	after := s.r.Gatherv(0, enc(now.grids))
+	if s.r.Rank() == 0 {
+		b, a := dec(before), dec(after)
+		if len(b) != len(a) {
+			localOK = 0
+		}
+		for id, h := range b {
+			if a[id] != h {
+				localOK = 0
+			}
+		}
+	}
+	return s.r.AllreduceInt64(localOK, mpi.OpMin) == 1
+}

@@ -1,0 +1,296 @@
+package enzo
+
+import (
+	"fmt"
+
+	"repro/internal/amr"
+	"repro/internal/core"
+	"repro/internal/hdf5"
+	"repro/internal/mpi"
+)
+
+// The parallel HDF5 port (Section 3.4): the same access strategy as the
+// direct MPI-IO version — collective access for the regular baryon
+// fields, independent block-wise access for the irregular particle data,
+// one shared file for all grids — but expressed through HDF5 datasets and
+// hyperslab selections, which adds the library overheads of Section 4.5
+// (collective dataset create/close, interleaved metadata, recursive
+// hyperslab packing, rank-0-only attributes).
+
+func icH5File() string { return "ic.h5" }
+
+func dumpH5File(d int) string { return fmt.Sprintf("dump%02d.h5", d) }
+
+func dsName(gridID int, array string) string { return fmt.Sprintf("g%04d/%s", gridID, array) }
+
+// fullSel selects an entire dataset.
+func fullSel(dims []int, elemSize int) mpi.Subarray {
+	return mpi.Subarray{
+		Sizes: dims, Subsizes: append([]int(nil), dims...),
+		Starts: make([]int, len(dims)), ElemSize: elemSize,
+	}
+}
+
+// emptySel selects nothing (for non-contributing ranks of a collective).
+func emptySel(dims []int, elemSize int) mpi.Subarray {
+	return mpi.Subarray{
+		Sizes: dims, Subsizes: make([]int, len(dims)),
+		Starts: make([]int, len(dims)), ElemSize: elemSize,
+	}
+}
+
+// fieldSel is rank r's (Block,Block,Block) hyperslab of a field dataset.
+func (s *Sim) fieldSel(g core.GridMeta) mpi.Subarray {
+	return core.FieldSubarray(g, s.pz, s.py, s.px, s.r.Rank())
+}
+
+func (s *Sim) h5WriteIC(h *amr.Hierarchy) {
+	hf, err := hdf5.Create(s.r, s.fs, icH5File(), hdf5.DefaultConfig(), s.hints)
+	if err != nil {
+		panic(err)
+	}
+	for _, gm := range s.meta.Grids {
+		var grid *amr.Grid
+		if s.r.Rank() == 0 {
+			grid = h.Grids[gm.ID]
+		}
+		dims3 := []int{gm.Dims[0], gm.Dims[1], gm.Dims[2]}
+		for fi, name := range amr.FieldNames {
+			ds, err := hf.CreateDataset(dsName(gm.ID, name), dims3, amr.FieldElemSize)
+			if err != nil {
+				panic(err)
+			}
+			if s.r.Rank() == 0 {
+				ds.WriteHyperslab(fullSel(dims3, amr.FieldElemSize), grid.Fields[fi])
+			} else {
+				ds.WriteHyperslab(emptySel(dims3, amr.FieldElemSize), nil)
+			}
+			ds.Close()
+		}
+		if gm.NParticles > 0 {
+			dims1 := []int{int(gm.NParticles)}
+			for k, pa := range amr.ParticleArrays {
+				ds, err := hf.CreateDataset(dsName(gm.ID, pa.Name), dims1, pa.ElemSize)
+				if err != nil {
+					panic(err)
+				}
+				if s.r.Rank() == 0 {
+					ds.WriteHyperslab(fullSel(dims1, pa.ElemSize), grid.Particles.Arrays[k])
+				} else {
+					ds.WriteHyperslab(emptySel(dims1, pa.ElemSize), nil)
+				}
+				ds.Close()
+			}
+		}
+	}
+	hf.Close()
+}
+
+// h5ReadGridPartitioned mirrors rawReadGridPartitioned through hyperslabs.
+func (s *Sim) h5ReadGridPartitioned(hf *hdf5.File, g core.GridMeta) *partition {
+	p := &partition{gridID: g.ID, sub: s.fieldSel(g)}
+	p.fields = make([][]byte, len(amr.FieldNames))
+	for fi, name := range amr.FieldNames {
+		ds, err := hf.OpenDataset(dsName(g.ID, name))
+		if err != nil {
+			panic(err)
+		}
+		buf := make([]byte, p.sub.Bytes())
+		if s.localMode {
+			// Node-local disks: read the partition staged at setup.
+			ds.ReadHyperslabIndependent(p.sub, buf)
+		} else {
+			ds.ReadHyperslab(p.sub, buf)
+		}
+		p.fields[fi] = buf
+	}
+	if g.NParticles == 0 {
+		p.particles = amr.NewParticleSet(0)
+		return p
+	}
+	lo, hi := core.BlockRange(g.NParticles, s.r.Size(), s.r.Rank())
+	if s.localMode {
+		rng := s.localICRows[g.ID]
+		lo, hi = rng[0], rng[1]
+	}
+	cols := make([][]byte, len(amr.ParticleArrays))
+	for k, pa := range amr.ParticleArrays {
+		ds, err := hf.OpenDataset(dsName(g.ID, pa.Name))
+		if err != nil {
+			panic(err)
+		}
+		sel := mpi.Subarray{Sizes: []int{int(g.NParticles)}, Subsizes: []int{int(hi - lo)},
+			Starts: []int{int(lo)}, ElemSize: pa.ElemSize}
+		buf := make([]byte, sel.Bytes())
+		ds.ReadHyperslabIndependent(sel, buf)
+		cols[k] = buf
+	}
+	rows := rowsFromColumns(cols)
+	s.r.CopyCost(int64(len(rows)))
+	p.particles = s.redistributeByPosition(rows, g)
+	return p
+}
+
+func (s *Sim) h5ReadInitial() {
+	hf, err := hdf5.OpenRead(s.r, s.fs, icH5File(), hdf5.DefaultConfig(), s.hints)
+	if err != nil {
+		panic(err)
+	}
+	s.top = s.h5ReadGridPartitioned(hf, s.meta.Top())
+	for _, g := range s.meta.Subgrids() {
+		s.partials = append(s.partials, s.h5ReadGridPartitioned(hf, g))
+	}
+	hf.Close()
+}
+
+func (s *Sim) h5WriteDump(d int) {
+	hf, err := hdf5.Create(s.r, s.fs, dumpH5File(d), hdf5.DefaultConfig(), s.hints)
+	if err != nil {
+		panic(err)
+	}
+	// Top grid fields: collective hyperslab writes.
+	g := s.meta.Top()
+	dims3 := []int{g.Dims[0], g.Dims[1], g.Dims[2]}
+	for fi, name := range amr.FieldNames {
+		ds, err := hf.CreateDataset(dsName(g.ID, name), dims3, amr.FieldElemSize)
+		if err != nil {
+			panic(err)
+		}
+		ds.WriteHyperslab(s.top.sub, s.top.fields[fi])
+		ds.Close()
+	}
+	// Top grid particles: parallel sort, then independent 1-D hyperslabs.
+	if g.NParticles > 0 {
+		sortedRows := s.parallelSortByID(&s.top.particles)
+		myCount := int64(len(sortedRows) / rowSize())
+		rowOff := s.r.ExscanInt64(myCount)
+		cols := columnsFromRows(sortedRows)
+		s.r.CopyCost(int64(len(sortedRows)))
+		for k, pa := range amr.ParticleArrays {
+			ds, err := hf.CreateDataset(dsName(g.ID, pa.Name), []int{int(g.NParticles)}, pa.ElemSize)
+			if err != nil {
+				panic(err)
+			}
+			sel := mpi.Subarray{Sizes: []int{int(g.NParticles)}, Subsizes: []int{int(myCount)},
+				Starts: []int{int(rowOff)}, ElemSize: pa.ElemSize}
+			ds.WriteHyperslabIndependent(sel, cols[k])
+			ds.Close()
+		}
+		s.localPartRows = [2]int64{rowOff, rowOff + myCount}
+	}
+	// Metadata attributes: only processor 0 may create/write them
+	// (overhead 4 of Section 4.5).
+	hf.WriteAttribute("top_grid_dims", []byte(fmt.Sprintf("%v", g.Dims)))
+	// Subgrids: every dataset creation synchronizes all processors even
+	// though a single owner writes the data.
+	for _, gm := range s.meta.Subgrids() {
+		grid := s.owned[gm.ID] // nil on non-owners
+		gdims := []int{gm.Dims[0], gm.Dims[1], gm.Dims[2]}
+		for fi, name := range amr.FieldNames {
+			ds, err := hf.CreateDataset(dsName(gm.ID, name), gdims, amr.FieldElemSize)
+			if err != nil {
+				panic(err)
+			}
+			if grid != nil {
+				ds.WriteHyperslabIndependent(fullSel(gdims, amr.FieldElemSize), grid.Fields[fi])
+			}
+			ds.Close()
+		}
+		if gm.NParticles > 0 {
+			pdims := []int{int(gm.NParticles)}
+			for k, pa := range amr.ParticleArrays {
+				ds, err := hf.CreateDataset(dsName(gm.ID, pa.Name), pdims, pa.ElemSize)
+				if err != nil {
+					panic(err)
+				}
+				if grid != nil {
+					ds.WriteHyperslabIndependent(fullSel(pdims, pa.ElemSize), grid.Particles.Arrays[k])
+				}
+				ds.Close()
+			}
+		}
+		hf.WriteAttribute(fmt.Sprintf("g%04d_level", gm.ID), []byte{byte(gm.Level)})
+	}
+	hf.Close()
+}
+
+func (s *Sim) h5ReadRestart(d int) {
+	hf, err := hdf5.OpenRead(s.r, s.fs, dumpH5File(d), hdf5.DefaultConfig(), s.hints)
+	if err != nil {
+		panic(err)
+	}
+	g := s.meta.Top()
+	s.top = &partition{gridID: 0, sub: s.fieldSel(g)}
+	s.top.fields = make([][]byte, len(amr.FieldNames))
+	for fi, name := range amr.FieldNames {
+		ds, err := hf.OpenDataset(dsName(g.ID, name))
+		if err != nil {
+			panic(err)
+		}
+		buf := make([]byte, s.top.sub.Bytes())
+		ds.ReadHyperslab(s.top.sub, buf)
+		s.top.fields[fi] = buf
+	}
+	if g.NParticles > 0 {
+		lo, hi := core.BlockRange(g.NParticles, s.r.Size(), s.r.Rank())
+		if s.localMode {
+			lo, hi = s.localPartRows[0], s.localPartRows[1]
+		}
+		cols := make([][]byte, len(amr.ParticleArrays))
+		for k, pa := range amr.ParticleArrays {
+			ds, err := hf.OpenDataset(dsName(g.ID, pa.Name))
+			if err != nil {
+				panic(err)
+			}
+			sel := mpi.Subarray{Sizes: []int{int(g.NParticles)}, Subsizes: []int{int(hi - lo)},
+				Starts: []int{int(lo)}, ElemSize: pa.ElemSize}
+			buf := make([]byte, sel.Bytes())
+			ds.ReadHyperslabIndependent(sel, buf)
+			cols[k] = buf
+		}
+		rows := rowsFromColumns(cols)
+		s.r.CopyCost(int64(len(rows)))
+		s.top.particles = s.redistributeByPosition(rows, g)
+	} else {
+		s.top.particles = amr.NewParticleSet(0)
+	}
+	owners := s.restartOwners()
+	for _, gm := range s.meta.Subgrids() {
+		if owners[gm.ID] != s.r.Rank() {
+			continue
+		}
+		grid := &amr.Grid{
+			ID: gm.ID, Level: gm.Level, Parent: gm.Parent, Dims: gm.Dims,
+			LeftEdge: gm.LeftEdge, RightEdge: gm.RightEdge,
+		}
+		grid.Fields = make([][]byte, len(amr.FieldNames))
+		gdims := []int{gm.Dims[0], gm.Dims[1], gm.Dims[2]}
+		for fi, name := range amr.FieldNames {
+			ds, err := hf.OpenDataset(dsName(gm.ID, name))
+			if err != nil {
+				panic(err)
+			}
+			buf := make([]byte, int64(gm.Cells())*amr.FieldElemSize)
+			ds.ReadHyperslabIndependent(fullSel(gdims, amr.FieldElemSize), buf)
+			grid.Fields[fi] = buf
+		}
+		if gm.NParticles > 0 {
+			pdims := []int{int(gm.NParticles)}
+			ps := amr.ParticleSet{N: int(gm.NParticles), Arrays: make([][]byte, len(amr.ParticleArrays))}
+			for k, pa := range amr.ParticleArrays {
+				ds, err := hf.OpenDataset(dsName(gm.ID, pa.Name))
+				if err != nil {
+					panic(err)
+				}
+				buf := make([]byte, gm.NParticles*int64(pa.ElemSize))
+				ds.ReadHyperslabIndependent(fullSel(pdims, pa.ElemSize), buf)
+				ps.Arrays[k] = buf
+			}
+			grid.Particles = ps
+		} else {
+			grid.Particles = amr.NewParticleSet(0)
+		}
+		s.owned[gm.ID] = grid
+	}
+	hf.Close()
+}

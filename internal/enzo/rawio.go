@@ -1,0 +1,269 @@
+package enzo
+
+import (
+	"fmt"
+
+	"repro/internal/amr"
+	"repro/internal/core"
+	"repro/internal/mpi"
+	"repro/internal/mpiio"
+)
+
+// The paper's direct MPI-IO port (Section 3.2/3.3): all grids live in a
+// single shared file whose layout is computed from the replicated
+// hierarchy metadata (grids in ID order, arrays in the fixed access
+// order, explicit offsets — no in-file directory). Baryon fields use
+// collective two-phase I/O with subarray file views; particle arrays use
+// block-wise independent I/O with a parallel sort (writes) or a
+// position-based redistribution (reads).
+
+func icRawFile() string { return "ic.raw" }
+
+// gridArray returns the raw bytes of a named array of an in-memory grid.
+func gridArray(g *amr.Grid, name string) []byte {
+	for fi, n := range amr.FieldNames {
+		if n == name {
+			return g.Fields[fi]
+		}
+	}
+	for k, pa := range amr.ParticleArrays {
+		if pa.Name == name {
+			return g.Particles.Arrays[k]
+		}
+	}
+	panic(fmt.Sprintf("enzo: grid %d has no array %q", g.ID, name))
+}
+
+func dumpRawFile(d int) string { return fmt.Sprintf("dump%02d.raw", d) }
+
+// fieldRuns returns rank r's file view for one baryon field of grid g in
+// the shared file: the flattened (Block,Block,Block) subarray shifted to
+// the array's offset.
+func (s *Sim) fieldRuns(g core.GridMeta, name string, sub mpi.Subarray) []mpi.Run {
+	base, _ := s.layout.ArrayOffset(g.ID, name)
+	runs := sub.Flatten()
+	out := make([]mpi.Run, len(runs))
+	for i, run := range runs {
+		out[i] = mpi.Run{Off: run.Off + base, Len: run.Len}
+	}
+	return out
+}
+
+func (s *Sim) rawWriteIC(h *amr.Hierarchy) {
+	if s.r.Rank() != 0 {
+		return
+	}
+	f, err := mpiio.OpenIndependent(s.r, s.fs, icRawFile(), mpiio.ModeCreate, s.hints)
+	if err != nil {
+		panic(err)
+	}
+	for _, g := range h.Grids {
+		gm := s.meta.Grids[g.ID]
+		for fi, name := range amr.FieldNames {
+			off, _ := s.layout.ArrayOffset(gm.ID, name)
+			f.WriteAt(g.Fields[fi], off)
+		}
+		for k, pa := range amr.ParticleArrays {
+			if g.Particles.N == 0 {
+				break
+			}
+			off, _ := s.layout.ArrayOffset(gm.ID, pa.Name)
+			f.WriteAt(g.Particles.Arrays[k], off)
+		}
+	}
+	f.Close()
+}
+
+// rawReadGridPartitioned reads one grid from the shared file into the
+// rank's partition: collective reads for the fields, block-wise
+// independent reads plus position redistribution for the particles.
+// Collective: all ranks must call it in the same order.
+func (s *Sim) rawReadGridPartitioned(f *mpiio.File, g core.GridMeta) *partition {
+	p := &partition{gridID: g.ID, sub: core.FieldSubarray(g, s.pz, s.py, s.px, s.r.Rank())}
+	p.fields = make([][]byte, len(amr.FieldNames))
+	for fi, name := range amr.FieldNames {
+		buf := make([]byte, p.sub.Bytes())
+		if s.localMode {
+			// Node-local disks: each rank independently reads the
+			// partition it staged at setup.
+			f.ReadRuns(s.fieldRuns(g, name, p.sub), buf)
+		} else {
+			f.ReadAtAll(s.fieldRuns(g, name, p.sub), buf)
+		}
+		p.fields[fi] = buf
+	}
+	if g.NParticles == 0 {
+		p.particles = amr.NewParticleSet(0)
+		return p
+	}
+	lo, hi := core.BlockRange(g.NParticles, s.r.Size(), s.r.Rank())
+	if s.localMode {
+		rng := s.localICRows[g.ID]
+		lo, hi = rng[0], rng[1]
+	}
+	cols := make([][]byte, len(amr.ParticleArrays))
+	for k, pa := range amr.ParticleArrays {
+		base, _ := s.layout.ArrayOffset(g.ID, pa.Name)
+		buf := make([]byte, (hi-lo)*int64(pa.ElemSize))
+		f.ReadAt(buf, base+lo*int64(pa.ElemSize))
+		cols[k] = buf
+	}
+	rows := rowsFromColumns(cols)
+	s.r.CopyCost(int64(len(rows)))
+	p.particles = s.redistributeByPosition(rows, g)
+	return p
+}
+
+func (s *Sim) rawReadInitial() {
+	f, err := mpiio.Open(s.r, s.fs, icRawFile(), mpiio.ModeRead, s.hints)
+	if err != nil {
+		panic(err)
+	}
+	s.top = s.rawReadGridPartitioned(f, s.meta.Top())
+	for _, g := range s.meta.Subgrids() {
+		s.partials = append(s.partials, s.rawReadGridPartitioned(f, g))
+	}
+	f.Close()
+}
+
+func (s *Sim) rawWriteDump(d int) {
+	f, err := mpiio.Open(s.r, s.fs, dumpRawFile(d), mpiio.ModeCreate, s.hints)
+	if err != nil {
+		panic(err)
+	}
+	// Top grid fields: collective two-phase writes, one per array.
+	g := s.meta.Top()
+	for fi, name := range amr.FieldNames {
+		f.WriteAtAll(s.fieldRuns(g, name, s.top.sub), s.top.fields[fi])
+	}
+	// Top grid particles: parallel sort by ID, then block-wise
+	// non-collective contiguous writes ("the block-wise pattern for 1-D
+	// arrays always results in contiguous access in each processor").
+	if g.NParticles > 0 {
+		sortedRows := s.parallelSortByID(&s.top.particles)
+		myCount := int64(len(sortedRows) / rowSize())
+		rowOff := s.r.ExscanInt64(myCount)
+		cols := columnsFromRows(sortedRows)
+		s.r.CopyCost(int64(len(sortedRows)))
+		for k, pa := range amr.ParticleArrays {
+			base, _ := s.layout.ArrayOffset(g.ID, pa.Name)
+			f.WriteAt(cols[k], base+rowOff*int64(pa.ElemSize))
+		}
+		s.localPartRows = [2]int64{rowOff, rowOff + myCount}
+	}
+	// Subgrids: all grids go into the same shared file, but — as in the
+	// original design, which the port preserves — "each processor writes
+	// its own subgrids ... in parallel without communication": the owner
+	// issues independent explicit-offset writes (MPI_File_write_at) at
+	// locations computed from the replicated hierarchy metadata. Wrapping
+	// these single-owner arrays in write_all would serialize the dump on
+	// every platform, since even ROMIO's independent fallback synchronizes
+	// the participants at its offset exchange.
+	if s.backend == BackendMPIIOCB && !s.localMode {
+		// Variant: every array goes through MPI_File_write_all with
+		// collective buffering forced, as under romio_cb_write=enable.
+		// The per-array synchronization serializes the owners' writes —
+		// the communication overhead the paper observes on slow networks.
+		for _, gm := range s.meta.Subgrids() {
+			grid := s.owned[gm.ID] // nil on non-owners
+			for _, a := range gm.Arrays() {
+				var runs []mpi.Run
+				var data []byte
+				if grid != nil {
+					off, length := s.layout.ArrayOffset(gm.ID, a.Name)
+					runs = []mpi.Run{{Off: off, Len: length}}
+					data = gridArray(grid, a.Name)
+				}
+				f.WriteAtAll(runs, data)
+			}
+		}
+		f.Close()
+		return
+	}
+	for _, gm := range s.meta.Subgrids() {
+		grid := s.owned[gm.ID] // nil on non-owners
+		if grid == nil {
+			continue
+		}
+		for fi, name := range amr.FieldNames {
+			off, _ := s.layout.ArrayOffset(gm.ID, name)
+			f.WriteAt(grid.Fields[fi], off)
+		}
+		if gm.NParticles == 0 {
+			continue
+		}
+		for k, pa := range amr.ParticleArrays {
+			off, _ := s.layout.ArrayOffset(gm.ID, pa.Name)
+			f.WriteAt(grid.Particles.Arrays[k], off)
+		}
+	}
+	f.Close()
+}
+
+func (s *Sim) rawReadRestart(d int) {
+	f, err := mpiio.Open(s.r, s.fs, dumpRawFile(d), mpiio.ModeRead, s.hints)
+	if err != nil {
+		panic(err)
+	}
+	// Top grid: collective field reads, block-wise particle reads with
+	// redistribution.
+	g := s.meta.Top()
+	s.top = &partition{gridID: 0, sub: core.FieldSubarray(g, s.pz, s.py, s.px, s.r.Rank())}
+	s.top.fields = make([][]byte, len(amr.FieldNames))
+	for fi, name := range amr.FieldNames {
+		buf := make([]byte, s.top.sub.Bytes())
+		f.ReadAtAll(s.fieldRuns(g, name, s.top.sub), buf)
+		s.top.fields[fi] = buf
+	}
+	if g.NParticles > 0 {
+		lo, hi := core.BlockRange(g.NParticles, s.r.Size(), s.r.Rank())
+		if s.localMode {
+			lo, hi = s.localPartRows[0], s.localPartRows[1]
+		}
+		cols := make([][]byte, len(amr.ParticleArrays))
+		for k, pa := range amr.ParticleArrays {
+			base, _ := s.layout.ArrayOffset(g.ID, pa.Name)
+			buf := make([]byte, (hi-lo)*int64(pa.ElemSize))
+			f.ReadAt(buf, base+lo*int64(pa.ElemSize))
+			cols[k] = buf
+		}
+		rows := rowsFromColumns(cols)
+		s.r.CopyCost(int64(len(rows)))
+		s.top.particles = s.redistributeByPosition(rows, g)
+	} else {
+		s.top.particles = amr.NewParticleSet(0)
+	}
+	// Subgrids: round-robin whole-grid independent reads (data sieving
+	// does not matter here — the accesses are contiguous by design).
+	owners := s.restartOwners()
+	for _, gm := range s.meta.Subgrids() {
+		if owners[gm.ID] != s.r.Rank() {
+			continue
+		}
+		grid := &amr.Grid{
+			ID: gm.ID, Level: gm.Level, Parent: gm.Parent, Dims: gm.Dims,
+			LeftEdge: gm.LeftEdge, RightEdge: gm.RightEdge,
+		}
+		grid.Fields = make([][]byte, len(amr.FieldNames))
+		for fi, name := range amr.FieldNames {
+			off, length := s.layout.ArrayOffset(gm.ID, name)
+			buf := make([]byte, length)
+			f.ReadAt(buf, off)
+			grid.Fields[fi] = buf
+		}
+		if gm.NParticles > 0 {
+			ps := amr.ParticleSet{N: int(gm.NParticles), Arrays: make([][]byte, len(amr.ParticleArrays))}
+			for k, pa := range amr.ParticleArrays {
+				off, length := s.layout.ArrayOffset(gm.ID, pa.Name)
+				buf := make([]byte, length)
+				f.ReadAt(buf, off)
+				ps.Arrays[k] = buf
+			}
+			grid.Particles = ps
+		} else {
+			grid.Particles = amr.NewParticleSet(0)
+		}
+		s.owned[gm.ID] = grid
+	}
+	f.Close()
+}

@@ -1,0 +1,66 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// RenderChart draws the rows of one figure as grouped ASCII bar charts —
+// one group per (problem, processor count), one bar per backend and
+// phase — approximating the figures the paper prints.
+func RenderChart(w io.Writer, rows []Row) {
+	if len(rows) == 0 {
+		return
+	}
+	type group struct {
+		problem string
+		procs   int
+	}
+	groups := map[group][]Row{}
+	var order []group
+	for _, r := range rows {
+		g := group{r.Problem, r.Procs}
+		if _, ok := groups[g]; !ok {
+			order = append(order, g)
+		}
+		groups[g] = append(groups[g], r)
+	}
+	sort.SliceStable(order, func(i, j int) bool {
+		if order[i].problem != order[j].problem {
+			return order[i].problem < order[j].problem
+		}
+		return order[i].procs < order[j].procs
+	})
+
+	// One global scale so bars are comparable across groups.
+	var maxSec float64
+	for _, r := range rows {
+		for _, v := range []float64{r.ReadSec, r.WriteSec, r.RestartSec} {
+			if v > maxSec {
+				maxSec = v
+			}
+		}
+	}
+	if maxSec <= 0 {
+		return
+	}
+	const width = 44
+	bar := func(v float64) string {
+		n := int(v / maxSec * width)
+		if n == 0 && v > 0 {
+			n = 1
+		}
+		return strings.Repeat("#", n)
+	}
+	for _, g := range order {
+		fmt.Fprintf(w, "%s, %d procs\n", g.problem, g.procs)
+		for _, r := range groups[g] {
+			fmt.Fprintf(w, "  %-9s init-read %8.3fs |%s\n", r.Backend, r.ReadSec, bar(r.ReadSec))
+			fmt.Fprintf(w, "  %-9s write     %8.3fs |%s\n", "", r.WriteSec, bar(r.WriteSec))
+			fmt.Fprintf(w, "  %-9s restart   %8.3fs |%s\n", "", r.RestartSec, bar(r.RestartSec))
+		}
+		fmt.Fprintln(w)
+	}
+}

@@ -1,0 +1,151 @@
+// Package faultfs wraps a pfs.FileSystem with deterministic fault
+// injection: silent data corruption on selected writes, dropped (torn)
+// writes, and stale reads. It exists to prove that the repository's
+// end-to-end verification actually detects storage misbehaviour — a
+// verifier that never fails is no verifier.
+package faultfs
+
+import (
+	"sync"
+
+	"repro/internal/pfs"
+)
+
+// Mode selects the injected failure.
+type Mode int
+
+// Failure modes.
+const (
+	// CorruptWrite flips one byte of every Nth write's payload before it
+	// reaches the store (silent media corruption).
+	CorruptWrite Mode = iota
+	// DropWrite silently discards every Nth write (a lost write — e.g. a
+	// volatile cache that never reached the platter).
+	DropWrite
+	// TornWrite stores only the first half of every Nth write.
+	TornWrite
+)
+
+// Config selects which writes fail.
+type Config struct {
+	Mode Mode
+	// EveryN injects the fault into every Nth write (1 = every write).
+	EveryN int64
+	// MinBytes restricts faults to writes of at least this size, so tiny
+	// metadata writes can be spared when targeting data.
+	MinBytes int64
+}
+
+// FS is the fault-injecting wrapper.
+type FS struct {
+	inner pfs.FileSystem
+	cfg   Config
+
+	mu       sync.Mutex
+	writes   int64
+	injected int64
+}
+
+// Wrap returns a fault-injecting view of fs.
+func Wrap(fs pfs.FileSystem, cfg Config) *FS {
+	if cfg.EveryN <= 0 {
+		cfg.EveryN = 1
+	}
+	return &FS{inner: fs, cfg: cfg}
+}
+
+// Injected reports how many faults were injected so far.
+func (f *FS) Injected() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.injected
+}
+
+// Name implements pfs.FileSystem.
+func (f *FS) Name() string { return f.inner.Name() }
+
+// Stats implements pfs.FileSystem.
+func (f *FS) Stats() pfs.Stats { return f.inner.Stats() }
+
+// Exists implements pfs.FileSystem.
+func (f *FS) Exists(n string) bool { return f.inner.Exists(n) }
+
+// Snapshot implements pfs.FileSystem.
+func (f *FS) Snapshot() map[string][]byte { return f.inner.Snapshot() }
+
+// Restore implements pfs.FileSystem.
+func (f *FS) Restore(files map[string][]byte) { f.inner.Restore(files) }
+
+// Create implements pfs.FileSystem.
+func (f *FS) Create(c pfs.Client, name string) (pfs.File, error) {
+	inner, err := f.inner.Create(c, name)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{inner: inner, fs: f}, nil
+}
+
+// Open implements pfs.FileSystem.
+func (f *FS) Open(c pfs.Client, name string) (pfs.File, error) {
+	inner, err := f.inner.Open(c, name)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{inner: inner, fs: f}, nil
+}
+
+type faultFile struct {
+	inner pfs.File
+	fs    *FS
+}
+
+func (ff *faultFile) Name() string            { return ff.inner.Name() }
+func (ff *faultFile) Size(c pfs.Client) int64 { return ff.inner.Size(c) }
+func (ff *faultFile) Close(c pfs.Client)      { ff.inner.Close(c) }
+
+func (ff *faultFile) ReadAt(c pfs.Client, buf []byte, off int64) {
+	ff.inner.ReadAt(c, buf, off)
+}
+
+// shouldInject decides (deterministically, by write ordinal) whether this
+// write fails.
+func (ff *faultFile) shouldInject(n int64) bool {
+	f := ff.fs
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if n < f.cfg.MinBytes {
+		return false
+	}
+	f.writes++
+	if f.writes%f.cfg.EveryN != 0 {
+		return false
+	}
+	f.injected++
+	return true
+}
+
+func (ff *faultFile) WriteAt(c pfs.Client, data []byte, off int64) {
+	if !ff.shouldInject(int64(len(data))) {
+		ff.inner.WriteAt(c, data, off)
+		return
+	}
+	switch ff.fs.cfg.Mode {
+	case CorruptWrite:
+		corrupted := make([]byte, len(data))
+		copy(corrupted, data)
+		corrupted[len(corrupted)/2] ^= 0xA5
+		ff.inner.WriteAt(c, corrupted, off)
+	case DropWrite:
+		// The write costs time (the device acknowledged it) but stores
+		// nothing: model by writing the existing contents back.
+		old := make([]byte, len(data))
+		ff.inner.ReadAt(c, old, off)
+		ff.inner.WriteAt(c, old, off)
+	case TornWrite:
+		half := data[:len(data)/2]
+		if len(half) == 0 {
+			half = data
+		}
+		ff.inner.WriteAt(c, half, off)
+	}
+}

@@ -1,0 +1,298 @@
+// Package iotrace provides Pablo-style I/O characterization — the kind of
+// instrumentation the paper's analysis was built on (its reference [20],
+// "Analysis of I/O Activity of the ENZO Code", used the Pablo toolkit).
+// A Recorder collects one event per file-system call (operation, offset,
+// request size, virtual start/end time, calling node) through a
+// transparent pfs.FileSystem wrapper, and produces the summaries an I/O
+// study needs: request-size histograms, per-operation totals, bandwidth,
+// and inter-arrival gaps that reveal sequential vs strided access.
+package iotrace
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"sync"
+
+	"repro/internal/pfs"
+)
+
+// Op is the traced operation kind.
+type Op int
+
+// Traced operations.
+const (
+	OpRead Op = iota
+	OpWrite
+	OpCreate
+	OpOpen
+	OpClose
+)
+
+func (o Op) String() string {
+	switch o {
+	case OpRead:
+		return "read"
+	case OpWrite:
+		return "write"
+	case OpCreate:
+		return "create"
+	case OpOpen:
+		return "open"
+	case OpClose:
+		return "close"
+	}
+	return "unknown"
+}
+
+// Event is one traced file-system call.
+type Event struct {
+	Op     Op
+	File   string
+	Node   int
+	Offset int64
+	Bytes  int64
+	Start  float64 // virtual seconds
+	End    float64
+}
+
+// Recorder accumulates events. It is safe for use from the (serialized)
+// simulation and from tests.
+type Recorder struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder { return &Recorder{} }
+
+// Record appends one event.
+func (r *Recorder) Record(ev Event) {
+	r.mu.Lock()
+	r.events = append(r.events, ev)
+	r.mu.Unlock()
+}
+
+// Events returns a copy of the trace in record order.
+func (r *Recorder) Events() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Event, len(r.events))
+	copy(out, r.events)
+	return out
+}
+
+// Reset clears the trace.
+func (r *Recorder) Reset() {
+	r.mu.Lock()
+	r.events = nil
+	r.mu.Unlock()
+}
+
+// OpStats aggregates one operation kind.
+type OpStats struct {
+	Count      int64
+	Bytes      int64
+	Seconds    float64 // summed per-call durations
+	MinBytes   int64
+	MaxBytes   int64
+	Sequential int64 // calls continuing the previous call's extent on the same file
+}
+
+// Bandwidth returns bytes/second over the summed call durations.
+func (s OpStats) Bandwidth() float64 {
+	if s.Seconds <= 0 {
+		return 0
+	}
+	return float64(s.Bytes) / s.Seconds
+}
+
+// Summary is the full characterization of a trace.
+type Summary struct {
+	PerOp map[Op]*OpStats
+	// SizeHistogram buckets request sizes by power of two: bucket i holds
+	// requests with 2^i <= bytes < 2^(i+1); bucket 0 also holds 0-byte
+	// and 1-byte requests.
+	SizeHistogram map[int]int64
+	// Span is the virtual-time window [first start, last end].
+	Span [2]float64
+	// Files touched.
+	Files int
+}
+
+// Summarize computes the characterization.
+func (r *Recorder) Summarize() Summary {
+	evs := r.Events()
+	s := Summary{PerOp: make(map[Op]*OpStats), SizeHistogram: make(map[int]int64)}
+	lastEnd := make(map[string]int64) // file -> previous extent end
+	files := map[string]bool{}
+	for i, ev := range evs {
+		st := s.PerOp[ev.Op]
+		if st == nil {
+			st = &OpStats{MinBytes: math.MaxInt64}
+			s.PerOp[ev.Op] = st
+		}
+		st.Count++
+		st.Bytes += ev.Bytes
+		st.Seconds += ev.End - ev.Start
+		if ev.Bytes < st.MinBytes {
+			st.MinBytes = ev.Bytes
+		}
+		if ev.Bytes > st.MaxBytes {
+			st.MaxBytes = ev.Bytes
+		}
+		if ev.Op == OpRead || ev.Op == OpWrite {
+			if end, ok := lastEnd[ev.File]; ok && end == ev.Offset {
+				st.Sequential++
+			}
+			lastEnd[ev.File] = ev.Offset + ev.Bytes
+			bucket := 0
+			for b := ev.Bytes; b > 1; b >>= 1 {
+				bucket++
+			}
+			s.SizeHistogram[bucket]++
+		}
+		files[ev.File] = true
+		if i == 0 || ev.Start < s.Span[0] {
+			s.Span[0] = ev.Start
+		}
+		if ev.End > s.Span[1] {
+			s.Span[1] = ev.End
+		}
+	}
+	s.Files = len(files)
+	return s
+}
+
+// Report writes a human-readable characterization, in the style of the
+// Pablo I/O analysis reports.
+func (r *Recorder) Report(w io.Writer) {
+	s := r.Summarize()
+	fmt.Fprintf(w, "I/O characterization: %d files, window %.3fs..%.3fs\n",
+		s.Files, s.Span[0], s.Span[1])
+	ops := make([]Op, 0, len(s.PerOp))
+	for op := range s.PerOp {
+		ops = append(ops, op)
+	}
+	sort.Slice(ops, func(i, j int) bool { return ops[i] < ops[j] })
+	for _, op := range ops {
+		st := s.PerOp[op]
+		fmt.Fprintf(w, "%-7s calls=%-7d bytes=%-12d", op, st.Count, st.Bytes)
+		if op == OpRead || op == OpWrite {
+			fmt.Fprintf(w, " min=%-8d max=%-10d seq=%5.1f%% bw=%.2f MB/s",
+				st.MinBytes, st.MaxBytes,
+				100*float64(st.Sequential)/float64(st.Count),
+				st.Bandwidth()/1e6)
+		}
+		fmt.Fprintln(w)
+	}
+	if len(s.SizeHistogram) > 0 {
+		fmt.Fprintln(w, "request size histogram (log2 buckets):")
+		buckets := make([]int, 0, len(s.SizeHistogram))
+		for b := range s.SizeHistogram {
+			buckets = append(buckets, b)
+		}
+		sort.Ints(buckets)
+		var maxCount int64
+		for _, b := range buckets {
+			if s.SizeHistogram[b] > maxCount {
+				maxCount = s.SizeHistogram[b]
+			}
+		}
+		for _, b := range buckets {
+			n := s.SizeHistogram[b]
+			bar := int(40 * n / maxCount)
+			fmt.Fprintf(w, "  %8s-%-8s %7d ", sizeLabel(b), sizeLabel(b+1), n)
+			for i := 0; i < bar; i++ {
+				fmt.Fprint(w, "#")
+			}
+			fmt.Fprintln(w)
+		}
+	}
+}
+
+func sizeLabel(bucket int) string {
+	v := int64(1) << bucket
+	switch {
+	case v >= 1<<30:
+		return fmt.Sprintf("%dG", v>>30)
+	case v >= 1<<20:
+		return fmt.Sprintf("%dM", v>>20)
+	case v >= 1<<10:
+		return fmt.Sprintf("%dK", v>>10)
+	}
+	return fmt.Sprintf("%dB", v)
+}
+
+// Wrap returns a pfs.FileSystem that records every call into rec before
+// delegating to fs. Timing is unchanged — the wrapper observes the virtual
+// clock around the delegate call.
+func Wrap(fs pfs.FileSystem, rec *Recorder) pfs.FileSystem {
+	return &tracedFS{inner: fs, rec: rec}
+}
+
+type tracedFS struct {
+	inner pfs.FileSystem
+	rec   *Recorder
+}
+
+func (t *tracedFS) Name() string         { return t.inner.Name() }
+func (t *tracedFS) Stats() pfs.Stats     { return t.inner.Stats() }
+func (t *tracedFS) Exists(n string) bool { return t.inner.Exists(n) }
+
+func (t *tracedFS) Create(c pfs.Client, name string) (pfs.File, error) {
+	start := c.Proc.Now()
+	f, err := t.inner.Create(c, name)
+	t.rec.Record(Event{Op: OpCreate, File: name, Node: c.Node, Start: start, End: c.Proc.Now()})
+	if err != nil {
+		return nil, err
+	}
+	return &tracedFile{inner: f, fs: t}, nil
+}
+
+func (t *tracedFS) Open(c pfs.Client, name string) (pfs.File, error) {
+	start := c.Proc.Now()
+	f, err := t.inner.Open(c, name)
+	t.rec.Record(Event{Op: OpOpen, File: name, Node: c.Node, Start: start, End: c.Proc.Now()})
+	if err != nil {
+		return nil, err
+	}
+	return &tracedFile{inner: f, fs: t}, nil
+}
+
+type tracedFile struct {
+	inner pfs.File
+	fs    *tracedFS
+}
+
+func (f *tracedFile) Name() string            { return f.inner.Name() }
+func (f *tracedFile) Size(c pfs.Client) int64 { return f.inner.Size(c) }
+
+func (f *tracedFile) ReadAt(c pfs.Client, buf []byte, off int64) {
+	start := c.Proc.Now()
+	f.inner.ReadAt(c, buf, off)
+	f.fs.rec.Record(Event{Op: OpRead, File: f.inner.Name(), Node: c.Node,
+		Offset: off, Bytes: int64(len(buf)), Start: start, End: c.Proc.Now()})
+}
+
+func (f *tracedFile) WriteAt(c pfs.Client, data []byte, off int64) {
+	start := c.Proc.Now()
+	f.inner.WriteAt(c, data, off)
+	f.fs.rec.Record(Event{Op: OpWrite, File: f.inner.Name(), Node: c.Node,
+		Offset: off, Bytes: int64(len(data)), Start: start, End: c.Proc.Now()})
+}
+
+func (f *tracedFile) Close(c pfs.Client) {
+	start := c.Proc.Now()
+	f.inner.Close(c)
+	f.fs.rec.Record(Event{Op: OpClose, File: f.inner.Name(), Node: c.Node,
+		Start: start, End: c.Proc.Now()})
+}
+
+// Snapshot delegates to the wrapped file system (untraced: staging is out
+// of band).
+func (t *tracedFS) Snapshot() map[string][]byte { return t.inner.Snapshot() }
+
+// Restore delegates to the wrapped file system (untraced).
+func (t *tracedFS) Restore(files map[string][]byte) { t.inner.Restore(files) }

@@ -1,0 +1,218 @@
+// Package machine models the three parallel platforms of the paper's
+// evaluation — an SGI Origin2000 (ccNUMA), an IBM SP-2 (clustered 4-way
+// SMPs behind a switch) and the ANL Chiba City Linux cluster (uniprocessor
+// duals on fast Ethernet) — as node topologies with message-cost models and
+// per-node network interface (NIC) contention servers.
+//
+// The model is LogGP-flavoured: a message costs a per-message software
+// overhead on the sender CPU, serialization through the sender's NIC at the
+// link bandwidth, a wire latency, and serialization through the receiver's
+// NIC. NICs are sim.Server queues, so fan-in (incast) and fan-out naturally
+// contend. Messages between two ranks on the same node bypass the NICs and
+// cost a memory copy instead.
+package machine
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Config describes a platform. All rates are bytes/second, all times
+// seconds.
+type Config struct {
+	Name         string
+	Nodes        int // physical nodes
+	ProcsPerNode int // CPUs per node usable as MPI ranks
+
+	// Inter-node network.
+	WireLatency  float64 // one-way wire/switch latency per message
+	LinkBW       float64 // per-NIC serialization bandwidth
+	SendOverhead float64 // per-message CPU cost on the sender
+	RecvOverhead float64 // per-message CPU cost on the receiver
+
+	// Intra-node (shared-memory) messaging.
+	MemLatency float64 // per-message cost for an intra-node message
+	MemCopyBW  float64 // memory copy bandwidth (also used for packing)
+
+	// ComputeRate converts abstract work units (cell updates) to seconds;
+	// only the relative size of compute vs I/O matters for dump intervals.
+	ComputeRate float64 // cell updates per second
+}
+
+// Machine is an instantiated platform tied to one simulation engine run.
+// NIC servers carry virtual-time state, so a Machine must not be shared
+// between engine runs; build a fresh one per simulation.
+type Machine struct {
+	cfg  Config
+	nics []*sim.Server
+}
+
+// New builds a Machine (and its per-node NIC servers) from a Config.
+func New(cfg Config) *Machine {
+	if cfg.Nodes <= 0 || cfg.ProcsPerNode <= 0 {
+		panic(fmt.Sprintf("machine: bad topology %d nodes x %d procs", cfg.Nodes, cfg.ProcsPerNode))
+	}
+	m := &Machine{cfg: cfg}
+	m.nics = make([]*sim.Server, cfg.Nodes)
+	for i := range m.nics {
+		m.nics[i] = sim.NewServer(fmt.Sprintf("%s/nic%d", cfg.Name, i))
+	}
+	return m
+}
+
+// Config returns the platform description.
+func (m *Machine) Config() Config { return m.cfg }
+
+// Name returns the platform name.
+func (m *Machine) Name() string { return m.cfg.Name }
+
+// MaxProcs returns the total number of MPI ranks the platform can host.
+func (m *Machine) MaxProcs() int { return m.cfg.Nodes * m.cfg.ProcsPerNode }
+
+// Node maps an MPI rank to its physical node (ranks are packed node by
+// node, matching how batch schedulers place them).
+func (m *Machine) Node(rank int) int {
+	n := rank / m.cfg.ProcsPerNode
+	if n >= m.cfg.Nodes {
+		panic(fmt.Sprintf("machine %s: rank %d exceeds %d nodes x %d procs",
+			m.cfg.Name, rank, m.cfg.Nodes, m.cfg.ProcsPerNode))
+	}
+	return n
+}
+
+// NIC returns the contention server for a node's network interface. The
+// pfs package shares these servers so that file-system traffic and MPI
+// traffic compete for the same links (the Figure 8 effect).
+func (m *Machine) NIC(node int) *sim.Server { return m.nics[node] }
+
+// SameNode reports whether two ranks share a physical node.
+func (m *Machine) SameNode(a, b int) bool { return m.Node(a) == m.Node(b) }
+
+// Transfer models rank src sending `bytes` to rank dst starting at
+// sendTime. It returns senderFree, the virtual time at which the sender CPU
+// may proceed (software overhead plus NIC injection), and arrival, the time
+// at which the full message is available at the receiver node. Transfer
+// books time on the NIC servers but does not advance any process clock.
+func (m *Machine) Transfer(src, dst int, bytes int64, sendTime float64) (senderFree, arrival float64) {
+	if bytes < 0 {
+		panic("machine: negative message size")
+	}
+	if m.SameNode(src, dst) {
+		// Shared-memory path: one copy through the memory system.
+		end := sendTime + m.cfg.MemLatency + float64(bytes)/m.cfg.MemCopyBW
+		return end, end
+	}
+	ready := sendTime + m.cfg.SendOverhead
+	ser := float64(bytes) / m.cfg.LinkBW
+	sStart, sEnd := m.nics[m.Node(src)].Serve(ready, ser)
+	// The receiver NIC drains the message as it comes off the wire: its
+	// service window begins one wire latency after injection starts.
+	_, rEnd := m.nics[m.Node(dst)].Serve(sStart+m.cfg.WireLatency, ser)
+	arrival = rEnd + m.cfg.RecvOverhead
+	return sEnd, arrival
+}
+
+// TransferVia prices a one-way transfer between two explicit NIC servers
+// (for traffic whose endpoints are not MPI ranks, such as a parallel file
+// system's I/O daemons) using this machine's link parameters. It returns
+// the time the sending CPU is free and the time the payload is fully
+// available behind the destination NIC.
+func (m *Machine) TransferVia(srcNIC, dstNIC *sim.Server, bytes int64, at float64) (senderFree, arrival float64) {
+	if bytes < 0 {
+		panic("machine: negative transfer size")
+	}
+	ready := at + m.cfg.SendOverhead
+	ser := float64(bytes) / m.cfg.LinkBW
+	sStart, sEnd := srcNIC.Serve(ready, ser)
+	_, rEnd := dstNIC.Serve(sStart+m.cfg.WireLatency, ser)
+	return sEnd, rEnd + m.cfg.RecvOverhead
+}
+
+// CopyTime returns the cost of moving bytes through the memory system
+// (packing buffers, assembling gathers).
+func (m *Machine) CopyTime(bytes int64) float64 {
+	return float64(bytes) / m.cfg.MemCopyBW
+}
+
+// ComputeTime converts abstract cell updates into seconds.
+func (m *Machine) ComputeTime(cellUpdates int64) float64 {
+	return float64(cellUpdates) / m.cfg.ComputeRate
+}
+
+const (
+	kb = 1024.0
+	mb = 1024.0 * 1024.0
+)
+
+// Origin2000 describes the NCSA SGI Origin2000 of the paper: 48 ccNUMA
+// processors behind a bristled fat hypercube. We model each processor as
+// its own "node" with a very fast, low-latency interconnect, so
+// communication overhead is small relative to I/O — the property Section
+// 4.1 credits for MPI-IO's win there.
+func Origin2000() Config {
+	return Config{
+		Name:         "origin2000",
+		Nodes:        48,
+		ProcsPerNode: 1,
+		WireLatency:  1.5e-6,
+		LinkBW:       300 * mb,
+		SendOverhead: 1e-6,
+		RecvOverhead: 1e-6,
+		MemLatency:   0.5e-6,
+		MemCopyBW:    250 * mb,
+		ComputeRate:  8e6,
+	}
+}
+
+// SP2 describes the SDSC IBM SP (Power3 SMP): 144 nodes of 4 CPUs each
+// behind a switch. Intra-node messages use shared memory; all four ranks of
+// a node share one switch adapter.
+func SP2() Config {
+	return Config{
+		Name:         "sp2",
+		Nodes:        144,
+		ProcsPerNode: 4,
+		WireLatency:  22e-6,
+		LinkBW:       130 * mb,
+		SendOverhead: 4e-6,
+		RecvOverhead: 4e-6,
+		MemLatency:   2e-6,
+		MemCopyBW:    400 * mb,
+		ComputeRate:  10e6,
+	}
+}
+
+// ChibaCity describes the ANL Chiba City Linux cluster configuration used
+// in the paper's third and fourth experiments: compute nodes with two
+// 500 MHz Pentium IIIs (one MPI rank per node, as in the paper), 512 MB
+// RAM, and 100 Mb/s fast Ethernet. TCP per-message overheads dominate
+// small transfers.
+func ChibaCity() Config {
+	return Config{
+		Name:         "chiba",
+		Nodes:        16, // 8 compute + up to 8 I/O nodes modelled as peers
+		ProcsPerNode: 1,
+		WireLatency:  100e-6,
+		LinkBW:       12.5 * mb, // 100 Mb/s
+		SendOverhead: 140e-6,    // MPICH-over-TCP software cost of the era
+		RecvOverhead: 140e-6,
+		MemLatency:   1e-6,
+		MemCopyBW:    180 * mb,
+		ComputeRate:  4e6,
+	}
+}
+
+// ByName returns the named platform config; it panics on an unknown name.
+// Valid names: origin2000, sp2, chiba.
+func ByName(name string) Config {
+	switch name {
+	case "origin2000":
+		return Origin2000()
+	case "sp2":
+		return SP2()
+	case "chiba":
+		return ChibaCity()
+	}
+	panic(fmt.Sprintf("machine: unknown platform %q", name))
+}

@@ -1,0 +1,171 @@
+package machine
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+func TestPresetsValid(t *testing.T) {
+	for _, name := range []string{"origin2000", "sp2", "chiba"} {
+		cfg := ByName(name)
+		if cfg.Name != name {
+			t.Fatalf("ByName(%q).Name = %q", name, cfg.Name)
+		}
+		if cfg.Nodes <= 0 || cfg.ProcsPerNode <= 0 || cfg.LinkBW <= 0 ||
+			cfg.MemCopyBW <= 0 || cfg.ComputeRate <= 0 {
+			t.Fatalf("%s has non-positive parameters: %+v", name, cfg)
+		}
+		m := New(cfg)
+		if m.MaxProcs() != cfg.Nodes*cfg.ProcsPerNode {
+			t.Fatalf("%s MaxProcs = %d", name, m.MaxProcs())
+		}
+	}
+}
+
+func TestByNameUnknownPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	ByName("cray-t3e")
+}
+
+func TestNodeMapping(t *testing.T) {
+	m := New(Config{Name: "t", Nodes: 3, ProcsPerNode: 4,
+		WireLatency: 1e-6, LinkBW: 1e9, MemLatency: 1e-6, MemCopyBW: 1e9, ComputeRate: 1e9})
+	cases := map[int]int{0: 0, 3: 0, 4: 1, 7: 1, 8: 2, 11: 2}
+	for rank, node := range cases {
+		if m.Node(rank) != node {
+			t.Fatalf("Node(%d) = %d, want %d", rank, m.Node(rank), node)
+		}
+	}
+	if !m.SameNode(0, 3) || m.SameNode(3, 4) {
+		t.Fatal("SameNode wrong")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for out-of-range rank")
+		}
+	}()
+	m.Node(12)
+}
+
+func TestTransferIntraVsInter(t *testing.T) {
+	cfg := Config{Name: "t", Nodes: 2, ProcsPerNode: 2,
+		WireLatency: 100e-6, LinkBW: 10e6, SendOverhead: 5e-6, RecvOverhead: 5e-6,
+		MemLatency: 1e-6, MemCopyBW: 1e9, ComputeRate: 1e9}
+	m := New(cfg)
+	// Intra-node: memory-speed, sender free only at arrival.
+	free, arr := m.Transfer(0, 1, 1_000_000, 0)
+	if free != arr {
+		t.Fatalf("intra-node free %g != arrival %g", free, arr)
+	}
+	wantIntra := cfg.MemLatency + 1e6/cfg.MemCopyBW
+	if arr != wantIntra {
+		t.Fatalf("intra arrival %g, want %g", arr, wantIntra)
+	}
+	// Inter-node: serialization at 10 MB/s dominates.
+	m2 := New(cfg)
+	free, arr = m2.Transfer(0, 2, 1_000_000, 0)
+	if arr < 0.1 {
+		t.Fatalf("inter-node 1MB at 10MB/s arrived at %g, want >= 0.1", arr)
+	}
+	if free >= arr {
+		t.Fatal("sender should be free before full arrival (pipelined)")
+	}
+}
+
+func TestTransferZeroBytesCostsLatency(t *testing.T) {
+	m := New(ByName("origin2000"))
+	_, arr := m.Transfer(0, 1, 0, 0)
+	if arr <= 0 {
+		t.Fatal("zero-byte message must still cost overhead and latency")
+	}
+}
+
+func TestNICContentionSerializesSenders(t *testing.T) {
+	// Two senders targeting the same receiver: the receiver NIC serializes
+	// them, so the second arrival is ~ double the first.
+	cfg := Config{Name: "t", Nodes: 3, ProcsPerNode: 1,
+		WireLatency: 1e-6, LinkBW: 10e6, SendOverhead: 0, RecvOverhead: 0,
+		MemLatency: 1e-6, MemCopyBW: 1e9, ComputeRate: 1e9}
+	m := New(cfg)
+	_, a1 := m.Transfer(0, 2, 1_000_000, 0)
+	_, a2 := m.Transfer(1, 2, 1_000_000, 0)
+	if a2 < a1+0.09 {
+		t.Fatalf("second arrival %g should queue behind first %g", a2, a1)
+	}
+}
+
+func TestTransferViaMatchesTransferShape(t *testing.T) {
+	cfg := ByName("chiba")
+	m := New(cfg)
+	src, dst := m.NIC(0), m.NIC(8)
+	_, arr := m.TransferVia(src, dst, 1_000_000, 0)
+	wantMin := 1e6 / cfg.LinkBW
+	if arr < wantMin {
+		t.Fatalf("TransferVia arrival %g below serialization floor %g", arr, wantMin)
+	}
+}
+
+func TestCopyAndComputeTimes(t *testing.T) {
+	m := New(Config{Name: "t", Nodes: 1, ProcsPerNode: 1,
+		WireLatency: 1e-6, LinkBW: 1e9, MemLatency: 1e-6, MemCopyBW: 100e6, ComputeRate: 1e6})
+	if m.CopyTime(50e6) != 0.5 {
+		t.Fatalf("CopyTime = %g", m.CopyTime(50e6))
+	}
+	if m.ComputeTime(2e6) != 2.0 {
+		t.Fatalf("ComputeTime = %g", m.ComputeTime(2e6))
+	}
+}
+
+func TestBadTopologyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(Config{Name: "bad", Nodes: 0, ProcsPerNode: 1})
+}
+
+func TestNegativeTransferPanics(t *testing.T) {
+	m := New(ByName("origin2000"))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	m.Transfer(0, 1, -1, 0)
+}
+
+// Property: arrival time is monotone in message size and never before
+// sendTime plus the wire latency.
+func TestTransferMonotoneProperty(t *testing.T) {
+	f := func(kb uint16) bool {
+		m := New(ByName("sp2"))
+		small := int64(kb)
+		large := small + 10000
+		_, a1 := m.Transfer(0, 4, small, 0)
+		m2 := New(ByName("sp2"))
+		_, a2 := m2.Transfer(0, 4, large, 0)
+		cfg := m.Config()
+		return a2 > a1 && a1 >= cfg.WireLatency
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNICServersDistinct(t *testing.T) {
+	m := New(ByName("chiba"))
+	seen := map[*sim.Server]bool{}
+	for i := 0; i < m.Config().Nodes; i++ {
+		if seen[m.NIC(i)] {
+			t.Fatal("NIC servers shared between nodes")
+		}
+		seen[m.NIC(i)] = true
+	}
+}

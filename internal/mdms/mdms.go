@@ -1,0 +1,243 @@
+// Package mdms implements the Meta-Data Management System the paper names
+// as its application-level future work: "using Meta-Data Management System
+// (MDMS) on AMR applications to develop a powerful I/O system with the
+// help of the collected metadata" (its reference [7], Liao, Shen and
+// Choudhary). The system is a small metadata database: applications
+// register their datasets' structural metadata (rank, dimensions, access
+// pattern, access order), the system records the outcome of every access,
+// and an advisor combines the pattern rules of internal/core with the
+// accumulated history to pick the I/O method for the next access — so an
+// application that performs poorly with the rule-based default converges
+// onto the empirically best strategy.
+package mdms
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/core"
+)
+
+// AccessRecord is one observed access.
+type AccessRecord struct {
+	Op      string // "read" or "write"
+	Method  core.Method
+	Procs   int
+	Bytes   int64
+	Seconds float64
+}
+
+// Bandwidth returns achieved bytes/second (0 when no time elapsed).
+func (a AccessRecord) Bandwidth() float64 {
+	if a.Seconds <= 0 {
+		return 0
+	}
+	return float64(a.Bytes) / a.Seconds
+}
+
+// DatasetRecord is the stored metadata and history of one dataset.
+type DatasetRecord struct {
+	Meta    core.ArrayMeta
+	History []AccessRecord
+}
+
+// Application is one registered application's slice of the database.
+type Application struct {
+	Name     string
+	mu       sync.Mutex
+	datasets map[string]*DatasetRecord
+}
+
+// System is the metadata database. The zero value is not usable; call New.
+type System struct {
+	mu   sync.Mutex
+	apps map[string]*Application
+}
+
+// New returns an empty metadata database.
+func New() *System {
+	return &System{apps: make(map[string]*Application)}
+}
+
+// Application returns (creating if needed) the named application.
+func (s *System) Application(name string) *Application {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	app, ok := s.apps[name]
+	if !ok {
+		app = &Application{Name: name, datasets: make(map[string]*DatasetRecord)}
+		s.apps[name] = app
+	}
+	return app
+}
+
+// Applications lists registered application names, sorted.
+func (s *System) Applications() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.apps))
+	for n := range s.apps {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Register stores a dataset's structural metadata. Registering the same
+// name twice with different metadata is an error; re-registering identical
+// metadata is a no-op (applications re-run).
+func (a *Application) Register(meta core.ArrayMeta) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if existing, ok := a.datasets[meta.Name]; ok {
+		if !sameMeta(existing.Meta, meta) {
+			return fmt.Errorf("mdms: dataset %q already registered with different metadata", meta.Name)
+		}
+		return nil
+	}
+	a.datasets[meta.Name] = &DatasetRecord{Meta: meta}
+	return nil
+}
+
+func sameMeta(a, b core.ArrayMeta) bool {
+	if a.Name != b.Name || a.Rank != b.Rank || a.ElemSize != b.ElemSize ||
+		a.Pattern != b.Pattern || len(a.Dims) != len(b.Dims) {
+		return false
+	}
+	for i := range a.Dims {
+		if a.Dims[i] != b.Dims[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Dataset returns a dataset's record.
+func (a *Application) Dataset(name string) (*DatasetRecord, bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	d, ok := a.datasets[name]
+	return d, ok
+}
+
+// Datasets lists registered dataset names, sorted.
+func (a *Application) Datasets() []string {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make([]string, 0, len(a.datasets))
+	for n := range a.datasets {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Record stores the outcome of an access for future advice.
+func (a *Application) Record(dataset string, rec AccessRecord) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	d, ok := a.datasets[dataset]
+	if !ok {
+		return fmt.Errorf("mdms: record for unregistered dataset %q", dataset)
+	}
+	d.History = append(d.History, rec)
+	return nil
+}
+
+// minSamples is how many observations of a method are needed before the
+// advisor trusts its measured bandwidth over the pattern rule.
+const minSamples = 2
+
+// Advise picks the I/O method for the next access to a dataset: the
+// pattern-rule default (core.Recommend) unless the history at this
+// processor count shows, with at least minSamples observations per
+// method, that a different method achieves higher bandwidth.
+func (a *Application) Advise(dataset, op string, procs int) (core.Method, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	d, ok := a.datasets[dataset]
+	if !ok {
+		return 0, fmt.Errorf("mdms: advise for unregistered dataset %q", dataset)
+	}
+	best := core.Recommend(d.Meta, true)
+	type agg struct {
+		n     int
+		bytes int64
+		secs  float64
+	}
+	byMethod := map[core.Method]*agg{}
+	for _, rec := range d.History {
+		if rec.Op != op || rec.Procs != procs {
+			continue
+		}
+		g := byMethod[rec.Method]
+		if g == nil {
+			g = &agg{}
+			byMethod[rec.Method] = g
+		}
+		g.n++
+		g.bytes += rec.Bytes
+		g.secs += rec.Seconds
+	}
+	bestBW := -1.0
+	bestMethod := best
+	for _, m := range []core.Method{core.MethodCollective, core.MethodBlockwiseRedistribute, core.MethodSerialRoot} {
+		g := byMethod[m]
+		if g == nil || g.n < minSamples || g.secs <= 0 {
+			continue
+		}
+		bw := float64(g.bytes) / g.secs
+		if bw > bestBW {
+			bestBW = bw
+			bestMethod = m
+		}
+	}
+	if bestBW < 0 {
+		return best, nil // no usable history: pattern rule
+	}
+	return bestMethod, nil
+}
+
+// persisted is the export schema.
+type persisted struct {
+	Apps map[string]map[string]*DatasetRecord
+}
+
+// Export serializes the whole database (the MDMS's persistent tables).
+func (s *System) Export() []byte {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p := persisted{Apps: make(map[string]map[string]*DatasetRecord)}
+	for name, app := range s.apps {
+		app.mu.Lock()
+		m := make(map[string]*DatasetRecord, len(app.datasets))
+		for dn, d := range app.datasets {
+			m[dn] = d
+		}
+		app.mu.Unlock()
+		p.Apps[name] = m
+	}
+	b, err := json.Marshal(p)
+	if err != nil {
+		panic(err) // plain data; cannot fail
+	}
+	return b
+}
+
+// Import loads a previously exported database, replacing current contents.
+func Import(b []byte) (*System, error) {
+	var p persisted
+	if err := json.Unmarshal(b, &p); err != nil {
+		return nil, fmt.Errorf("mdms: bad database: %w", err)
+	}
+	s := New()
+	for name, datasets := range p.Apps {
+		app := s.Application(name)
+		for dn, d := range datasets {
+			app.datasets[dn] = d
+		}
+	}
+	return s, nil
+}

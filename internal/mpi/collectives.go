@@ -1,0 +1,304 @@
+package mpi
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// collTag returns the reserved tag for this rank's next collective. Ranks
+// call collectives in the same program order (SPMD), so sequence numbers —
+// and therefore tags — agree across ranks without negotiation.
+func (r *Rank) collTag() int {
+	r.collSeq++
+	return MaxUserTag + 1 + (r.collSeq & 0xFFFF)
+}
+
+// Barrier blocks until every rank has entered it, using a dissemination
+// barrier: ceil(log2 P) rounds of zero-byte messages.
+func (r *Rank) Barrier() {
+	tag := r.collTag()
+	size := r.Size()
+	if size == 1 {
+		r.proc.Yield()
+		return
+	}
+	for step := 1; step < size; step <<= 1 {
+		dst := (r.rank + step) % size
+		src := (r.rank - step + size) % size
+		r.Send(dst, tag, nil)
+		r.Recv(src, tag)
+	}
+}
+
+// Bcast distributes data from root to every rank using a binomial tree.
+// Non-root ranks pass nil and receive the payload as the return value; the
+// root gets its own slice back.
+func (r *Rank) Bcast(root int, data []byte) []byte {
+	tag := r.collTag()
+	size := r.Size()
+	if size == 1 {
+		r.proc.Yield()
+		return data
+	}
+	relrank := (r.rank - root + size) % size
+	mask := 1
+	for mask < size {
+		if relrank&mask != 0 {
+			src := r.rank - mask
+			if src < 0 {
+				src += size
+			}
+			data, _, _ = r.Recv(src, tag)
+			break
+		}
+		mask <<= 1
+	}
+	mask >>= 1
+	for mask > 0 {
+		if relrank+mask < size {
+			dst := r.rank + mask
+			if dst >= size {
+				dst -= size
+			}
+			r.Send(dst, tag, data)
+		}
+		mask >>= 1
+	}
+	return data
+}
+
+// Gatherv collects each rank's buffer at root. On root the result has one
+// entry per rank (root's own entry is a copy of its input); elsewhere the
+// result is nil. Arrivals funnel through the root's NIC, so the incast
+// serialization the original ENZO HDF4 path suffers appears naturally.
+func (r *Rank) Gatherv(root int, data []byte) [][]byte {
+	tag := r.collTag()
+	size := r.Size()
+	if r.rank != root {
+		r.Send(root, tag, data)
+		return nil
+	}
+	out := make([][]byte, size)
+	own := make([]byte, len(data))
+	copy(own, data)
+	r.CopyCost(int64(len(data)))
+	out[root] = own
+	for src := 0; src < size; src++ {
+		if src == root {
+			continue
+		}
+		msg, _, _ := r.Recv(src, tag)
+		out[src] = msg
+	}
+	return out
+}
+
+// Scatterv distributes parts[i] from root to rank i; every rank returns its
+// own part. Non-root ranks pass nil.
+func (r *Rank) Scatterv(root int, parts [][]byte) []byte {
+	tag := r.collTag()
+	size := r.Size()
+	if r.rank == root {
+		if len(parts) != size {
+			panic(fmt.Sprintf("mpi: Scatterv root has %d parts for %d ranks", len(parts), size))
+		}
+		for dst := 0; dst < size; dst++ {
+			if dst == root {
+				continue
+			}
+			r.Send(dst, tag, parts[dst])
+		}
+		own := make([]byte, len(parts[root]))
+		copy(own, parts[root])
+		r.CopyCost(int64(len(own)))
+		return own
+	}
+	data, _, _ := r.Recv(root, tag)
+	return data
+}
+
+// Allgatherv gathers every rank's buffer on every rank using the ring
+// algorithm: P-1 steps, each forwarding the most recently received block to
+// the right neighbour.
+func (r *Rank) Allgatherv(data []byte) [][]byte {
+	tag := r.collTag()
+	size := r.Size()
+	out := make([][]byte, size)
+	own := make([]byte, len(data))
+	copy(own, data)
+	out[r.rank] = own
+	if size == 1 {
+		r.proc.Yield()
+		return out
+	}
+	right := (r.rank + 1) % size
+	left := (r.rank - 1 + size) % size
+	cur := own
+	for step := 0; step < size-1; step++ {
+		r.Send(right, tag, cur)
+		msg, _, _ := r.Recv(left, tag)
+		srcRank := (r.rank - 1 - step + 2*size) % size
+		out[srcRank] = msg
+		cur = msg
+	}
+	return out
+}
+
+// Alltoallv sends parts[i] to rank i and returns the per-source received
+// buffers, using the classic rotated pairwise exchange (deadlock-free under
+// buffered sends).
+func (r *Rank) Alltoallv(parts [][]byte) [][]byte {
+	size := r.Size()
+	if len(parts) != size {
+		panic(fmt.Sprintf("mpi: Alltoallv got %d parts for %d ranks", len(parts), size))
+	}
+	tag := r.collTag()
+	out := make([][]byte, size)
+	own := make([]byte, len(parts[r.rank]))
+	copy(own, parts[r.rank])
+	r.CopyCost(int64(len(own)))
+	out[r.rank] = own
+	for step := 1; step < size; step++ {
+		dst := (r.rank + step) % size
+		src := (r.rank - step + size) % size
+		r.Send(dst, tag, parts[dst])
+		msg, _, _ := r.Recv(src, tag)
+		out[src] = msg
+	}
+	return out
+}
+
+// Op names a reduction operator.
+type Op int
+
+// Supported reduction operators.
+const (
+	OpSum Op = iota
+	OpMax
+	OpMin
+)
+
+func reduceI64(op Op, a, b int64) int64 {
+	switch op {
+	case OpSum:
+		return a + b
+	case OpMax:
+		if a > b {
+			return a
+		}
+		return b
+	case OpMin:
+		if a < b {
+			return a
+		}
+		return b
+	}
+	panic("mpi: unknown op")
+}
+
+func reduceF64(op Op, a, b float64) float64 {
+	switch op {
+	case OpSum:
+		return a + b
+	case OpMax:
+		return math.Max(a, b)
+	case OpMin:
+		return math.Min(a, b)
+	}
+	panic("mpi: unknown op")
+}
+
+func encI64(v int64) []byte {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], uint64(v))
+	return b[:]
+}
+
+func decI64(b []byte) int64 { return int64(binary.LittleEndian.Uint64(b)) }
+
+func encF64(v float64) []byte { return encI64(int64(math.Float64bits(v))) }
+
+func decF64(b []byte) float64 { return math.Float64frombits(uint64(decI64(b))) }
+
+// reduceBytes runs a binomial-tree reduction of 8-byte payloads to root.
+func (r *Rank) reduceBytes(root int, data []byte, combine func(acc, in []byte) []byte) []byte {
+	tag := r.collTag()
+	size := r.Size()
+	if size == 1 {
+		r.proc.Yield()
+		return data
+	}
+	relrank := (r.rank - root + size) % size
+	acc := data
+	mask := 1
+	for mask < size {
+		if relrank&mask != 0 {
+			dst := (root + (relrank &^ mask)) % size
+			r.Send(dst, tag, acc)
+			return nil
+		}
+		srcRel := relrank | mask
+		if srcRel < size {
+			src := (root + srcRel) % size
+			msg, _, _ := r.Recv(src, tag)
+			acc = combine(acc, msg)
+		}
+		mask <<= 1
+	}
+	return acc
+}
+
+// ReduceInt64 reduces v across ranks to root; only root receives the
+// result (other ranks get 0).
+func (r *Rank) ReduceInt64(root int, v int64, op Op) int64 {
+	res := r.reduceBytes(root, encI64(v), func(acc, in []byte) []byte {
+		return encI64(reduceI64(op, decI64(acc), decI64(in)))
+	})
+	if r.rank != root {
+		return 0
+	}
+	return decI64(res)
+}
+
+// AllreduceInt64 reduces v across all ranks and broadcasts the result.
+func (r *Rank) AllreduceInt64(v int64, op Op) int64 {
+	res := r.ReduceInt64(0, v, op)
+	return decI64(r.Bcast(0, encI64(res)))
+}
+
+// AllreduceFloat64 reduces v across all ranks and broadcasts the result.
+func (r *Rank) AllreduceFloat64(v float64, op Op) float64 {
+	res := r.reduceBytes(0, encF64(v), func(acc, in []byte) []byte {
+		return encF64(reduceF64(op, decF64(acc), decF64(in)))
+	})
+	var out []byte
+	if r.rank == 0 {
+		out = r.Bcast(0, res)
+	} else {
+		out = r.Bcast(0, nil)
+	}
+	return decF64(out)
+}
+
+// AllgatherInt64 gathers one int64 per rank on every rank.
+func (r *Rank) AllgatherInt64(v int64) []int64 {
+	parts := r.Allgatherv(encI64(v))
+	out := make([]int64, len(parts))
+	for i, p := range parts {
+		out[i] = decI64(p)
+	}
+	return out
+}
+
+// ExscanInt64 returns the exclusive prefix sum of v over ranks: rank 0
+// gets 0, rank i gets v0+...+v(i-1). Used to compute write offsets into a
+// shared file.
+func (r *Rank) ExscanInt64(v int64) int64 {
+	all := r.AllgatherInt64(v)
+	var sum int64
+	for i := 0; i < r.rank; i++ {
+		sum += all[i]
+	}
+	return sum
+}

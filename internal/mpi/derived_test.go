@@ -1,0 +1,163 @@
+package mpi
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func runsEqual(a, b []Run) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestContiguous(t *testing.T) {
+	c := Contiguous{Count: 10, ElemSize: 4}
+	if !runsEqual(c.Flatten(), []Run{{0, 40}}) {
+		t.Fatalf("runs = %v", c.Flatten())
+	}
+	if c.Bytes() != 40 {
+		t.Fatalf("bytes = %d", c.Bytes())
+	}
+	if (Contiguous{}).Flatten() != nil {
+		t.Fatal("empty contiguous should have no runs")
+	}
+}
+
+func TestVector(t *testing.T) {
+	// 3 blocks of 2 elements, stride 5, 4-byte elements:
+	// [0,8) [20,28) [40,48)
+	v := Vector{Count: 3, BlockLen: 2, Stride: 5, ElemSize: 4}
+	want := []Run{{0, 8}, {20, 8}, {40, 8}}
+	if !runsEqual(v.Flatten(), want) {
+		t.Fatalf("runs = %v, want %v", v.Flatten(), want)
+	}
+	if v.Bytes() != 24 {
+		t.Fatalf("bytes = %d", v.Bytes())
+	}
+	// Stride == BlockLen collapses to one contiguous run.
+	dense := Vector{Count: 4, BlockLen: 3, Stride: 3, ElemSize: 2}
+	if !runsEqual(dense.Flatten(), []Run{{0, 24}}) {
+		t.Fatalf("dense runs = %v", dense.Flatten())
+	}
+}
+
+func TestVectorOverlapPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for stride < blocklen")
+		}
+	}()
+	Vector{Count: 2, BlockLen: 4, Stride: 2, ElemSize: 1}.Flatten()
+}
+
+func TestIndexed(t *testing.T) {
+	// Unordered displacements must come back sorted and coalesced.
+	x := Indexed{BlockLens: []int{2, 3, 1}, Displs: []int{10, 0, 3}, ElemSize: 2}
+	want := []Run{{0, 8}, {20, 4}} // blocks at 0..3 and 3 merge: [0,6)+[6,8)? check
+	got := x.Flatten()
+	// displ 0 len 3 -> [0,6); displ 3 len 1 -> [6,8): adjacent, merge to [0,8).
+	if !runsEqual(got, want) {
+		t.Fatalf("runs = %v, want %v", got, want)
+	}
+	if x.Bytes() != 12 {
+		t.Fatalf("bytes = %d", x.Bytes())
+	}
+}
+
+func TestIndexedOverlapPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for overlapping blocks")
+		}
+	}()
+	Indexed{BlockLens: []int{4, 4}, Displs: []int{0, 2}, ElemSize: 1}.Flatten()
+}
+
+func TestIndexedMismatchedSlicesPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Indexed{BlockLens: []int{1}, Displs: []int{0, 1}, ElemSize: 1}.Flatten()
+}
+
+func TestShifted(t *testing.T) {
+	s := Shifted{Base: Contiguous{Count: 3, ElemSize: 4}, Off: 100}
+	if !runsEqual(s.Flatten(), []Run{{100, 12}}) {
+		t.Fatalf("runs = %v", s.Flatten())
+	}
+	if s.Bytes() != 12 {
+		t.Fatalf("bytes = %d", s.Bytes())
+	}
+}
+
+func TestConcatStructLike(t *testing.T) {
+	// A struct-like view: an 8-byte header, then a vector field region.
+	dt := Concat(
+		[]Datatype{Contiguous{Count: 8, ElemSize: 1}, Vector{Count: 2, BlockLen: 1, Stride: 2, ElemSize: 4}},
+		[]int64{0, 16},
+	)
+	want := []Run{{0, 8}, {16, 4}, {24, 4}}
+	if !runsEqual(dt.Flatten(), want) {
+		t.Fatalf("runs = %v, want %v", dt.Flatten(), want)
+	}
+	if dt.Bytes() != 16 {
+		t.Fatalf("bytes = %d", dt.Bytes())
+	}
+}
+
+func TestConcatMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Concat([]Datatype{Contiguous{1, 1}}, nil)
+}
+
+// Property: for any valid vector, the flattened runs are sorted, disjoint
+// and sum to Bytes().
+func TestVectorProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		v := Vector{
+			Count:    rng.Intn(20) + 1,
+			BlockLen: rng.Intn(8) + 1,
+			ElemSize: rng.Intn(8) + 1,
+		}
+		v.Stride = v.BlockLen + rng.Intn(8)
+		runs := v.Flatten()
+		var total int64
+		prevEnd := int64(-1)
+		for _, r := range runs {
+			if r.Off <= prevEnd {
+				return false
+			}
+			prevEnd = r.Off + r.Len - 1
+			total += r.Len
+		}
+		return total == v.Bytes()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a Subarray used through the Datatype interface agrees with its
+// direct Flatten.
+func TestSubarrayIsADatatype(t *testing.T) {
+	s := Subarray{Sizes: []int{4, 4}, Subsizes: []int{2, 2}, Starts: []int{1, 1}, ElemSize: 2}
+	var dt Datatype = s
+	if !runsEqual(dt.Flatten(), s.Flatten()) || dt.Bytes() != s.Bytes() {
+		t.Fatal("Subarray Datatype view disagrees with itself")
+	}
+}

@@ -1,0 +1,234 @@
+// Package mpi provides a simulated Message Passing Interface: ranks run as
+// virtual-time processes on a machine model, exchange byte-slice messages
+// with tag matching, and use the standard collective operations. The
+// subset implemented is the one ENZO's I/O paths and ROMIO's two-phase
+// collective I/O need.
+package mpi
+
+import "fmt"
+
+// Run is a contiguous byte extent at offset Off of length Len. Lists of
+// runs are the flattened form of MPI derived datatypes: both file views
+// (subarrays of a stored multidimensional dataset) and irregular accesses
+// reduce to them.
+type Run struct {
+	Off int64
+	Len int64
+}
+
+// TotalLen sums the lengths of a run list.
+func TotalLen(runs []Run) int64 {
+	var n int64
+	for _, r := range runs {
+		n += r.Len
+	}
+	return n
+}
+
+// CoalesceRuns merges adjacent or overlapping-free neighbouring runs in an
+// offset-sorted run list. The input must be sorted by Off and
+// non-overlapping; the result is the minimal equivalent list.
+func CoalesceRuns(runs []Run) []Run {
+	if len(runs) == 0 {
+		return nil
+	}
+	out := make([]Run, 0, len(runs))
+	cur := runs[0]
+	for _, r := range runs[1:] {
+		if r.Off < cur.Off+cur.Len {
+			panic(fmt.Sprintf("mpi: CoalesceRuns input unsorted or overlapping at off %d", r.Off))
+		}
+		if r.Off == cur.Off+cur.Len {
+			cur.Len += r.Len
+			continue
+		}
+		if cur.Len > 0 {
+			out = append(out, cur)
+		}
+		cur = r
+	}
+	if cur.Len > 0 {
+		out = append(out, cur)
+	}
+	return out
+}
+
+// Subarray describes an axis-aligned block (subsizes at starts) of a
+// multidimensional array (sizes), the flattened equivalent of
+// MPI_Type_create_subarray with C (row-major) order: the LAST dimension is
+// contiguous in memory and in the file. ENZO stores its 3-D baryon fields
+// so that x varies fastest; we therefore order dims (z, y, x).
+type Subarray struct {
+	Sizes    []int // full array extent per dimension
+	Subsizes []int // block extent per dimension
+	Starts   []int // block origin per dimension
+	ElemSize int   // bytes per element
+}
+
+// Validate checks dimension consistency and bounds.
+func (s Subarray) Validate() error {
+	if len(s.Sizes) == 0 || len(s.Sizes) != len(s.Subsizes) || len(s.Sizes) != len(s.Starts) {
+		return fmt.Errorf("mpi: subarray dimension mismatch sizes=%d subsizes=%d starts=%d",
+			len(s.Sizes), len(s.Subsizes), len(s.Starts))
+	}
+	if s.ElemSize <= 0 {
+		return fmt.Errorf("mpi: subarray elem size %d", s.ElemSize)
+	}
+	for d := range s.Sizes {
+		if s.Sizes[d] <= 0 || s.Subsizes[d] < 0 {
+			return fmt.Errorf("mpi: subarray dim %d has sizes=%d subsizes=%d", d, s.Sizes[d], s.Subsizes[d])
+		}
+		if s.Starts[d] < 0 || s.Starts[d]+s.Subsizes[d] > s.Sizes[d] {
+			return fmt.Errorf("mpi: subarray dim %d out of bounds: start=%d sub=%d size=%d",
+				d, s.Starts[d], s.Subsizes[d], s.Sizes[d])
+		}
+	}
+	return nil
+}
+
+// NumElems returns the number of elements in the block.
+func (s Subarray) NumElems() int64 {
+	n := int64(1)
+	for _, v := range s.Subsizes {
+		n *= int64(v)
+	}
+	return n
+}
+
+// Bytes returns the byte size of the block.
+func (s Subarray) Bytes() int64 { return s.NumElems() * int64(s.ElemSize) }
+
+// Flatten converts the subarray into a sorted, coalesced run list of byte
+// extents relative to the start of the full array. It panics on an invalid
+// subarray (programming error, not data error).
+func (s Subarray) Flatten() []Run {
+	if err := s.Validate(); err != nil {
+		panic(err)
+	}
+	nd := len(s.Sizes)
+	// Byte strides per dimension in the full array.
+	strides := make([]int64, nd)
+	strides[nd-1] = int64(s.ElemSize)
+	for d := nd - 2; d >= 0; d-- {
+		strides[d] = strides[d+1] * int64(s.Sizes[d+1])
+	}
+	if s.NumElems() == 0 {
+		return nil
+	}
+	rowLen := int64(s.Subsizes[nd-1]) * int64(s.ElemSize)
+	// Iterate the outer dims in order; rows come out offset-sorted.
+	idx := make([]int, nd-1)
+	var runs []Run
+	for {
+		off := int64(s.Starts[nd-1]) * strides[nd-1]
+		for d := 0; d < nd-1; d++ {
+			off += int64(s.Starts[d]+idx[d]) * strides[d]
+		}
+		runs = append(runs, Run{Off: off, Len: rowLen})
+		// increment multi-index
+		d := nd - 2
+		for d >= 0 {
+			idx[d]++
+			if idx[d] < s.Subsizes[d] {
+				break
+			}
+			idx[d] = 0
+			d--
+		}
+		if d < 0 {
+			break
+		}
+	}
+	return CoalesceRuns(runs)
+}
+
+// GatherSub copies the subarray's elements out of the full array `src`
+// (len = product(Sizes)*ElemSize) into a new contiguous buffer.
+func (s Subarray) GatherSub(src []byte) []byte {
+	dst := make([]byte, s.Bytes())
+	var p int64
+	for _, r := range s.Flatten() {
+		copy(dst[p:p+r.Len], src[r.Off:r.Off+r.Len])
+		p += r.Len
+	}
+	return dst
+}
+
+// ScatterSub copies a contiguous buffer `src` (len = Bytes()) into the
+// subarray's position within the full array `dst`.
+func (s Subarray) ScatterSub(dst, src []byte) {
+	if int64(len(src)) != s.Bytes() {
+		panic(fmt.Sprintf("mpi: ScatterSub src len %d, want %d", len(src), s.Bytes()))
+	}
+	var p int64
+	for _, r := range s.Flatten() {
+		copy(dst[r.Off:r.Off+r.Len], src[p:p+r.Len])
+		p += r.Len
+	}
+}
+
+// BlockDecompose3D splits a 3-D domain of extent dims (ordered z,y,x) into
+// a (Block,Block,Block) grid of pz*py*px parts and returns rank r's
+// subarray of an array with that extent and element size. Remainder cells
+// go to the lower-indexed parts, matching ENZO's partitioning. The rank is
+// decomposed with x fastest: r = (iz*py + iy)*px + ix.
+func BlockDecompose3D(dims [3]int, pz, py, px, r, elemSize int) Subarray {
+	if r < 0 || r >= pz*py*px {
+		panic(fmt.Sprintf("mpi: BlockDecompose3D rank %d of %d", r, pz*py*px))
+	}
+	ix := r % px
+	iy := (r / px) % py
+	iz := r / (px * py)
+	counts := [3]int{pz, py, px}
+	index := [3]int{iz, iy, ix}
+	var starts, subs [3]int
+	for d := 0; d < 3; d++ {
+		n, p, i := dims[d], counts[d], index[d]
+		base := n / p
+		rem := n % p
+		if i < rem {
+			subs[d] = base + 1
+			starts[d] = i * (base + 1)
+		} else {
+			subs[d] = base
+			starts[d] = rem*(base+1) + (i-rem)*base
+		}
+	}
+	return Subarray{
+		Sizes:    []int{dims[0], dims[1], dims[2]},
+		Subsizes: []int{subs[0], subs[1], subs[2]},
+		Starts:   []int{starts[0], starts[1], starts[2]},
+		ElemSize: elemSize,
+	}
+}
+
+// ProcGrid3D factors nprocs into pz*py*px as close to cubic as possible,
+// preferring larger factors on the x axis (the contiguous one) so that
+// per-process file runs stay as long as possible — the decomposition ENZO
+// uses for its top grid.
+func ProcGrid3D(nprocs int) (pz, py, px int) {
+	if nprocs <= 0 {
+		panic("mpi: ProcGrid3D needs positive nprocs")
+	}
+	best := [3]int{1, 1, nprocs}
+	bestScore := -1.0
+	for a := 1; a*a*a <= nprocs; a++ {
+		if nprocs%a != 0 {
+			continue
+		}
+		rest := nprocs / a
+		for b := a; b*b <= rest; b++ {
+			if rest%b != 0 {
+				continue
+			}
+			c := rest / b
+			// a <= b <= c; assign smallest to z, largest to x.
+			score := float64(a*b) * float64(b*c) // prefer balanced
+			if score > bestScore {
+				bestScore = score
+				best = [3]int{a, b, c}
+			}
+		}
+	}
+	return best[0], best[1], best[2]
+}

@@ -1,0 +1,242 @@
+package mpi
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSubarrayFlattenSimple2D(t *testing.T) {
+	// 4x4 array of 1-byte elements, take the 2x2 block at (1,1).
+	s := Subarray{Sizes: []int{4, 4}, Subsizes: []int{2, 2}, Starts: []int{1, 1}, ElemSize: 1}
+	runs := s.Flatten()
+	want := []Run{{Off: 5, Len: 2}, {Off: 9, Len: 2}}
+	if len(runs) != len(want) {
+		t.Fatalf("runs = %v, want %v", runs, want)
+	}
+	for i := range want {
+		if runs[i] != want[i] {
+			t.Fatalf("runs = %v, want %v", runs, want)
+		}
+	}
+}
+
+func TestSubarrayFlattenFullArrayCoalesces(t *testing.T) {
+	s := Subarray{Sizes: []int{4, 4, 4}, Subsizes: []int{4, 4, 4}, Starts: []int{0, 0, 0}, ElemSize: 4}
+	runs := s.Flatten()
+	if len(runs) != 1 || runs[0].Off != 0 || runs[0].Len != 4*4*4*4 {
+		t.Fatalf("full-array flatten = %v, want one run of 256 bytes", runs)
+	}
+}
+
+func TestSubarrayFlattenContiguousPlanesCoalesce(t *testing.T) {
+	// Whole rows and planes selected: a z-slab must be a single run.
+	s := Subarray{Sizes: []int{8, 4, 4}, Subsizes: []int{2, 4, 4}, Starts: []int{3, 0, 0}, ElemSize: 2}
+	runs := s.Flatten()
+	if len(runs) != 1 {
+		t.Fatalf("slab flatten = %v, want 1 run", runs)
+	}
+	if runs[0].Off != 3*4*4*2 || runs[0].Len != 2*4*4*2 {
+		t.Fatalf("slab run = %+v", runs[0])
+	}
+}
+
+func TestSubarrayFlattenRunsSortedAndTotal(t *testing.T) {
+	s := Subarray{Sizes: []int{5, 7, 6}, Subsizes: []int{3, 2, 4}, Starts: []int{1, 4, 1}, ElemSize: 8}
+	runs := s.Flatten()
+	var total int64
+	prevEnd := int64(-1)
+	for _, r := range runs {
+		if r.Off <= prevEnd {
+			t.Fatalf("runs not sorted/disjoint: %v", runs)
+		}
+		prevEnd = r.Off + r.Len - 1
+		total += r.Len
+	}
+	if total != s.Bytes() {
+		t.Fatalf("total run bytes %d, want %d", total, s.Bytes())
+	}
+}
+
+func TestSubarrayValidate(t *testing.T) {
+	bad := []Subarray{
+		{Sizes: []int{4}, Subsizes: []int{4, 4}, Starts: []int{0}, ElemSize: 1},
+		{Sizes: []int{4}, Subsizes: []int{5}, Starts: []int{0}, ElemSize: 1},
+		{Sizes: []int{4}, Subsizes: []int{2}, Starts: []int{3}, ElemSize: 1},
+		{Sizes: []int{4}, Subsizes: []int{2}, Starts: []int{-1}, ElemSize: 1},
+		{Sizes: []int{4}, Subsizes: []int{2}, Starts: []int{0}, ElemSize: 0},
+		{Sizes: []int{}, Subsizes: []int{}, Starts: []int{}, ElemSize: 1},
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("case %d: Validate accepted invalid subarray %+v", i, s)
+		}
+	}
+	good := Subarray{Sizes: []int{4, 4}, Subsizes: []int{0, 2}, Starts: []int{4 - 0, 0}, ElemSize: 1}
+	// zero-extent block positioned at the boundary is legal
+	good.Starts[0] = 4
+	if err := good.Validate(); err != nil {
+		t.Errorf("zero-extent boundary block rejected: %v", err)
+	}
+}
+
+func TestGatherScatterRoundTrip(t *testing.T) {
+	s := Subarray{Sizes: []int{6, 5, 7}, Subsizes: []int{2, 3, 4}, Starts: []int{1, 1, 2}, ElemSize: 4}
+	full := make([]byte, 6*5*7*4)
+	rng := rand.New(rand.NewSource(1))
+	rng.Read(full)
+	sub := s.GatherSub(full)
+	if int64(len(sub)) != s.Bytes() {
+		t.Fatalf("gathered %d bytes, want %d", len(sub), s.Bytes())
+	}
+	dst := make([]byte, len(full))
+	s.ScatterSub(dst, sub)
+	back := s.GatherSub(dst)
+	if !bytes.Equal(sub, back) {
+		t.Fatal("gather/scatter round trip mismatch")
+	}
+	// Bytes outside the subarray must be untouched (zero).
+	outside := 0
+	runs := s.Flatten()
+	inRun := func(off int64) bool {
+		for _, r := range runs {
+			if off >= r.Off && off < r.Off+r.Len {
+				return true
+			}
+		}
+		return false
+	}
+	for i := range dst {
+		if !inRun(int64(i)) && dst[i] != 0 {
+			outside++
+		}
+	}
+	if outside != 0 {
+		t.Fatalf("%d bytes outside the subarray were modified", outside)
+	}
+}
+
+// Property: BlockDecompose3D partitions the domain exactly — every cell is
+// covered by exactly one rank's block.
+func TestBlockDecompose3DPartitionProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		dims := [3]int{rng.Intn(12) + 1, rng.Intn(12) + 1, rng.Intn(12) + 1}
+		pz, py, px := rng.Intn(3)+1, rng.Intn(3)+1, rng.Intn(3)+1
+		if pz > dims[0] || py > dims[1] || px > dims[2] {
+			return true // skip over-decomposed configs
+		}
+		cover := make(map[[3]int]int)
+		for r := 0; r < pz*py*px; r++ {
+			s := BlockDecompose3D(dims, pz, py, px, r, 1)
+			for z := s.Starts[0]; z < s.Starts[0]+s.Subsizes[0]; z++ {
+				for y := s.Starts[1]; y < s.Starts[1]+s.Subsizes[1]; y++ {
+					for x := s.Starts[2]; x < s.Starts[2]+s.Subsizes[2]; x++ {
+						cover[[3]int{z, y, x}]++
+					}
+				}
+			}
+		}
+		if len(cover) != dims[0]*dims[1]*dims[2] {
+			return false
+		}
+		for _, c := range cover {
+			if c != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProcGrid3D(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 4, 6, 8, 12, 16, 24, 27, 32, 48, 64, 100} {
+		pz, py, px := ProcGrid3D(n)
+		if pz*py*px != n {
+			t.Fatalf("ProcGrid3D(%d) = %d*%d*%d != %d", n, pz, py, px, n)
+		}
+		if pz > py || py > px {
+			t.Fatalf("ProcGrid3D(%d) = (%d,%d,%d), want pz<=py<=px", n, pz, py, px)
+		}
+	}
+}
+
+func TestCoalesceRuns(t *testing.T) {
+	in := []Run{{0, 4}, {4, 4}, {10, 2}, {12, 1}, {20, 5}}
+	out := CoalesceRuns(in)
+	want := []Run{{0, 8}, {10, 3}, {20, 5}}
+	if len(out) != len(want) {
+		t.Fatalf("coalesced = %v, want %v", out, want)
+	}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Fatalf("coalesced = %v, want %v", out, want)
+		}
+	}
+	if CoalesceRuns(nil) != nil {
+		t.Fatal("CoalesceRuns(nil) should be nil")
+	}
+}
+
+func TestCoalesceRunsRejectsOverlap(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on overlapping runs")
+		}
+	}()
+	CoalesceRuns([]Run{{0, 4}, {2, 4}})
+}
+
+func TestTotalLen(t *testing.T) {
+	if got := TotalLen([]Run{{0, 3}, {10, 7}}); got != 10 {
+		t.Fatalf("TotalLen = %d, want 10", got)
+	}
+	if got := TotalLen(nil); got != 0 {
+		t.Fatalf("TotalLen(nil) = %d, want 0", got)
+	}
+}
+
+// Property: flatten runs of random subarrays are disjoint, sorted, inside
+// the array, and sum to Bytes().
+func TestFlattenProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nd := rng.Intn(3) + 1
+		sizes := make([]int, nd)
+		subs := make([]int, nd)
+		starts := make([]int, nd)
+		for d := 0; d < nd; d++ {
+			sizes[d] = rng.Intn(9) + 1
+			subs[d] = rng.Intn(sizes[d] + 1)
+			if subs[d] < sizes[d] {
+				starts[d] = rng.Intn(sizes[d] - subs[d] + 1)
+			}
+		}
+		s := Subarray{Sizes: sizes, Subsizes: subs, Starts: starts, ElemSize: rng.Intn(8) + 1}
+		runs := s.Flatten()
+		var total int64
+		arrayBytes := int64(s.ElemSize)
+		for _, v := range sizes {
+			arrayBytes *= int64(v)
+		}
+		prevEnd := int64(0)
+		for i, r := range runs {
+			if r.Len <= 0 || r.Off < 0 || r.Off+r.Len > arrayBytes {
+				return false
+			}
+			if i > 0 && r.Off < prevEnd {
+				return false
+			}
+			prevEnd = r.Off + r.Len
+			total += r.Len
+		}
+		return total == s.Bytes()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

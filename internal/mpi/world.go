@@ -1,0 +1,213 @@
+package mpi
+
+import (
+	"fmt"
+
+	"repro/internal/machine"
+	"repro/internal/sim"
+)
+
+// World is a simulated MPI_COMM_WORLD: a fixed set of ranks bound to
+// virtual-time processes on one machine.
+type World struct {
+	eng   *sim.Engine
+	mach  *machine.Machine
+	size  int
+	ranks []*Rank
+}
+
+// NewWorld creates a world of nprocs ranks on the given machine, spawning
+// one simulation process per rank running body. Call eng.Run to execute.
+func NewWorld(eng *sim.Engine, mach *machine.Machine, nprocs int, body func(r *Rank)) *World {
+	if nprocs <= 0 {
+		panic("mpi: world needs at least one rank")
+	}
+	if nprocs > mach.MaxProcs() {
+		panic(fmt.Sprintf("mpi: %d ranks exceed machine %s capacity %d",
+			nprocs, mach.Name(), mach.MaxProcs()))
+	}
+	w := &World{eng: eng, mach: mach, size: nprocs}
+	w.ranks = make([]*Rank, nprocs)
+	for i := 0; i < nprocs; i++ {
+		r := &Rank{world: w, rank: i}
+		w.ranks[i] = r
+		r.proc = eng.Spawn(fmt.Sprintf("rank%d", i), func(p *sim.Proc) {
+			r.proc = p
+			body(r)
+		})
+	}
+	return w
+}
+
+// Size returns the number of ranks.
+func (w *World) Size() int { return w.size }
+
+// Machine returns the platform model the world runs on.
+func (w *World) Machine() *machine.Machine { return w.mach }
+
+// Engine returns the simulation engine.
+func (w *World) Engine() *sim.Engine { return w.eng }
+
+// Rank returns rank r's handle (valid after NewWorld returns).
+func (w *World) Rank(r int) *Rank { return w.ranks[r] }
+
+// Simulate is a convenience wrapper: build a machine and a world, run the
+// simulation, and return the makespan in virtual seconds.
+func Simulate(cfg machine.Config, nprocs int, body func(r *Rank)) (makespan float64, err error) {
+	eng := sim.NewEngine()
+	mach := machine.New(cfg)
+	NewWorld(eng, mach, nprocs, body)
+	if err := eng.Run(); err != nil {
+		return 0, err
+	}
+	return eng.MaxTime(), nil
+}
+
+// message is an in-flight or delivered point-to-point message.
+type message struct {
+	src, tag int
+	data     []byte
+	arrival  float64
+	seq      int64 // global insertion order, for deterministic matching
+}
+
+// Rank is one simulated MPI process. All methods must be called from
+// within the rank's own body function.
+type Rank struct {
+	world *World
+	rank  int
+	proc  *sim.Proc
+
+	inbox   []*message
+	waiting *recvWait
+	msgSeq  int64
+	collSeq int // per-rank collective sequence number (SPMD order)
+
+	// Stats
+	bytesSent int64
+	msgsSent  int64
+}
+
+type recvWait struct {
+	src, tag int
+}
+
+// Rank returns this process's rank id.
+func (r *Rank) Rank() int { return r.rank }
+
+// Size returns the communicator size.
+func (r *Rank) Size() int { return r.world.size }
+
+// World returns the owning world.
+func (r *Rank) World() *World { return r.world }
+
+// Proc exposes the underlying simulation process (for clock access).
+func (r *Rank) Proc() *sim.Proc { return r.proc }
+
+// Now returns the rank's current virtual time.
+func (r *Rank) Now() float64 { return r.proc.Now() }
+
+// Compute advances the rank's clock by the cost of the given number of
+// abstract cell updates on this machine.
+func (r *Rank) Compute(cellUpdates int64) {
+	r.proc.Advance(r.world.mach.ComputeTime(cellUpdates))
+}
+
+// CopyCost advances the rank's clock by the cost of a memory copy of the
+// given size (buffer packing/unpacking).
+func (r *Rank) CopyCost(bytes int64) {
+	r.proc.Advance(r.world.mach.CopyTime(bytes))
+}
+
+// BytesSent returns the number of point-to-point payload bytes this rank
+// has injected (collectives included, since they are built from p2p).
+func (r *Rank) BytesSent() int64 { return r.bytesSent }
+
+// MsgsSent returns the number of point-to-point messages sent.
+func (r *Rank) MsgsSent() int64 { return r.msgsSent }
+
+// Wildcards for Recv.
+const (
+	AnySource = -1
+	AnyTag    = -1
+)
+
+// MaxUserTag is the highest tag application code may use; larger tags are
+// reserved for collectives and libraries (mpiio, hdf5).
+const MaxUserTag = 1 << 16
+
+// Send transmits data to rank dst with the given tag. The payload is
+// copied, so the caller may reuse the buffer immediately. Send returns when
+// the sender CPU is free (after software overhead and NIC injection), not
+// when the message arrives: buffering is unbounded, as in a simulator it
+// can be.
+func (r *Rank) Send(dst, tag int, data []byte) {
+	if dst < 0 || dst >= r.world.size {
+		panic(fmt.Sprintf("mpi: Send to invalid rank %d", dst))
+	}
+	payload := make([]byte, len(data))
+	copy(payload, data)
+	senderFree, arrival := r.world.mach.Transfer(r.rank, dst, int64(len(data)), r.Now())
+	r.bytesSent += int64(len(data))
+	r.msgsSent++
+	target := r.world.ranks[dst]
+	target.msgSeq++
+	m := &message{src: r.rank, tag: tag, data: payload, arrival: arrival, seq: target.msgSeq}
+	target.inbox = append(target.inbox, m)
+	if target.waiting != nil && matches(target.waiting, m) {
+		target.waiting = nil
+		r.world.eng.Wake(target.proc, arrival)
+	}
+	r.proc.AdvanceTo(senderFree)
+}
+
+// Recv blocks until a message matching (src, tag) is available and returns
+// its payload and envelope. src may be AnySource and tag may be AnyTag.
+// Among matching messages the one with the earliest arrival (then lowest
+// sequence number) is delivered, so matching is deterministic.
+func (r *Rank) Recv(src, tag int) (data []byte, fromSrc, fromTag int) {
+	for {
+		if m := r.takeMatch(src, tag); m != nil {
+			r.proc.AdvanceTo(m.arrival)
+			return m.data, m.src, m.tag
+		}
+		r.waiting = &recvWait{src: src, tag: tag}
+		r.proc.Block(fmt.Sprintf("Recv(src=%d, tag=%d)", src, tag))
+	}
+}
+
+func matches(w *recvWait, m *message) bool {
+	return (w.src == AnySource || w.src == m.src) && (w.tag == AnyTag || w.tag == m.tag)
+}
+
+func (r *Rank) takeMatch(src, tag int) *message {
+	w := &recvWait{src: src, tag: tag}
+	bestIdx := -1
+	for i, m := range r.inbox {
+		if !matches(w, m) {
+			continue
+		}
+		if bestIdx == -1 {
+			bestIdx = i
+			continue
+		}
+		b := r.inbox[bestIdx]
+		if m.arrival < b.arrival || (m.arrival == b.arrival && m.seq < b.seq) {
+			bestIdx = i
+		}
+	}
+	if bestIdx == -1 {
+		return nil
+	}
+	m := r.inbox[bestIdx]
+	r.inbox = append(r.inbox[:bestIdx], r.inbox[bestIdx+1:]...)
+	return m
+}
+
+// Sendrecv sends to dst and receives from src with the same tag, in an
+// order that cannot deadlock under this package's buffered Send.
+func (r *Rank) Sendrecv(dst int, sendData []byte, src, tag int) []byte {
+	r.Send(dst, tag, sendData)
+	data, _, _ := r.Recv(src, tag)
+	return data
+}

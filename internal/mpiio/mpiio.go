@@ -1,0 +1,649 @@
+// Package mpiio models MPI-IO as implemented by ROMIO: explicit-offset
+// independent access, noncontiguous access through flattened file views
+// (run lists), independent noncontiguous reads with data sieving, and
+// collective read/write using the two-phase strategy (communication phase
+// + I/O phase over evenly partitioned file domains).
+//
+// The package moves real bytes: collective writes really assemble the
+// aggregators' buffers from the participants' data and store them in the
+// underlying pfs file, so the test suite can verify that every strategy
+// produces identical file contents.
+package mpiio
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/mpi"
+	"repro/internal/pfs"
+)
+
+// Hints mirrors the ROMIO info keys the paper's experiments depend on.
+type Hints struct {
+	// CBBufferSize is the collective buffer size per aggregator
+	// (cb_buffer_size); aggregator I/O is issued in chunks of this size.
+	CBBufferSize int64
+	// CBNodes is the number of aggregator ranks (cb_nodes); 0 means all.
+	CBNodes int
+	// DSBufferSize is the data sieving buffer (ind_rd_buffer_size).
+	DSBufferSize int64
+	// DataSieving enables data sieving for independent noncontiguous
+	// reads.
+	DataSieving bool
+	// MinFDSize is the smallest file domain worth giving an aggregator:
+	// a collective access spanning S bytes uses at most ceil(S/MinFDSize)
+	// aggregators, chosen round-robin by file position so small arrays
+	// spread across ranks over successive calls. 0 disables the bound.
+	MinFDSize int64
+	// CBForce disables ROMIO's automatic collective-buffering decision
+	// (romio_cb_write/romio_cb_read = automatic): with the default
+	// (false), a collective call whose per-rank file ranges do not
+	// interleave falls back to independent access — the cheap path for
+	// one-writer-per-region patterns. Setting CBForce always runs the
+	// two-phase algorithm (romio_cb_* = enable).
+	CBForce bool
+}
+
+// DefaultHints matches ROMIO's defaults of the era.
+func DefaultHints() Hints {
+	return Hints{
+		CBBufferSize: 4 << 20,
+		CBNodes:      0,
+		DSBufferSize: 4 << 20,
+		DataSieving:  true,
+		MinFDSize:    256 << 10,
+		CBForce:      false,
+	}
+}
+
+// File is a collectively opened MPI-IO file.
+type File struct {
+	r      *mpi.Rank
+	fs     pfs.FileSystem
+	f      pfs.File
+	client pfs.Client
+	hints  Hints
+}
+
+// Mode selects open semantics.
+type Mode int
+
+// Open modes.
+const (
+	ModeCreate Mode = iota // create/truncate (MPI_MODE_CREATE|WRONLY)
+	ModeRead               // existing file (MPI_MODE_RDONLY)
+)
+
+// Open collectively opens name on fs from every rank of r's communicator.
+// Like MPI_File_open it synchronizes the participants: rank 0 performs the
+// create, everyone else opens after it.
+func Open(r *mpi.Rank, fs pfs.FileSystem, name string, mode Mode, hints Hints) (*File, error) {
+	if hints.CBBufferSize <= 0 {
+		hints.CBBufferSize = 4 << 20
+	}
+	if hints.DSBufferSize <= 0 {
+		hints.DSBufferSize = 4 << 20
+	}
+	client := pfs.Client{Proc: r.Proc(), Node: r.World().Machine().Node(r.Rank())}
+	var f pfs.File
+	var err error
+	if mode == ModeCreate {
+		if r.Rank() == 0 {
+			f, err = fs.Create(client, name)
+		}
+		r.Barrier()
+		if r.Rank() != 0 {
+			f, err = fs.Open(client, name)
+		}
+	} else {
+		f, err = fs.Open(client, name)
+		r.Barrier()
+	}
+	if err != nil {
+		return nil, fmt.Errorf("mpiio: open %q: %w", name, err)
+	}
+	return &File{r: r, fs: fs, f: f, client: client, hints: hints}, nil
+}
+
+// OpenIndependent opens name from a single rank without collective
+// synchronization (used for one-file-per-process output).
+func OpenIndependent(r *mpi.Rank, fs pfs.FileSystem, name string, mode Mode, hints Hints) (*File, error) {
+	if hints.CBBufferSize <= 0 {
+		hints.CBBufferSize = 4 << 20
+	}
+	if hints.DSBufferSize <= 0 {
+		hints.DSBufferSize = 4 << 20
+	}
+	client := pfs.Client{Proc: r.Proc(), Node: r.World().Machine().Node(r.Rank())}
+	var f pfs.File
+	var err error
+	if mode == ModeCreate {
+		f, err = fs.Create(client, name)
+	} else {
+		f, err = fs.Open(client, name)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("mpiio: open %q: %w", name, err)
+	}
+	return &File{r: r, fs: fs, f: f, client: client, hints: hints}, nil
+}
+
+// Rank returns the owning rank handle.
+func (f *File) Rank() *mpi.Rank { return f.r }
+
+// Size returns the file size visible to this rank.
+func (f *File) Size() int64 { return f.f.Size(f.client) }
+
+// Close releases the handle. For collectively opened files call it from
+// every rank; it does not synchronize (matching MPI semantics, where the
+// barrier is optional).
+func (f *File) Close() { f.f.Close(f.client) }
+
+// WriteAt writes a contiguous buffer at an explicit offset (independent).
+func (f *File) WriteAt(data []byte, off int64) {
+	f.f.WriteAt(f.client, data, off)
+}
+
+// ReadAt reads a contiguous extent at an explicit offset (independent).
+func (f *File) ReadAt(buf []byte, off int64) {
+	f.f.ReadAt(f.client, buf, off)
+}
+
+// WriteRuns performs an independent noncontiguous write described by the
+// flattened file view `runs`; data supplies the bytes in run order. ROMIO
+// would optionally use read-modify-write data sieving here; we issue one
+// write per run, which is what its default does for writes without
+// file-system locking support.
+func (f *File) WriteRuns(runs []mpi.Run, data []byte) {
+	if mpi.TotalLen(runs) != int64(len(data)) {
+		panic(fmt.Sprintf("mpiio: WriteRuns data %d bytes for %d bytes of runs",
+			len(data), mpi.TotalLen(runs)))
+	}
+	var p int64
+	for _, run := range runs {
+		f.f.WriteAt(f.client, data[p:p+run.Len], run.Off)
+		p += run.Len
+	}
+}
+
+// ReadRuns performs an independent noncontiguous read of the flattened
+// view `runs` into buf (in run order). With hints.DataSieving it reads the
+// covering extent in DSBufferSize chunks and extracts the requested pieces
+// — few large requests instead of many small ones.
+func (f *File) ReadRuns(runs []mpi.Run, buf []byte) {
+	total := mpi.TotalLen(runs)
+	if total != int64(len(buf)) {
+		panic(fmt.Sprintf("mpiio: ReadRuns buf %d bytes for %d bytes of runs", len(buf), total))
+	}
+	if len(runs) == 0 {
+		return
+	}
+	if len(runs) == 1 || !f.hints.DataSieving {
+		var p int64
+		for _, run := range runs {
+			f.f.ReadAt(f.client, buf[p:p+run.Len], run.Off)
+			p += run.Len
+		}
+		return
+	}
+	// Data sieving: read [first, last) in chunks, extract pieces.
+	lo := runs[0].Off
+	hi := runs[len(runs)-1].Off + runs[len(runs)-1].Len
+	chunk := make([]byte, f.hints.DSBufferSize)
+	bufOff := make([]int64, len(runs)) // prefix of buf positions per run
+	var acc int64
+	for i, run := range runs {
+		bufOff[i] = acc
+		acc += run.Len
+	}
+	for base := lo; base < hi; base += f.hints.DSBufferSize {
+		n := f.hints.DSBufferSize
+		if base+n > hi {
+			n = hi - base
+		}
+		f.f.ReadAt(f.client, chunk[:n], base)
+		// Extract the overlap of every run with [base, base+n).
+		for i, run := range runs {
+			s := max64(run.Off, base)
+			e := min64(run.Off+run.Len, base+n)
+			if s >= e {
+				continue
+			}
+			copy(buf[bufOff[i]+(s-run.Off):bufOff[i]+(e-run.Off)], chunk[s-base:e-base])
+		}
+		f.r.CopyCost(n) // extraction pass over the sieving buffer
+	}
+}
+
+// --- Two-phase collective I/O ---
+
+// domain returns aggregator a's file domain given the global access range.
+func domain(lo, hi int64, naggs, a int) (int64, int64) {
+	span := hi - lo
+	per := (span + int64(naggs) - 1) / int64(naggs)
+	dLo := lo + int64(a)*per
+	dHi := dLo + per
+	if dLo > hi {
+		dLo = hi
+	}
+	if dHi > hi {
+		dHi = hi
+	}
+	return dLo, dHi
+}
+
+func (f *File) naggs() int {
+	n := f.hints.CBNodes
+	if n <= 0 || n > f.r.Size() {
+		n = f.r.Size()
+	}
+	return n
+}
+
+// aggregators picks how many aggregators serve the access range [lo, hi)
+// and the rotation that maps aggregator index a to rank
+// (rot + a) % size. Small ranges use few aggregators (MinFDSize), rotated
+// by file position so successive small arrays use different ranks.
+func (f *File) aggregators(lo, hi int64) (naggs, rot int) {
+	naggs = f.naggs()
+	if f.hints.MinFDSize > 0 {
+		maxAggs := int((hi - lo + f.hints.MinFDSize - 1) / f.hints.MinFDSize)
+		if maxAggs < 1 {
+			maxAggs = 1
+		}
+		if maxAggs < naggs {
+			naggs = maxAggs
+		}
+		rot = int((lo / f.hints.MinFDSize) % int64(f.r.Size()))
+	}
+	return naggs, rot
+}
+
+// aggRank maps aggregator index a to its rank.
+func (f *File) aggRank(a, rot int) int { return (rot + a) % f.r.Size() }
+
+// myAggIndex returns this rank's aggregator index, or -1 if it is not an
+// aggregator for this access.
+func (f *File) myAggIndex(naggs, rot int) int {
+	a := (f.r.Rank() - rot + f.r.Size()) % f.r.Size()
+	if a < naggs {
+		return a
+	}
+	return -1
+}
+
+// accessRange exchanges every rank's file extent and decides, as ROMIO's
+// automatic collective-buffering heuristic does, whether the accesses
+// interleave. It returns the global [lo, hi) and whether two-phase I/O is
+// worthwhile (extents of different ranks overlap). Ranks with no data
+// report an inverted extent and are ignored for the interleaving check.
+func (f *File) accessRange(runs []mpi.Run) (lo, hi int64, interleaved bool) {
+	myLo := int64(math.MaxInt64)
+	myHi := int64(0)
+	if len(runs) > 0 {
+		myLo = runs[0].Off
+		myHi = runs[len(runs)-1].Off + runs[len(runs)-1].Len
+	}
+	allLo := f.r.AllgatherInt64(myLo)
+	allHi := f.r.AllgatherInt64(myHi)
+	lo, hi = int64(math.MaxInt64), 0
+	type ext struct{ lo, hi int64 }
+	var exts []ext
+	for i := range allLo {
+		if allHi[i] <= allLo[i] {
+			continue // empty participant
+		}
+		if allLo[i] < lo {
+			lo = allLo[i]
+		}
+		if allHi[i] > hi {
+			hi = allHi[i]
+		}
+		exts = append(exts, ext{allLo[i], allHi[i]})
+	}
+	sort.Slice(exts, func(i, j int) bool { return exts[i].lo < exts[j].lo })
+	for i := 1; i < len(exts); i++ {
+		if exts[i].lo < exts[i-1].hi {
+			interleaved = true
+			break
+		}
+	}
+	return lo, hi, interleaved
+}
+
+// piece wire format: u32 count, count x (i64 off, i64 len), payloads.
+func encodePieces(offs, lens []int64, payload [][]byte) []byte {
+	var total int64
+	for _, p := range payload {
+		total += int64(len(p))
+	}
+	out := make([]byte, 4+16*len(offs)+int(total))
+	binary.LittleEndian.PutUint32(out, uint32(len(offs)))
+	p := 4
+	for i := range offs {
+		binary.LittleEndian.PutUint64(out[p:], uint64(offs[i]))
+		binary.LittleEndian.PutUint64(out[p+8:], uint64(lens[i]))
+		p += 16
+	}
+	for _, pl := range payload {
+		p += copy(out[p:], pl)
+	}
+	return out
+}
+
+type piece struct {
+	off  int64
+	data []byte // nil for header-only (read requests)
+}
+
+func decodePieces(msg []byte, withPayload bool) []piece {
+	if len(msg) < 4 {
+		return nil
+	}
+	count := int(binary.LittleEndian.Uint32(msg))
+	out := make([]piece, 0, count)
+	p := 4
+	offs := make([]int64, count)
+	lens := make([]int64, count)
+	for i := 0; i < count; i++ {
+		offs[i] = int64(binary.LittleEndian.Uint64(msg[p:]))
+		lens[i] = int64(binary.LittleEndian.Uint64(msg[p+8:]))
+		p += 16
+	}
+	for i := 0; i < count; i++ {
+		pc := piece{off: offs[i]}
+		if withPayload {
+			pc.data = msg[p : p+int(lens[i])]
+			p += int(lens[i])
+		} else {
+			pc.data = make([]byte, lens[i]) // placeholder for reads
+		}
+		out = append(out, pc)
+	}
+	return out
+}
+
+// intersectRuns returns, for each of this rank's runs, its overlap with
+// [dLo,dHi): file offsets, lengths and the matching buffer positions.
+func intersectRuns(runs []mpi.Run, bufOff []int64, dLo, dHi int64) (offs, lens, bpos []int64) {
+	for i, run := range runs {
+		s := max64(run.Off, dLo)
+		e := min64(run.Off+run.Len, dHi)
+		if s >= e {
+			continue
+		}
+		offs = append(offs, s)
+		lens = append(lens, e-s)
+		bpos = append(bpos, bufOff[i]+(s-run.Off))
+	}
+	return
+}
+
+func bufPrefix(runs []mpi.Run) []int64 {
+	bufOff := make([]int64, len(runs))
+	var acc int64
+	for i, run := range runs {
+		bufOff[i] = acc
+		acc += run.Len
+	}
+	return bufOff
+}
+
+// WriteAtAll is a collective write: every rank of the communicator must
+// call it. Each rank contributes the file extents `runs` (sorted,
+// non-overlapping across ranks) with data in run order. The two-phase
+// strategy redistributes the data to aggregators (communication phase),
+// which then issue large contiguous writes over their file domains (I/O
+// phase).
+func (f *File) WriteAtAll(runs []mpi.Run, data []byte) {
+	if mpi.TotalLen(runs) != int64(len(data)) {
+		panic("mpiio: WriteAtAll data/runs length mismatch")
+	}
+	lo, hi, interleaved := f.accessRange(runs)
+	if hi <= lo {
+		f.r.Barrier()
+		return
+	}
+	if !interleaved && !f.hints.CBForce {
+		// romio_cb_write=automatic: disjoint extents gain nothing from
+		// aggregation — write independently. The offset exchange above
+		// already synchronized entry; like ROMIO, there is no trailing
+		// barrier, so different ranks' writes pipeline across calls.
+		f.WriteRuns(runs, data)
+		return
+	}
+	naggs, rot := f.aggregators(lo, hi)
+	bufOff := bufPrefix(runs)
+
+	// Communication phase: ship each aggregator its domain's pieces.
+	parts := make([][]byte, f.r.Size())
+	for a := 0; a < naggs; a++ {
+		dLo, dHi := domain(lo, hi, naggs, a)
+		offs, lens, bpos := intersectRuns(runs, bufOff, dLo, dHi)
+		if len(offs) == 0 {
+			continue
+		}
+		payload := make([][]byte, len(offs))
+		for i := range offs {
+			payload[i] = data[bpos[i] : bpos[i]+lens[i]]
+		}
+		parts[f.aggRank(a, rot)] = encodePieces(offs, lens, payload)
+	}
+	recvd := f.r.Alltoallv(parts)
+
+	// I/O phase (aggregators only): assemble, coalesce, write in
+	// CBBufferSize chunks.
+	if f.myAggIndex(naggs, rot) >= 0 {
+		var pieces []piece
+		var assembled int64
+		for _, msg := range recvd {
+			ps := decodePieces(msg, true)
+			for _, pc := range ps {
+				assembled += int64(len(pc.data))
+			}
+			pieces = append(pieces, ps...)
+		}
+		if len(pieces) > 0 {
+			f.r.CopyCost(assembled) // pack into the collective buffer
+			sort.Slice(pieces, func(i, j int) bool { return pieces[i].off < pieces[j].off })
+			f.writeCoalesced(pieces)
+		}
+	}
+	// Keep the participants in lockstep (ROMIO's two-phase iterations
+	// synchronize implicitly; a trailing barrier models that).
+	f.r.Barrier()
+}
+
+// writeCoalesced merges offset-sorted pieces into contiguous extents and
+// writes them in chunks of at most CBBufferSize.
+func (f *File) writeCoalesced(pieces []piece) {
+	cb := f.hints.CBBufferSize
+	buf := make([]byte, 0, cb)
+	var start int64 = -1
+	flush := func() {
+		if start >= 0 && len(buf) > 0 {
+			f.f.WriteAt(f.client, buf, start)
+		}
+		buf = buf[:0]
+		start = -1
+	}
+	for _, pc := range pieces {
+		if start >= 0 && (pc.off != start+int64(len(buf)) || int64(len(buf)) >= cb) {
+			flush()
+		}
+		if start < 0 {
+			start = pc.off
+		}
+		rem := pc.data
+		for len(rem) > 0 {
+			space := cb - int64(len(buf))
+			if space == 0 {
+				// flush a full chunk and continue at the next offset
+				nextStart := start + int64(len(buf))
+				f.f.WriteAt(f.client, buf, start)
+				buf = buf[:0]
+				start = nextStart
+				space = cb
+			}
+			take := int64(len(rem))
+			if take > space {
+				take = space
+			}
+			buf = append(buf, rem[:take]...)
+			rem = rem[take:]
+		}
+	}
+	flush()
+}
+
+// ReadAtAll is the collective read: aggregators read large contiguous
+// extents of their file domains and redistribute the pieces to the
+// requesting ranks.
+func (f *File) ReadAtAll(runs []mpi.Run, buf []byte) {
+	if mpi.TotalLen(runs) != int64(len(buf)) {
+		panic("mpiio: ReadAtAll buf/runs length mismatch")
+	}
+	lo, hi, interleaved := f.accessRange(runs)
+	if hi <= lo {
+		f.r.Barrier()
+		return
+	}
+	if !interleaved && !f.hints.CBForce {
+		// romio_cb_read=automatic: disjoint extents read independently
+		// (with data sieving for noncontiguous views), no trailing
+		// barrier.
+		f.ReadRuns(runs, buf)
+		return
+	}
+	naggs, rot := f.aggregators(lo, hi)
+	bufOff := bufPrefix(runs)
+
+	// Request phase: tell each aggregator which extents we need and
+	// remember the matching buffer positions, in order.
+	type want struct{ bpos []int64 }
+	wants := make([]want, naggs)
+	reqs := make([][]byte, f.r.Size())
+	for a := 0; a < naggs; a++ {
+		dLo, dHi := domain(lo, hi, naggs, a)
+		offs, lens, bpos := intersectRuns(runs, bufOff, dLo, dHi)
+		if len(offs) == 0 {
+			continue
+		}
+		wants[a] = want{bpos: bpos}
+		reqs[f.aggRank(a, rot)] = encodePieces(offs, lens, make([][]byte, len(offs)))
+	}
+	reqsRecvd := f.r.Alltoallv(reqs)
+
+	// I/O phase: aggregators read the coalesced union of requested
+	// extents and build per-requester replies.
+	replies := make([][]byte, f.r.Size())
+	if f.myAggIndex(naggs, rot) >= 0 {
+		// Collect every requested extent.
+		type reqPiece struct {
+			src  int
+			idx  int
+			off  int64
+			n    int64
+			data []byte
+		}
+		var all []reqPiece
+		for src, msg := range reqsRecvd {
+			for i, pc := range decodePieces(msg, false) {
+				all = append(all, reqPiece{src: src, idx: i, off: pc.off, n: int64(len(pc.data))})
+			}
+		}
+		if len(all) > 0 {
+			sort.Slice(all, func(i, j int) bool {
+				if all[i].off != all[j].off {
+					return all[i].off < all[j].off
+				}
+				if all[i].src != all[j].src {
+					return all[i].src < all[j].src
+				}
+				return all[i].idx < all[j].idx
+			})
+			// Coalesce into covering extents and read them chunked.
+			var extents []mpi.Run
+			for _, rp := range all {
+				if len(extents) > 0 {
+					last := &extents[len(extents)-1]
+					if rp.off <= last.Off+last.Len {
+						if e := rp.off + rp.n; e > last.Off+last.Len {
+							last.Len = e - last.Off
+						}
+						continue
+					}
+				}
+				extents = append(extents, mpi.Run{Off: rp.off, Len: rp.n})
+			}
+			var readBytes int64
+			extData := make([][]byte, len(extents))
+			for i, ext := range extents {
+				extData[i] = make([]byte, ext.Len)
+				for base := int64(0); base < ext.Len; base += f.hints.CBBufferSize {
+					n := min64(f.hints.CBBufferSize, ext.Len-base)
+					f.f.ReadAt(f.client, extData[i][base:base+n], ext.Off+base)
+				}
+				readBytes += ext.Len
+			}
+			f.r.CopyCost(readBytes) // scatter out of the collective buffer
+			// Fill each request from the extents.
+			find := func(off, n int64) []byte {
+				for i, ext := range extents {
+					if off >= ext.Off && off+n <= ext.Off+ext.Len {
+						return extData[i][off-ext.Off : off-ext.Off+n]
+					}
+				}
+				panic("mpiio: request outside read extents")
+			}
+			perSrc := make(map[int][]reqPiece)
+			for _, rp := range all {
+				rp.data = find(rp.off, rp.n)
+				perSrc[rp.src] = append(perSrc[rp.src], rp)
+			}
+			for src, rps := range perSrc {
+				sort.Slice(rps, func(i, j int) bool { return rps[i].idx < rps[j].idx })
+				offs := make([]int64, len(rps))
+				lens := make([]int64, len(rps))
+				payload := make([][]byte, len(rps))
+				for i, rp := range rps {
+					offs[i], lens[i], payload[i] = rp.off, rp.n, rp.data
+				}
+				replies[src] = encodePieces(offs, lens, payload)
+			}
+		}
+	}
+	got := f.r.Alltoallv(replies)
+
+	// Place the received pieces into buf, in the order we requested them.
+	for a := 0; a < naggs; a++ {
+		if len(wants[a].bpos) == 0 {
+			continue
+		}
+		ps := decodePieces(got[f.aggRank(a, rot)], true)
+		if len(ps) != len(wants[a].bpos) {
+			panic(fmt.Sprintf("mpiio: aggregator %d returned %d pieces, want %d",
+				a, len(ps), len(wants[a].bpos)))
+		}
+		for i, pc := range ps {
+			copy(buf[wants[a].bpos[i]:wants[a].bpos[i]+int64(len(pc.data))], pc.data)
+		}
+	}
+	f.r.Barrier()
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}

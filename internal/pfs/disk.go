@@ -1,0 +1,177 @@
+package pfs
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// DiskParams characterizes a disk (or RAID LUN).
+type DiskParams struct {
+	// Seek is the positioning cost paid when a request does not start
+	// where the previous one ended (head movement + rotational latency).
+	Seek float64
+	// PerReq is the fixed controller/firmware cost of every request.
+	PerReq float64
+	// BW is the media transfer bandwidth in bytes/second.
+	BW float64
+}
+
+// nearSeekDistance is the head-movement distance under which a
+// repositioning is "short" (same cylinder group / served by the track and
+// controller caches) and costs only nearSeekFraction of a full seek.
+const (
+	nearSeekDistance = 2 << 20
+	nearSeekFraction = 0.15
+)
+
+// maxStreams is how many concurrent sequential streams the disk (its
+// controller queue plus track caches) can follow at once. Interleaved
+// requests that continue any tracked stream skip the seek cost, matching
+// how tagged command queuing and per-file readahead behave.
+const maxStreams = 16
+
+// Disk is a single spindle (or LUN) modelled as a FIFO queue with
+// multi-stream sequential-access detection: a request continuing any of
+// the recently active streams pays no seek, a request landing within
+// nearSeekDistance of one pays a fractional seek, and a far jump pays the
+// full seek and opens a new stream (evicting the oldest).
+type Disk struct {
+	srv     *sim.Server
+	params  DiskParams
+	streams []int64 // end offsets of active streams, most recent last
+
+	// seek-class statistics
+	seqHits   int64
+	nearSeeks int64
+	farSeeks  int64
+}
+
+// SeekStats returns how many requests continued a stream, paid a near
+// seek, and paid a full seek.
+func (d *Disk) SeekStats() (seq, near, far int64) {
+	return d.seqHits, d.nearSeeks, d.farSeeks
+}
+
+// NewDisk builds a disk with the given parameters.
+func NewDisk(name string, p DiskParams) *Disk {
+	if p.BW <= 0 {
+		panic(fmt.Sprintf("pfs: disk %q needs positive bandwidth", name))
+	}
+	return &Disk{srv: sim.NewServer(name), params: p}
+}
+
+// seekClass finds the best-matching stream for a request at off: exact
+// continuation (cost 0), near (fractional seek) or far (full seek). It
+// returns the seek cost and the matched stream index (-1 for none).
+func (d *Disk) seekClass(off int64) (float64, int) {
+	best := -1
+	bestDist := int64(-1)
+	for i, end := range d.streams {
+		dist := off - end
+		if dist < 0 {
+			dist = -dist
+		}
+		if best == -1 || dist < bestDist {
+			best, bestDist = i, dist
+		}
+	}
+	switch {
+	case best >= 0 && bestDist == 0:
+		return 0, best
+	case best >= 0 && bestDist <= nearSeekDistance:
+		return d.params.Seek * nearSeekFraction, best
+	default:
+		return d.params.Seek, -1
+	}
+}
+
+// Access enqueues a request for n bytes at offset off arriving at virtual
+// time `at` and returns its completion time. Whether the request is a read
+// or a write does not change its cost at this level.
+func (d *Disk) Access(at float64, off, n int64) float64 {
+	if n < 0 || off < 0 {
+		panic("pfs: invalid disk request")
+	}
+	seek, stream := d.seekClass(off)
+	switch {
+	case seek == 0:
+		d.seqHits++
+	case stream >= 0:
+		d.nearSeeks++
+	default:
+		d.farSeeks++
+	}
+	svc := d.params.PerReq + seek + float64(n)/d.params.BW
+	if stream >= 0 {
+		d.streams = append(d.streams[:stream], d.streams[stream+1:]...)
+	} else if len(d.streams) >= maxStreams {
+		d.streams = d.streams[1:]
+	}
+	d.streams = append(d.streams, off+n)
+	_, end := d.srv.Serve(at, svc)
+	return end
+}
+
+// Server exposes the underlying queue (for utilization stats).
+func (d *Disk) Server() *sim.Server { return d.srv }
+
+// stripeSpan is a contiguous extent on one striping server, expressed in
+// that server's local address space.
+type stripeSpan struct {
+	server   int
+	localOff int64
+	n        int64
+	stripes  []int64 // global stripe indices this span covers
+}
+
+// stripeSplit decomposes the file extent [off, off+n) striped round-robin
+// with the given unit over nServers servers into per-server contiguous
+// local spans. Spans on one server that touch consecutive stripe units are
+// merged (they are contiguous in the server's local layout). The result is
+// ordered by server, then by local offset.
+func stripeSplit(off, n, unit int64, nServers int) []stripeSpan {
+	if unit <= 0 || nServers <= 0 {
+		panic("pfs: invalid striping parameters")
+	}
+	if n <= 0 {
+		return nil
+	}
+	perServer := make(map[int][]stripeSpan)
+	pos := off
+	end := off + n
+	for pos < end {
+		stripe := pos / unit
+		server := int(stripe % int64(nServers))
+		localStripe := stripe / int64(nServers)
+		within := pos % unit
+		take := unit - within
+		if pos+take > end {
+			take = end - pos
+		}
+		localOff := localStripe*unit + within
+		spans := perServer[server]
+		if len(spans) > 0 {
+			last := &spans[len(spans)-1]
+			if last.localOff+last.n == localOff {
+				last.n += take
+				last.stripes = append(last.stripes, stripe)
+				perServer[server] = spans
+				pos += take
+				continue
+			}
+		}
+		perServer[server] = append(spans, stripeSpan{
+			server:   server,
+			localOff: localOff,
+			n:        take,
+			stripes:  []int64{stripe},
+		})
+		pos += take
+	}
+	var out []stripeSpan
+	for s := 0; s < nServers; s++ {
+		out = append(out, perServer[s]...)
+	}
+	return out
+}

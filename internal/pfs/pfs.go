@@ -1,0 +1,184 @@
+// Package pfs models the parallel file systems of the paper's evaluation:
+// XFS on the SGI Origin2000 (a striped multi-LUN scratch volume reached
+// through shared memory), GPFS on the IBM SP-2 (large fixed stripes on VSD
+// servers, with per-SMP-node I/O queues and a distributed lock manager),
+// PVFS on the Chiba City Linux cluster (user-level I/O daemons reached over
+// fast Ethernet) and node-local disks driven through the PVFS interface.
+//
+// Every file system stores real bytes (in a sparse in-memory page store),
+// so the layers above can verify that data round-trips, while access costs
+// are charged to the calling process's virtual clock through sim.Server
+// queues that model disks, NICs and lock managers.
+package pfs
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/sim"
+)
+
+// Client identifies who is performing an I/O call: the simulation process
+// whose clock pays for it and the physical node it runs on (which NIC its
+// traffic uses, which local disk it owns).
+type Client struct {
+	Proc *sim.Proc
+	Node int
+}
+
+// FileSystem is the interface shared by all four file system models.
+type FileSystem interface {
+	// Name identifies the file system type ("xfs", "gpfs", "pvfs", "local").
+	Name() string
+	// Create makes (or truncates) a file and returns a handle. Creation
+	// costs metadata time on the caller's clock.
+	Create(c Client, name string) (File, error)
+	// Open returns a handle to an existing file.
+	Open(c Client, name string) (File, error)
+	// Exists reports whether a file exists (no cost; used by tests).
+	Exists(name string) bool
+	// Stats returns cumulative I/O accounting for the file system.
+	Stats() Stats
+	// Snapshot returns raw copies of every file's contents, out of band
+	// (no virtual time) — for staging data between simulation runs, the
+	// way an operator would copy checkpoint files between allocations.
+	// LocalFS keys entries as "node<N>/<name>"; shared file systems use
+	// the plain name.
+	Snapshot() map[string][]byte
+	// Restore loads a Snapshot into this (typically fresh) file system,
+	// out of band.
+	Restore(files map[string][]byte)
+}
+
+// File is an open file handle. Reads beyond the current size return zero
+// bytes (sparse-file semantics); writes extend the file.
+type File interface {
+	Name() string
+	// ReadAt fills buf from the file at off, charging the caller.
+	ReadAt(c Client, buf []byte, off int64)
+	// WriteAt stores data at off, charging the caller.
+	WriteAt(c Client, data []byte, off int64)
+	// Size returns the file size as visible to this client (on LocalFS
+	// each node sees only its own partition).
+	Size(c Client) int64
+	// Close releases the handle (may cost metadata time, e.g. flushing).
+	Close(c Client)
+}
+
+// Stats is cumulative I/O accounting.
+type Stats struct {
+	BytesRead    int64
+	BytesWritten int64
+	ReadReqs     int64
+	WriteReqs    int64
+	Creates      int64
+	Opens        int64
+}
+
+// statsCollector accumulates Stats behind a mutex (the engine serializes
+// simulation work, but separate engines in tests may share nothing; the
+// mutex keeps the type safe regardless).
+type statsCollector struct {
+	mu sync.Mutex
+	s  Stats
+}
+
+func (sc *statsCollector) read(n int64) {
+	sc.mu.Lock()
+	sc.s.BytesRead += n
+	sc.s.ReadReqs++
+	sc.mu.Unlock()
+}
+
+func (sc *statsCollector) write(n int64) {
+	sc.mu.Lock()
+	sc.s.BytesWritten += n
+	sc.s.WriteReqs++
+	sc.mu.Unlock()
+}
+
+func (sc *statsCollector) create() {
+	sc.mu.Lock()
+	sc.s.Creates++
+	sc.mu.Unlock()
+}
+
+func (sc *statsCollector) open() {
+	sc.mu.Lock()
+	sc.s.Opens++
+	sc.mu.Unlock()
+}
+
+func (sc *statsCollector) snapshot() Stats {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	return sc.s
+}
+
+// namespace is a simple shared-file directory used by the shared file
+// systems (XFS, GPFS, PVFS).
+type namespace struct {
+	mu    sync.Mutex
+	files map[string]*ByteStore
+}
+
+func newNamespace() *namespace {
+	return &namespace{files: make(map[string]*ByteStore)}
+}
+
+func (ns *namespace) create(name string) *ByteStore {
+	ns.mu.Lock()
+	defer ns.mu.Unlock()
+	st := NewByteStore()
+	ns.files[name] = st
+	return st
+}
+
+func (ns *namespace) open(name string) (*ByteStore, error) {
+	ns.mu.Lock()
+	defer ns.mu.Unlock()
+	st, ok := ns.files[name]
+	if !ok {
+		return nil, fmt.Errorf("pfs: open %q: no such file", name)
+	}
+	return st, nil
+}
+
+func (ns *namespace) exists(name string) bool {
+	ns.mu.Lock()
+	defer ns.mu.Unlock()
+	_, ok := ns.files[name]
+	return ok
+}
+
+func (ns *namespace) snapshot() map[string][]byte {
+	ns.mu.Lock()
+	defer ns.mu.Unlock()
+	out := make(map[string][]byte, len(ns.files))
+	for name, st := range ns.files {
+		out[name] = st.Bytes()
+	}
+	return out
+}
+
+func (ns *namespace) restore(files map[string][]byte) {
+	ns.mu.Lock()
+	defer ns.mu.Unlock()
+	for name, data := range files {
+		st := NewByteStore()
+		st.WriteAt(data, 0)
+		ns.files[name] = st
+	}
+}
+
+func (ns *namespace) list() []string {
+	ns.mu.Lock()
+	defer ns.mu.Unlock()
+	out := make([]string, 0, len(ns.files))
+	for n := range ns.files {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,240 @@
+package pfs
+
+import (
+	"fmt"
+
+	"repro/internal/machine"
+	"repro/internal/sim"
+)
+
+// PVFSConfig parameterizes the Chiba City PVFS model: user-level I/O
+// daemons (iods) on dedicated nodes, a metadata manager, and all traffic
+// carried over the same fast Ethernet the application's MPI messages use.
+// Per-request costs are high (TCP processing in a user-level daemon), so
+// access patterns with many small chunks suffer — the paper's Figure 8
+// observation.
+type PVFSConfig struct {
+	IODs      int        // number of I/O daemons
+	Unit      int64      // stripe unit
+	Disk      DiskParams // per-iod disk
+	IODPerReq float64    // daemon CPU per request (TCP + user-level processing)
+	PerCall   float64    // client library overhead per call
+	MetaTime  float64    // manager transaction for create/open
+	ReqMsg    int64      // request message size in bytes
+}
+
+// DefaultPVFS returns the calibration used for the paper reproduction.
+func DefaultPVFS() PVFSConfig {
+	return PVFSConfig{
+		IODs:      8,
+		Unit:      64 * 1024,
+		Disk:      DiskParams{Seek: 9e-3, PerReq: 0.3e-3, BW: 22e6},
+		IODPerReq: 1.2e-3,
+		PerCall:   80e-6,
+		MetaTime:  4e-3,
+		ReqMsg:    256,
+	}
+}
+
+// PVFS is the Linux-cluster parallel file system model. The iods live on
+// machine nodes [IODBase, IODBase+IODs), so their NICs are distinct from
+// the compute nodes' NICs but obey the same Ethernet parameters.
+type PVFS struct {
+	cfg    PVFSConfig
+	mach   *machine.Machine
+	ns     *namespace
+	disks  []*Disk
+	iodNIC []*sim.Server
+	iodCPU []*sim.Server
+	mgr    *sim.Server
+	// striping holds per-file striping parameters for files created with
+	// CreateStriped (the paper's future-work "flexible,
+	// application-specific disk file striping"); files without an entry
+	// use the volume defaults.
+	striping map[*ByteStore]stripeParams
+	stats    statsCollector
+}
+
+// stripeParams is one file's striping layout: unit size, daemon count and
+// the first daemon (so different files can start on different daemons).
+type stripeParams struct {
+	unit  int64
+	iods  int
+	first int
+}
+
+// NewPVFS builds a PVFS file system with cfg.IODs daemons.
+func NewPVFS(mach *machine.Machine, cfg PVFSConfig) *PVFS {
+	if cfg.IODs <= 0 {
+		panic("pfs: PVFS needs at least one iod")
+	}
+	fs := &PVFS{cfg: cfg, mach: mach, ns: newNamespace(), mgr: sim.NewServer("pvfs/mgr"),
+		striping: make(map[*ByteStore]stripeParams)}
+	for i := 0; i < cfg.IODs; i++ {
+		fs.disks = append(fs.disks, NewDisk(fmt.Sprintf("pvfs/iod%d/disk", i), cfg.Disk))
+		fs.iodNIC = append(fs.iodNIC, sim.NewServer(fmt.Sprintf("pvfs/iod%d/nic", i)))
+		fs.iodCPU = append(fs.iodCPU, sim.NewServer(fmt.Sprintf("pvfs/iod%d/cpu", i)))
+	}
+	return fs
+}
+
+// Name implements FileSystem.
+func (fs *PVFS) Name() string { return "pvfs" }
+
+// Stats implements FileSystem.
+func (fs *PVFS) Stats() Stats { return fs.stats.snapshot() }
+
+// Exists implements FileSystem.
+func (fs *PVFS) Exists(name string) bool { return fs.ns.exists(name) }
+
+// metaOp models a round trip to the metadata manager over Ethernet.
+func (fs *PVFS) metaOp(c Client) {
+	_, arr := fs.mach.TransferVia(fs.mach.NIC(c.Node), fs.mgr, fs.cfg.ReqMsg, c.Proc.Now())
+	_, done := fs.mgr.Serve(arr, fs.cfg.MetaTime)
+	c.Proc.AdvanceTo(done + fs.mach.Config().WireLatency)
+}
+
+// Create implements FileSystem.
+func (fs *PVFS) Create(c Client, name string) (File, error) {
+	fs.metaOp(c)
+	fs.stats.create()
+	return &pvfsFile{fs: fs, name: name, store: fs.ns.create(name)}, nil
+}
+
+// CreateStriped creates a file with application-specific striping — the
+// flexible per-file distribution the paper's conclusion asks parallel file
+// systems for. unit is the stripe size; iods how many daemons the file
+// spreads over (capped at the volume's daemon count); first rotates the
+// starting daemon so small files on few daemons still balance globally.
+func (fs *PVFS) CreateStriped(c Client, name string, unit int64, iods, first int) (File, error) {
+	if unit <= 0 || iods <= 0 {
+		return nil, fmt.Errorf("pfs: invalid striping unit=%d iods=%d for %q", unit, iods, name)
+	}
+	if iods > fs.cfg.IODs {
+		iods = fs.cfg.IODs
+	}
+	f, err := fs.Create(c, name)
+	if err != nil {
+		return nil, err
+	}
+	pf := f.(*pvfsFile)
+	fs.striping[pf.store] = stripeParams{unit: unit, iods: iods, first: ((first % fs.cfg.IODs) + fs.cfg.IODs) % fs.cfg.IODs}
+	return pf, nil
+}
+
+// params returns a file's striping layout (volume defaults if custom
+// striping was never set).
+func (f *pvfsFile) params() stripeParams {
+	if p, ok := f.fs.striping[f.store]; ok {
+		return p
+	}
+	return stripeParams{unit: f.fs.cfg.Unit, iods: f.fs.cfg.IODs}
+}
+
+// Open implements FileSystem.
+func (fs *PVFS) Open(c Client, name string) (File, error) {
+	st, err := fs.ns.open(name)
+	if err != nil {
+		return nil, err
+	}
+	fs.metaOp(c)
+	fs.stats.open()
+	return &pvfsFile{fs: fs, name: name, store: st}, nil
+}
+
+type pvfsFile struct {
+	fs    *PVFS
+	name  string
+	store *ByteStore
+}
+
+func (f *pvfsFile) Name() string        { return f.name }
+func (f *pvfsFile) Size(c Client) int64 { return f.store.Size() }
+func (f *pvfsFile) Close(c Client)      {}
+
+// perIOD groups the spans of a request by daemon.
+func perIOD(spans []stripeSpan, n int) [][]stripeSpan {
+	out := make([][]stripeSpan, n)
+	for _, sp := range spans {
+		out[sp.server] = append(out[sp.server], sp)
+	}
+	return out
+}
+
+func (f *pvfsFile) WriteAt(c Client, data []byte, off int64) {
+	fs := f.fs
+	n := int64(len(data))
+	if n == 0 {
+		return
+	}
+	c.Proc.Advance(fs.cfg.PerCall)
+	end := c.Proc.Now()
+	sp := f.params()
+	spans := stripeSplit(off, n, sp.unit, sp.iods)
+	for vIOD, group := range perIOD(spans, sp.iods) {
+		if len(group) == 0 {
+			continue
+		}
+		iod := (vIOD + sp.first) % fs.cfg.IODs
+		var bytes int64
+		for _, span := range group {
+			bytes += span.n
+		}
+		// One request message carries this iod's portion of the data.
+		_, arr := fs.mach.TransferVia(fs.mach.NIC(c.Node), fs.iodNIC[iod], fs.cfg.ReqMsg+bytes, c.Proc.Now())
+		_, cpuDone := fs.iodCPU[iod].Serve(arr, fs.cfg.IODPerReq)
+		e := cpuDone
+		for _, span := range group {
+			e = fs.disks[iod].Access(e, span.localOff, span.n)
+		}
+		e += fs.mach.Config().WireLatency // ack
+		if e > end {
+			end = e
+		}
+	}
+	c.Proc.AdvanceTo(end)
+	f.store.WriteAt(data, off)
+	fs.stats.write(n)
+}
+
+func (f *pvfsFile) ReadAt(c Client, buf []byte, off int64) {
+	fs := f.fs
+	n := int64(len(buf))
+	if n == 0 {
+		return
+	}
+	c.Proc.Advance(fs.cfg.PerCall)
+	end := c.Proc.Now()
+	sp := f.params()
+	spans := stripeSplit(off, n, sp.unit, sp.iods)
+	for vIOD, group := range perIOD(spans, sp.iods) {
+		if len(group) == 0 {
+			continue
+		}
+		iod := (vIOD + sp.first) % fs.cfg.IODs
+		var bytes int64
+		for _, span := range group {
+			bytes += span.n
+		}
+		_, reqArr := fs.mach.TransferVia(fs.mach.NIC(c.Node), fs.iodNIC[iod], fs.cfg.ReqMsg, c.Proc.Now())
+		_, cpuDone := fs.iodCPU[iod].Serve(reqArr, fs.cfg.IODPerReq)
+		diskDone := cpuDone
+		for _, span := range group {
+			diskDone = fs.disks[iod].Access(diskDone, span.localOff, span.n)
+		}
+		_, dataArr := fs.mach.TransferVia(fs.iodNIC[iod], fs.mach.NIC(c.Node), bytes, diskDone)
+		if dataArr > end {
+			end = dataArr
+		}
+	}
+	c.Proc.AdvanceTo(end)
+	f.store.ReadAt(buf, off)
+	fs.stats.read(n)
+}
+
+// Snapshot implements FileSystem (out-of-band staging).
+func (fs *PVFS) Snapshot() map[string][]byte { return fs.ns.snapshot() }
+
+// Restore implements FileSystem (out-of-band staging). Restored files use
+// the volume's default striping.
+func (fs *PVFS) Restore(files map[string][]byte) { fs.ns.restore(files) }

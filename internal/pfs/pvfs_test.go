@@ -1,0 +1,138 @@
+package pfs
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/sim"
+)
+
+func chibaMachine() *machine.Machine { return machine.New(machine.ByName("chiba")) }
+
+func TestCreateStripedRoundTripAndReopen(t *testing.T) {
+	mach := chibaMachine()
+	fs := NewPVFS(mach, DefaultPVFS())
+	eng := sim.NewEngine()
+	data := make([]byte, 300000)
+	rand.New(rand.NewSource(4)).Read(data)
+	eng.Spawn("c", func(p *sim.Proc) {
+		c := Client{Proc: p, Node: 0}
+		f, err := fs.CreateStriped(c, "wide", 256<<10, 4, 3)
+		if err != nil {
+			panic(err)
+		}
+		f.WriteAt(c, data, 1000)
+		// Reopen: the striping parameters must persist with the file.
+		g, err := fs.Open(c, "wide")
+		if err != nil {
+			panic(err)
+		}
+		buf := make([]byte, len(data))
+		g.ReadAt(c, buf, 1000)
+		if !bytes.Equal(buf, data) {
+			panic("striped file round trip failed")
+		}
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCreateStripedValidation(t *testing.T) {
+	fs := NewPVFS(chibaMachine(), DefaultPVFS())
+	eng := sim.NewEngine()
+	eng.Spawn("c", func(p *sim.Proc) {
+		c := Client{Proc: p, Node: 0}
+		if _, err := fs.CreateStriped(c, "bad", 0, 4, 0); err == nil {
+			panic("zero unit accepted")
+		}
+		if _, err := fs.CreateStriped(c, "bad", 64<<10, 0, 0); err == nil {
+			panic("zero iods accepted")
+		}
+		// Requesting more iods than exist is capped, not an error.
+		if _, err := fs.CreateStriped(c, "capped", 64<<10, 100, 0); err != nil {
+			panic(err)
+		}
+		// Negative first-daemon rotation normalizes.
+		if _, err := fs.CreateStriped(c, "neg", 64<<10, 2, -3); err != nil {
+			panic(err)
+		}
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestApplicationSpecificStripingBalancesConcurrentSmallFiles(t *testing.T) {
+	// The future-work scenario: every client dumps its own small grid
+	// file. With the fixed default striping, every file's first stripes
+	// land on daemons 0 and 1, so eight concurrent writers hammer two
+	// daemons. Application-specific striping starts each file on a
+	// different daemon and the load spreads.
+	const fileBytes = 128 << 10 // two default stripes
+	run := func(matched bool) float64 {
+		fs := NewPVFS(chibaMachine(), DefaultPVFS())
+		eng := sim.NewEngine()
+		for i := 0; i < 8; i++ {
+			i := i
+			eng.Spawn(fmt.Sprintf("c%d", i), func(p *sim.Proc) {
+				c := Client{Proc: p, Node: i}
+				var f File
+				var err error
+				name := fmt.Sprintf("grid%d", i)
+				if matched {
+					f, err = fs.CreateStriped(c, name, fileBytes, 1, i)
+				} else {
+					f, err = fs.Create(c, name)
+				}
+				if err != nil {
+					panic(err)
+				}
+				for k := 0; k < 4; k++ {
+					f.WriteAt(c, make([]byte, fileBytes/4), int64(k)*fileBytes/4)
+				}
+			})
+		}
+		if err := eng.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return eng.MaxTime()
+	}
+	def := run(false)
+	matched := run(true)
+	if matched >= def {
+		t.Fatalf("matched striping %.4fs should beat default %.4fs", matched, def)
+	}
+}
+
+func TestStripedFilesBalanceAcrossDaemons(t *testing.T) {
+	// Files created with rotated starting daemons must land their bytes on
+	// different daemons (observable through the per-daemon disk servers).
+	fs := NewPVFS(chibaMachine(), DefaultPVFS())
+	eng := sim.NewEngine()
+	eng.Spawn("c", func(p *sim.Proc) {
+		c := Client{Proc: p, Node: 0}
+		for i := 0; i < 4; i++ {
+			f, err := fs.CreateStriped(c, fmt.Sprintf("f%d", i), 1<<20, 1, i)
+			if err != nil {
+				panic(err)
+			}
+			f.WriteAt(c, make([]byte, 1000), 0)
+		}
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	busy := 0
+	for _, d := range fs.disks {
+		if d.Server().Requests() > 0 {
+			busy++
+		}
+	}
+	if busy != 4 {
+		t.Fatalf("%d daemons used, want 4 (one per rotated file)", busy)
+	}
+}

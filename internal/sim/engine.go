@@ -1,0 +1,299 @@
+// Package sim implements a conservative, process-oriented discrete-event
+// simulation engine with virtual time.
+//
+// Every simulated process (an MPI rank, in this repository) runs as a
+// goroutine with its own virtual clock. The engine resumes exactly one
+// process at a time — always the ready process with the smallest
+// (virtual time, id) pair — so simulations are fully deterministic: the
+// same program produces bit-identical virtual timings on every run and on
+// every host machine.
+//
+// Processes advance their clocks with Advance, park themselves with Block
+// and are released by other processes through Wake. Shared hardware
+// (disks, NICs, lock managers) is modelled by Server, a virtual-time FIFO
+// queue. The scheduling invariant — the running process always holds the
+// minimum clock among ready processes, and Wake never moves a clock
+// backwards — guarantees that every Server observes requests in
+// nondecreasing virtual-time order, which keeps the queueing model causal.
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// procState tracks where a process is in its lifecycle.
+type procState int
+
+const (
+	stateReady procState = iota
+	stateRunning
+	stateBlocked
+	stateDone
+)
+
+func (s procState) String() string {
+	switch s {
+	case stateReady:
+		return "ready"
+	case stateRunning:
+		return "running"
+	case stateBlocked:
+		return "blocked"
+	case stateDone:
+		return "done"
+	}
+	return "unknown"
+}
+
+// yieldKind is the message a process goroutine sends back to the scheduler
+// when it hands over control.
+type yieldKind int
+
+const (
+	yieldAdvance yieldKind = iota // clock moved; still ready
+	yieldBlock                    // waiting for Wake
+	yieldDone                     // body returned
+	yieldPanic                    // body panicked
+)
+
+type yieldMsg struct {
+	kind  yieldKind
+	panic any
+}
+
+// Proc is a simulated process. A Proc is created by Engine.Spawn and its
+// methods may only be called from inside its own body function, except for
+// the read-only accessors ID, Name and Now.
+type Proc struct {
+	id     int
+	name   string
+	engine *Engine
+
+	now    float64
+	state  procState
+	reason string // why blocked, for deadlock reports
+
+	resume chan struct{}
+	yield  chan yieldMsg
+}
+
+// ID returns the process id (dense, starting at 0 in spawn order).
+func (p *Proc) ID() int { return p.id }
+
+// Name returns the human-readable name given at Spawn time.
+func (p *Proc) Name() string { return p.name }
+
+// Now returns the process's current virtual time in seconds.
+func (p *Proc) Now() float64 { return p.now }
+
+// Engine returns the engine that owns this process.
+func (p *Proc) Engine() *Engine { return p.engine }
+
+// Advance moves this process's virtual clock forward by d seconds and
+// yields to the scheduler so that any process with an earlier clock can
+// run first. Negative d panics: virtual time never flows backwards.
+func (p *Proc) Advance(d float64) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: process %q advanced by negative duration %g", p.name, d))
+	}
+	p.now += d
+	p.state = stateReady
+	p.yield <- yieldMsg{kind: yieldAdvance}
+	<-p.resume
+	p.state = stateRunning
+}
+
+// Yield gives the scheduler a chance to run earlier processes without
+// moving this process's clock. It is equivalent to Advance(0).
+func (p *Proc) Yield() { p.Advance(0) }
+
+// AdvanceTo moves the clock forward to absolute virtual time t. If t is in
+// this process's past the clock is left unchanged (a process can wait for a
+// moment that has already passed, which costs nothing).
+func (p *Proc) AdvanceTo(t float64) {
+	if t > p.now {
+		p.Advance(t - p.now)
+	} else {
+		p.Yield()
+	}
+}
+
+// Block parks the process until another process calls Engine.Wake on it.
+// reason appears in deadlock reports. On return the clock has been moved
+// to max(previous now, wake time).
+func (p *Proc) Block(reason string) {
+	p.state = stateBlocked
+	p.reason = reason
+	p.yield <- yieldMsg{kind: yieldBlock}
+	<-p.resume
+	p.state = stateRunning
+	p.reason = ""
+}
+
+// Engine owns a set of processes and schedules them in virtual time.
+// The zero value is not usable; call NewEngine.
+type Engine struct {
+	procs   []*Proc
+	started bool
+	done    int
+
+	// pendingWakes maps a blocked process to its wake time; set by Wake,
+	// consumed by the scheduler when it next resumes the process.
+	pendingWakes map[*Proc]float64
+}
+
+// NewEngine returns an empty engine ready for Spawn calls.
+func NewEngine() *Engine {
+	return &Engine{pendingWakes: make(map[*Proc]float64)}
+}
+
+// Spawn registers a new process whose body is run when Engine.Run is
+// called. Spawn must not be called after Run has started.
+func (e *Engine) Spawn(name string, body func(p *Proc)) *Proc {
+	if e.started {
+		panic("sim: Spawn called after Run")
+	}
+	p := &Proc{
+		id:     len(e.procs),
+		name:   name,
+		engine: e,
+		state:  stateReady,
+		resume: make(chan struct{}),
+		yield:  make(chan yieldMsg),
+	}
+	e.procs = append(e.procs, p)
+	go func() {
+		<-p.resume
+		p.state = stateRunning
+		defer func() {
+			if r := recover(); r != nil {
+				p.yield <- yieldMsg{kind: yieldPanic, panic: r}
+				return
+			}
+			p.state = stateDone
+			p.yield <- yieldMsg{kind: yieldDone}
+		}()
+		body(p)
+	}()
+	return p
+}
+
+// Wake releases a blocked process so it resumes with its clock set to
+// max(its clock, at). Wake must be called from a running process (or
+// before Run from the spawning goroutine is not allowed — processes start
+// ready, not blocked). Waking a process that is not blocked panics: the
+// layers above (message queues) are responsible for pairing blocks and
+// wakes exactly.
+func (e *Engine) Wake(target *Proc, at float64) {
+	if target.state != stateBlocked {
+		panic(fmt.Sprintf("sim: Wake(%q) but process is %v", target.name, target.state))
+	}
+	if _, dup := e.pendingWakes[target]; dup {
+		panic(fmt.Sprintf("sim: duplicate Wake(%q)", target.name))
+	}
+	e.pendingWakes[target] = at
+}
+
+// DeadlockError reports that no process can make progress: every
+// unfinished process is blocked with no pending wake.
+type DeadlockError struct {
+	// Blocked lists "name@time: reason" for each stuck process.
+	Blocked []string
+}
+
+func (e *DeadlockError) Error() string {
+	return fmt.Sprintf("sim: deadlock, %d processes blocked: %s",
+		len(e.Blocked), strings.Join(e.Blocked, "; "))
+}
+
+// PanicError reports that a process body panicked.
+type PanicError struct {
+	ProcName string
+	Value    any
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("sim: process %q panicked: %v", e.ProcName, e.Value)
+}
+
+// Run executes the simulation until every process has finished. It returns
+// a *DeadlockError if processes remain but none can run, and a *PanicError
+// if a process body panics. Run may be called only once.
+func (e *Engine) Run() error {
+	if e.started {
+		panic("sim: Run called twice")
+	}
+	e.started = true
+	for {
+		// Apply pending wakes: a woken process becomes ready at
+		// max(its clock, wake time).
+		for p, at := range e.pendingWakes {
+			if at > p.now {
+				p.now = at
+			}
+			p.state = stateReady
+			delete(e.pendingWakes, p)
+		}
+		next := e.minReady()
+		if next == nil {
+			if e.done == len(e.procs) {
+				return nil
+			}
+			return e.deadlock()
+		}
+		next.resume <- struct{}{}
+		msg := <-next.yield
+		switch msg.kind {
+		case yieldDone:
+			e.done++
+		case yieldPanic:
+			return &PanicError{ProcName: next.name, Value: msg.panic}
+		}
+	}
+}
+
+// minReady picks the ready process with the smallest (now, id).
+func (e *Engine) minReady() *Proc {
+	var best *Proc
+	for _, p := range e.procs {
+		if p.state != stateReady {
+			continue
+		}
+		if best == nil || p.now < best.now || (p.now == best.now && p.id < best.id) {
+			best = p
+		}
+	}
+	return best
+}
+
+func (e *Engine) deadlock() error {
+	var blocked []string
+	for _, p := range e.procs {
+		if p.state == stateBlocked {
+			blocked = append(blocked, fmt.Sprintf("%s@%.6f: %s", p.name, p.now, p.reason))
+		}
+	}
+	sort.Strings(blocked)
+	// Unblock the goroutines so they do not leak: resume them and let the
+	// bodies run to completion in wall-clock time with no scheduler. This
+	// is best-effort cleanup after a fatal modelling error.
+	return &DeadlockError{Blocked: blocked}
+}
+
+// MaxTime returns the largest virtual clock across all processes. It is
+// meaningful after Run has returned nil and represents the simulated
+// makespan of the whole program.
+func (e *Engine) MaxTime() float64 {
+	var m float64
+	for _, p := range e.procs {
+		if p.now > m {
+			m = p.now
+		}
+	}
+	return m
+}
+
+// NumProcs returns the number of spawned processes.
+func (e *Engine) NumProcs() int { return len(e.procs) }
