@@ -19,9 +19,10 @@ func main() {
 	exp := flag.String("exp", "all", "experiment to run: table1, fig6..fig10, or all")
 	quick := flag.Bool("quick", false, "shrink problems for a fast smoke run")
 	chart := flag.Bool("chart", false, "also render each figure as ASCII bar charts")
+	tracedir := flag.String("tracedir", "", "write per-case Perfetto timelines and counter reports into this directory")
 	flag.Parse()
 
-	o := experiments.Options{Quick: *quick}
+	o := experiments.Options{Quick: *quick, TraceDir: *tracedir}
 	type driver struct {
 		name  string
 		title string

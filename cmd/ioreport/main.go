@@ -1,0 +1,125 @@
+// Command ioreport runs one ENZO configuration with the stack-wide
+// observability layer attached and emits the run's I/O characterization:
+// a Darshan-style per-rank counter report attributing virtual time across
+// the stack (application, HDF, MPI-IO with its two-phase exchange/io
+// split, MPI, file system), and optionally a Chrome trace-event JSON
+// timeline loadable in Perfetto (ui.perfetto.dev) or chrome://tracing.
+//
+// Usage:
+//
+//	ioreport [-machine chiba] [-fs pvfs] [-backend mpiio] [-problem AMR64]
+//	         [-np 8] [-quick] [-trace timeline.json] [-o report.txt]
+//
+// Tracing is zero-perturbation: the virtual timings of a traced run are
+// bit-identical to the same run without instrumentation.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/enzo"
+	"repro/internal/machine"
+	"repro/internal/obs"
+)
+
+func main() {
+	mach := flag.String("machine", "chiba", "platform: origin2000, sp2 or chiba")
+	fsKind := flag.String("fs", "pvfs", "file system: xfs, gpfs, pvfs or local")
+	backendName := flag.String("backend", "mpiio", "I/O backend: hdf4, mpiio, hdf5 or mpiio-cb")
+	problem := flag.String("problem", "AMR64", "problem size: tiny, AMR64, AMR128 or AMR256")
+	np := flag.Int("np", 8, "number of MPI ranks")
+	quick := flag.Bool("quick", false, "shrink the problem for a fast smoke run")
+	tracePath := flag.String("trace", "", "write a Perfetto-loadable trace-event JSON timeline here")
+	outPath := flag.String("o", "", "write the counter report here (default stdout)")
+	flag.Parse()
+
+	cfg, err := configByName(*problem)
+	if err != nil {
+		fatal(err)
+	}
+	if *quick {
+		n := cfg.Dims[0] / 4
+		if n < 8 {
+			n = 8
+		}
+		cfg.Dims = [3]int{n, n, n}
+		cfg.NParticles = n * n * n / 2
+	}
+	backend, err := enzo.BackendByName(*backendName)
+	if err != nil {
+		fatal(err)
+	}
+	machCfg, err := machineByName(*mach)
+	if err != nil {
+		fatal(err)
+	}
+	if *np < 1 {
+		fatal(fmt.Errorf("ioreport: -np must be at least 1 (got %d)", *np))
+	}
+
+	tr := obs.NewTracer()
+	res, err := enzo.RunOnceTraced(machCfg, *fsKind, *np, cfg, backend, tr)
+	if err != nil {
+		fatal(err)
+	}
+
+	out := io.Writer(os.Stdout)
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		out = f
+	}
+	fmt.Fprintf(out, "%s %s/%s backend=%s np=%d verified=%v\n",
+		res.Problem, *mach, *fsKind, res.Backend, res.Procs, res.Verified)
+	fmt.Fprintf(out, "phases: read=%.3fs write=%.3fs restart=%.3fs\n\n",
+		res.ReadTime(), res.WriteTime(), res.RestartTime())
+	tr.WriteReport(out, res.Makespan)
+
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			fatal(err)
+		}
+		if err := tr.WriteTrace(f); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "timeline written to %s (load in ui.perfetto.dev)\n", *tracePath)
+	}
+}
+
+func machineByName(name string) (machine.Config, error) {
+	switch name {
+	case "origin2000", "sp2", "chiba":
+		return machine.ByName(name), nil
+	}
+	return machine.Config{}, fmt.Errorf("ioreport: unknown machine %q (want origin2000, sp2 or chiba)", name)
+}
+
+func configByName(name string) (enzo.Config, error) {
+	switch name {
+	case "tiny", "Tiny":
+		return enzo.Tiny(), nil
+	case "AMR64":
+		return enzo.AMR64(), nil
+	case "AMR128":
+		return enzo.AMR128(), nil
+	case "AMR256":
+		return enzo.AMR256(), nil
+	}
+	return enzo.Config{}, fmt.Errorf("ioreport: unknown problem %q", name)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "error:", err)
+	os.Exit(1)
+}

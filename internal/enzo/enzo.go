@@ -31,6 +31,7 @@ import (
 	"repro/internal/machine"
 	"repro/internal/mpi"
 	"repro/internal/mpiio"
+	"repro/internal/obs"
 	"repro/internal/pfs"
 	"repro/internal/sim"
 )
@@ -148,6 +149,10 @@ type Result struct {
 
 	// Grids is the hierarchy size (root + subgrids).
 	Grids int
+
+	// Makespan is the run's total virtual time (engine max clock),
+	// including the untimed setup.
+	Makespan float64
 }
 
 // Phase returns a named phase duration (0 if absent).
@@ -224,7 +229,9 @@ func (s *Sim) client() pfs.Client {
 func (s *Sim) timed(name string, f func()) {
 	s.r.Barrier()
 	t0 := s.r.Now()
+	sp := obs.Begin(s.r.Proc(), obs.LayerApp, "phase:"+name)
 	f()
+	sp.End()
 	s.r.Barrier()
 	dt := s.r.AllreduceFloat64(s.r.Now()-t0, mpi.OpMax)
 	if s.r.Rank() == 0 {
@@ -250,6 +257,21 @@ func RunOnce(machCfg machine.Config, fsKind string, nprocs int, cfg Config, back
 // recorder without changing the simulation.
 func RunOnceWrapped(machCfg machine.Config, fsKind string, nprocs int, cfg Config,
 	backend Backend, wrap func(pfs.FileSystem) pfs.FileSystem) (*Result, error) {
+	return runOnce(machCfg, fsKind, nprocs, cfg, backend, wrap, nil)
+}
+
+// RunOnceTraced is RunOnce with a stack-wide tracer attached: every rank's
+// spans (application phases, HDF, MPI-IO, MPI, file system), the
+// Darshan-style per-rank counters and the server queue events all land in
+// tr. Tracing only reads the virtual clock, so the run's timings are
+// bit-identical to an untraced run.
+func RunOnceTraced(machCfg machine.Config, fsKind string, nprocs int, cfg Config,
+	backend Backend, tr *obs.Tracer) (*Result, error) {
+	return runOnce(machCfg, fsKind, nprocs, cfg, backend, nil, tr)
+}
+
+func runOnce(machCfg machine.Config, fsKind string, nprocs int, cfg Config,
+	backend Backend, wrap func(pfs.FileSystem) pfs.FileSystem, tr *obs.Tracer) (*Result, error) {
 	eng := sim.NewEngine()
 	mach := machine.New(machCfg)
 	fs, err := MakeFS(fsKind, mach)
@@ -259,14 +281,25 @@ func RunOnceWrapped(machCfg machine.Config, fsKind string, nprocs int, cfg Confi
 	if wrap != nil {
 		fs = wrap(fs)
 	}
+	if tr != nil {
+		fs = obs.WrapFS(fs, tr)
+		if so, ok := fs.(pfs.ServeObservable); ok {
+			so.SetServeObserver(tr)
+		}
+		mach.SetServeObserver(tr)
+	}
 	res := &Result{Problem: cfg.Problem, Backend: backend, FS: fsKind, Procs: nprocs}
 	mpi.NewWorld(eng, mach, nprocs, func(r *mpi.Rank) {
+		if tr != nil {
+			tr.Attach(r.Proc(), r.Rank())
+		}
 		s := NewSim(r, fs, backend, cfg, res)
 		s.Run()
 	})
 	if err := eng.Run(); err != nil {
 		return nil, err
 	}
+	res.Makespan = eng.MaxTime()
 	return res, nil
 }
 
@@ -356,6 +389,7 @@ func hierarchyFor(cfg Config) *amr.Hierarchy {
 // setup (untimed): rank 0 builds the hierarchy in memory and writes the
 // initial-condition files plus the replicated hierarchy metadata.
 func (s *Sim) setup() {
+	defer obs.Begin(s.r.Proc(), obs.LayerApp, "phase:setup").End()
 	var h *amr.Hierarchy
 	var enc []byte
 	if s.r.Rank() == 0 {

@@ -6,6 +6,7 @@ import (
 	"repro/internal/amr"
 	"repro/internal/core"
 	"repro/internal/hdf4"
+	"repro/internal/obs"
 )
 
 // The original ENZO I/O design (Section 2.2 / 3.1 of the paper):
@@ -90,6 +91,7 @@ func (s *Sim) hdf4WriteIC(h *amr.Hierarchy) {
 // (Block,Block,Block) sub-blocks for the baryon fields, position-owned
 // rows for the particles. Collective: all ranks must call it.
 func (s *Sim) hdf4ReadGridPartitioned(fname string, g core.GridMeta) *partition {
+	defer obs.Begin(s.r.Proc(), obs.LayerApp, "grid_read").Attr("grid", fmt.Sprint(g.ID)).End()
 	p := &partition{gridID: g.ID, sub: core.FieldSubarray(g, s.pz, s.py, s.px, s.r.Rank())}
 	p.fields = make([][]byte, len(amr.FieldNames))
 
@@ -174,6 +176,7 @@ func (s *Sim) hdf4WriteDump(d int) {
 	// Top grid: collected by processor 0, combined, and written to a
 	// single file (Section 2.2).
 	g := s.meta.Top()
+	topSp := obs.Begin(s.r.Proc(), obs.LayerApp, "grid_write").Attr("grid", "0")
 	var sd *hdf4.SDFile
 	if s.r.Rank() == 0 {
 		var err error
@@ -216,6 +219,7 @@ func (s *Sim) hdf4WriteDump(d int) {
 		}
 		sd.Close()
 	}
+	topSp.End()
 
 	// Subgrids: every processor writes its own grids into individual
 	// files, in parallel, without communication.
@@ -224,12 +228,14 @@ func (s *Sim) hdf4WriteDump(d int) {
 		if !mine {
 			continue
 		}
+		sp := obs.Begin(s.r.Proc(), obs.LayerApp, "grid_write").Attr("grid", fmt.Sprint(gm.ID))
 		sub, err := hdf4.Create(s.client(), s.fs, dumpGridFile(d, gm.ID))
 		if err != nil {
 			panic(err)
 		}
 		writeGridSD(sub, grid)
 		sub.Close()
+		sp.End()
 	}
 }
 
@@ -243,11 +249,13 @@ func (s *Sim) hdf4ReadRestart(d int) {
 		if owners[g.ID] != s.r.Rank() {
 			continue
 		}
+		sp := obs.Begin(s.r.Proc(), obs.LayerApp, "grid_read").Attr("grid", fmt.Sprint(g.ID))
 		sd, err := hdf4.Open(s.client(), s.fs, dumpGridFile(d, g.ID))
 		if err != nil {
 			panic(err)
 		}
 		s.owned[g.ID] = readGridSD(sd, g)
 		sd.Close()
+		sp.End()
 	}
 }

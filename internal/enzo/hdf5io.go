@@ -7,6 +7,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/hdf5"
 	"repro/internal/mpi"
+	"repro/internal/obs"
 )
 
 // The parallel HDF5 port (Section 3.4): the same access strategy as the
@@ -88,6 +89,7 @@ func (s *Sim) h5WriteIC(h *amr.Hierarchy) {
 
 // h5ReadGridPartitioned mirrors rawReadGridPartitioned through hyperslabs.
 func (s *Sim) h5ReadGridPartitioned(hf *hdf5.File, g core.GridMeta) *partition {
+	defer obs.Begin(s.r.Proc(), obs.LayerApp, "grid_read").Attr("grid", fmt.Sprint(g.ID)).End()
 	p := &partition{gridID: g.ID, sub: s.fieldSel(g)}
 	p.fields = make([][]byte, len(amr.FieldNames))
 	for fi, name := range amr.FieldNames {
@@ -150,6 +152,7 @@ func (s *Sim) h5WriteDump(d int) {
 	}
 	// Top grid fields: collective hyperslab writes.
 	g := s.meta.Top()
+	topSp := obs.Begin(s.r.Proc(), obs.LayerApp, "grid_write").Attr("grid", "0")
 	dims3 := []int{g.Dims[0], g.Dims[1], g.Dims[2]}
 	for fi, name := range amr.FieldNames {
 		ds, err := hf.CreateDataset(dsName(g.ID, name), dims3, amr.FieldElemSize)
@@ -178,6 +181,7 @@ func (s *Sim) h5WriteDump(d int) {
 		}
 		s.localPartRows = [2]int64{rowOff, rowOff + myCount}
 	}
+	topSp.End()
 	// Metadata attributes: only processor 0 may create/write them
 	// (overhead 4 of Section 4.5).
 	hf.WriteAttribute("top_grid_dims", []byte(fmt.Sprintf("%v", g.Dims)))
@@ -185,6 +189,7 @@ func (s *Sim) h5WriteDump(d int) {
 	// though a single owner writes the data.
 	for _, gm := range s.meta.Subgrids() {
 		grid := s.owned[gm.ID] // nil on non-owners
+		sp := obs.Begin(s.r.Proc(), obs.LayerApp, "grid_write").Attr("grid", fmt.Sprint(gm.ID))
 		gdims := []int{gm.Dims[0], gm.Dims[1], gm.Dims[2]}
 		for fi, name := range amr.FieldNames {
 			ds, err := hf.CreateDataset(dsName(gm.ID, name), gdims, amr.FieldElemSize)
@@ -210,6 +215,7 @@ func (s *Sim) h5WriteDump(d int) {
 			}
 		}
 		hf.WriteAttribute(fmt.Sprintf("g%04d_level", gm.ID), []byte{byte(gm.Level)})
+		sp.End()
 	}
 	hf.Close()
 }
@@ -220,6 +226,7 @@ func (s *Sim) h5ReadRestart(d int) {
 		panic(err)
 	}
 	g := s.meta.Top()
+	topSp := obs.Begin(s.r.Proc(), obs.LayerApp, "grid_read").Attr("grid", "0")
 	s.top = &partition{gridID: 0, sub: s.fieldSel(g)}
 	s.top.fields = make([][]byte, len(amr.FieldNames))
 	for fi, name := range amr.FieldNames {
@@ -254,11 +261,13 @@ func (s *Sim) h5ReadRestart(d int) {
 	} else {
 		s.top.particles = amr.NewParticleSet(0)
 	}
+	topSp.End()
 	owners := s.restartOwners()
 	for _, gm := range s.meta.Subgrids() {
 		if owners[gm.ID] != s.r.Rank() {
 			continue
 		}
+		sp := obs.Begin(s.r.Proc(), obs.LayerApp, "grid_read").Attr("grid", fmt.Sprint(gm.ID))
 		grid := &amr.Grid{
 			ID: gm.ID, Level: gm.Level, Parent: gm.Parent, Dims: gm.Dims,
 			LeftEdge: gm.LeftEdge, RightEdge: gm.RightEdge,
@@ -290,6 +299,7 @@ func (s *Sim) h5ReadRestart(d int) {
 		} else {
 			grid.Particles = amr.NewParticleSet(0)
 		}
+		sp.End()
 		s.owned[gm.ID] = grid
 	}
 	hf.Close()

@@ -7,6 +7,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/mpi"
 	"repro/internal/mpiio"
+	"repro/internal/obs"
 )
 
 // The paper's direct MPI-IO port (Section 3.2/3.3): all grids live in a
@@ -79,6 +80,7 @@ func (s *Sim) rawWriteIC(h *amr.Hierarchy) {
 // independent reads plus position redistribution for the particles.
 // Collective: all ranks must call it in the same order.
 func (s *Sim) rawReadGridPartitioned(f *mpiio.File, g core.GridMeta) *partition {
+	defer obs.Begin(s.r.Proc(), obs.LayerApp, "grid_read").Attr("grid", fmt.Sprint(g.ID)).End()
 	p := &partition{gridID: g.ID, sub: core.FieldSubarray(g, s.pz, s.py, s.px, s.r.Rank())}
 	p.fields = make([][]byte, len(amr.FieldNames))
 	for fi, name := range amr.FieldNames {
@@ -133,6 +135,7 @@ func (s *Sim) rawWriteDump(d int) {
 	}
 	// Top grid fields: collective two-phase writes, one per array.
 	g := s.meta.Top()
+	topSp := obs.Begin(s.r.Proc(), obs.LayerApp, "grid_write").Attr("grid", "0")
 	for fi, name := range amr.FieldNames {
 		f.WriteAtAll(s.fieldRuns(g, name, s.top.sub), s.top.fields[fi])
 	}
@@ -151,6 +154,7 @@ func (s *Sim) rawWriteDump(d int) {
 		}
 		s.localPartRows = [2]int64{rowOff, rowOff + myCount}
 	}
+	topSp.End()
 	// Subgrids: all grids go into the same shared file, but — as in the
 	// original design, which the port preserves — "each processor writes
 	// its own subgrids ... in parallel without communication": the owner
@@ -166,6 +170,7 @@ func (s *Sim) rawWriteDump(d int) {
 		// the communication overhead the paper observes on slow networks.
 		for _, gm := range s.meta.Subgrids() {
 			grid := s.owned[gm.ID] // nil on non-owners
+			sp := obs.Begin(s.r.Proc(), obs.LayerApp, "grid_write").Attr("grid", fmt.Sprint(gm.ID))
 			for _, a := range gm.Arrays() {
 				var runs []mpi.Run
 				var data []byte
@@ -176,6 +181,7 @@ func (s *Sim) rawWriteDump(d int) {
 				}
 				f.WriteAtAll(runs, data)
 			}
+			sp.End()
 		}
 		f.Close()
 		return
@@ -185,17 +191,18 @@ func (s *Sim) rawWriteDump(d int) {
 		if grid == nil {
 			continue
 		}
+		sp := obs.Begin(s.r.Proc(), obs.LayerApp, "grid_write").Attr("grid", fmt.Sprint(gm.ID))
 		for fi, name := range amr.FieldNames {
 			off, _ := s.layout.ArrayOffset(gm.ID, name)
 			f.WriteAt(grid.Fields[fi], off)
 		}
-		if gm.NParticles == 0 {
-			continue
+		if gm.NParticles > 0 {
+			for k, pa := range amr.ParticleArrays {
+				off, _ := s.layout.ArrayOffset(gm.ID, pa.Name)
+				f.WriteAt(grid.Particles.Arrays[k], off)
+			}
 		}
-		for k, pa := range amr.ParticleArrays {
-			off, _ := s.layout.ArrayOffset(gm.ID, pa.Name)
-			f.WriteAt(grid.Particles.Arrays[k], off)
-		}
+		sp.End()
 	}
 	f.Close()
 }
@@ -208,6 +215,7 @@ func (s *Sim) rawReadRestart(d int) {
 	// Top grid: collective field reads, block-wise particle reads with
 	// redistribution.
 	g := s.meta.Top()
+	topSp := obs.Begin(s.r.Proc(), obs.LayerApp, "grid_read").Attr("grid", "0")
 	s.top = &partition{gridID: 0, sub: core.FieldSubarray(g, s.pz, s.py, s.px, s.r.Rank())}
 	s.top.fields = make([][]byte, len(amr.FieldNames))
 	for fi, name := range amr.FieldNames {
@@ -233,6 +241,7 @@ func (s *Sim) rawReadRestart(d int) {
 	} else {
 		s.top.particles = amr.NewParticleSet(0)
 	}
+	topSp.End()
 	// Subgrids: round-robin whole-grid independent reads (data sieving
 	// does not matter here — the accesses are contiguous by design).
 	owners := s.restartOwners()
@@ -240,6 +249,7 @@ func (s *Sim) rawReadRestart(d int) {
 		if owners[gm.ID] != s.r.Rank() {
 			continue
 		}
+		sp := obs.Begin(s.r.Proc(), obs.LayerApp, "grid_read").Attr("grid", fmt.Sprint(gm.ID))
 		grid := &amr.Grid{
 			ID: gm.ID, Level: gm.Level, Parent: gm.Parent, Dims: gm.Dims,
 			LeftEdge: gm.LeftEdge, RightEdge: gm.RightEdge,
@@ -263,6 +273,7 @@ func (s *Sim) rawReadRestart(d int) {
 		} else {
 			grid.Particles = amr.NewParticleSet(0)
 		}
+		sp.End()
 		s.owned[gm.ID] = grid
 	}
 	f.Close()

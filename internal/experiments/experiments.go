@@ -11,12 +11,16 @@ package experiments
 import (
 	"fmt"
 	"io"
+	"os"
+	"path/filepath"
+	"strings"
 	"text/tabwriter"
 
 	"repro/internal/amr"
 	"repro/internal/core"
 	"repro/internal/enzo"
 	"repro/internal/machine"
+	"repro/internal/obs"
 )
 
 // Row is one measured configuration.
@@ -37,6 +41,10 @@ type Row struct {
 
 	Verified bool
 	Grids    int
+
+	// Makespan is the run's total virtual time (not printed in the paper
+	// tables; used for timeline utilization figures).
+	Makespan float64
 }
 
 // Options controls experiment scale. Quick shrinks the problems so the
@@ -44,6 +52,13 @@ type Row struct {
 // cmd/iobench run at full scale.
 type Options struct {
 	Quick bool
+
+	// TraceDir, when non-empty, runs every case with a stack-wide tracer
+	// attached and writes two files per case into the directory: a
+	// Perfetto-loadable "<case>.trace.json" timeline and a
+	// "<case>.report.txt" counter report. Tracing never changes virtual
+	// timings, so the measured rows are identical either way.
+	TraceDir string
 }
 
 // problem returns the named configuration, shrunk in Quick mode (the
@@ -77,13 +92,18 @@ func run(figure string, machCfg machine.Config, fsKind string, procs int,
 	if err != nil {
 		return Row{}, fmt.Errorf("%s %s/%s %s np=%d: %w", figure, machCfg.Name, fsKind, backend, procs, err)
 	}
+	return rowFromResult(figure, machCfg.Name, res), nil
+}
+
+// rowFromResult converts a run result into a Row.
+func rowFromResult(figure, machineName string, res *enzo.Result) Row {
 	return Row{
 		Figure:  figure,
-		Problem: cfg.Problem,
-		Machine: machCfg.Name,
-		FS:      fsKind,
-		Backend: backend.String(),
-		Procs:   procs,
+		Problem: res.Problem,
+		Machine: machineName,
+		FS:      res.FS,
+		Backend: res.Backend.String(),
+		Procs:   res.Procs,
 
 		ReadSec:    res.ReadTime(),
 		WriteSec:   res.WriteTime(),
@@ -92,7 +112,8 @@ func run(figure string, machCfg machine.Config, fsKind string, procs int,
 		WriteMB:    mb(res.BytesWritten),
 		Verified:   res.Verified,
 		Grids:      res.Grids,
-	}, nil
+		Makespan:   res.Makespan,
+	}
 }
 
 // Case is one (platform, file system, processor count, problem, backend)
@@ -114,6 +135,44 @@ func (c Case) Name() string {
 // Run executes the case.
 func (c Case) Run() (Row, error) {
 	return run(c.Figure, c.Machine, c.FS, c.Procs, c.Config, c.Backend)
+}
+
+// RunTraced executes the case with a stack-wide tracer attached and
+// returns it alongside the row. The row is identical to Run()'s — tracing
+// only reads the virtual clock.
+func (c Case) RunTraced() (Row, *obs.Tracer, error) {
+	tr := obs.NewTracer()
+	res, err := enzo.RunOnceTraced(c.Machine, c.FS, c.Procs, c.Config, c.Backend, tr)
+	if err != nil {
+		return Row{}, nil, fmt.Errorf("%s %s/%s %s np=%d: %w",
+			c.Figure, c.Machine.Name, c.FS, c.Backend, c.Procs, err)
+	}
+	return rowFromResult(c.Figure, c.Machine.Name, res), tr, nil
+}
+
+// writeCaseArtifacts dumps a traced case's timeline and report files.
+func writeCaseArtifacts(dir string, c Case, tr *obs.Tracer, makespan float64) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	base := strings.ReplaceAll(c.Figure+"_"+c.Name(), "/", "_")
+	tf, err := os.Create(filepath.Join(dir, base+".trace.json"))
+	if err != nil {
+		return err
+	}
+	if err := tr.WriteTrace(tf); err != nil {
+		tf.Close()
+		return err
+	}
+	if err := tf.Close(); err != nil {
+		return err
+	}
+	rf, err := os.Create(filepath.Join(dir, base+".report.txt"))
+	if err != nil {
+		return err
+	}
+	tr.WriteReport(rf, makespan)
+	return rf.Close()
 }
 
 // FigureCases enumerates the configurations of one figure; the Figure6..10
@@ -193,11 +252,22 @@ func FigureCases(figure string, o Options) []Case {
 	return cases
 }
 
-// runFigure executes every case of a figure.
+// runFigure executes every case of a figure, optionally emitting timeline
+// artifacts per case (Options.TraceDir).
 func runFigure(figure string, o Options) ([]Row, error) {
 	var rows []Row
 	for _, c := range FigureCases(figure, o) {
-		row, err := c.Run()
+		var row Row
+		var err error
+		if o.TraceDir != "" {
+			var tr *obs.Tracer
+			row, tr, err = c.RunTraced()
+			if err == nil {
+				err = writeCaseArtifacts(o.TraceDir, c, tr, row.Makespan)
+			}
+		} else {
+			row, err = c.Run()
+		}
 		if err != nil {
 			return nil, err
 		}

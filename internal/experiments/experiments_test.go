@@ -2,6 +2,8 @@ package experiments
 
 import (
 	"bytes"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -234,4 +236,48 @@ func TestRenderChart(t *testing.T) {
 		t.Fatalf("bar lengths wrong: hdf4=%d mpiio=%d", hdf4Bar, mpiioBar)
 	}
 	RenderChart(&buf, nil) // no rows: no panic
+}
+
+func TestRunTracedWritesArtifacts(t *testing.T) {
+	c := Case{
+		Figure:  "figX",
+		Machine: machine.ChibaCity(),
+		FS:      "pvfs",
+		Procs:   2,
+		Config:  enzo.Tiny(),
+		Backend: enzo.BackendMPIIO,
+	}
+	row, tr, err := c.RunTraced()
+	if err != nil {
+		t.Fatalf("RunTraced: %v", err)
+	}
+	if !row.Verified || row.Makespan <= 0 {
+		t.Fatalf("row = %+v", row)
+	}
+	// The traced row matches the untraced one exactly (zero perturbation).
+	plain, err := c.Run()
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	plain.Makespan = row.Makespan // Run() fills it too; compare the rest strictly
+	if row != plain {
+		t.Errorf("traced row differs from plain row:\n  %+v\n  %+v", row, plain)
+	}
+
+	dir := t.TempDir()
+	if err := writeCaseArtifacts(dir, c, tr, row.Makespan); err != nil {
+		t.Fatalf("writeCaseArtifacts: %v", err)
+	}
+	for _, name := range []string{
+		"figX_Tiny_pvfs_mpiio_np2.trace.json",
+		"figX_Tiny_pvfs_mpiio_np2.report.txt",
+	} {
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatalf("artifact %s: %v", name, err)
+		}
+		if len(data) == 0 {
+			t.Errorf("artifact %s is empty", name)
+		}
+	}
 }

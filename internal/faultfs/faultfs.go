@@ -9,6 +9,7 @@ import (
 	"sync"
 
 	"repro/internal/pfs"
+	"repro/internal/sim"
 )
 
 // Mode selects the injected failure.
@@ -69,6 +70,14 @@ func (f *FS) Stats() pfs.Stats { return f.inner.Stats() }
 
 // Exists implements pfs.FileSystem.
 func (f *FS) Exists(n string) bool { return f.inner.Exists(n) }
+
+// SetServeObserver implements pfs.ServeObservable by delegation, so fault
+// injection stays transparent to observability.
+func (f *FS) SetServeObserver(o sim.ServeObserver) {
+	if so, ok := f.inner.(pfs.ServeObservable); ok {
+		so.SetServeObserver(o)
+	}
+}
 
 // Snapshot implements pfs.FileSystem.
 func (f *FS) Snapshot() map[string][]byte { return f.inner.Snapshot() }

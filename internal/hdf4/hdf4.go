@@ -19,6 +19,7 @@ import (
 	"encoding/binary"
 	"fmt"
 
+	"repro/internal/obs"
 	"repro/internal/pfs"
 )
 
@@ -56,6 +57,7 @@ type SDFile struct {
 
 // Create makes a new container on fs, owned by the calling client.
 func Create(c pfs.Client, fs pfs.FileSystem, name string) (*SDFile, error) {
+	defer obs.Begin(c.Proc, obs.LayerHDF, "sd_create").Attr("file", name).End()
 	f, err := fs.Create(c, name)
 	if err != nil {
 		return nil, err
@@ -70,6 +72,7 @@ func Create(c pfs.Client, fs pfs.FileSystem, name string) (*SDFile, error) {
 // chain to build the in-memory index (one small read per SDS, as the real
 // library's DD-list walk does).
 func Open(c pfs.Client, fs pfs.FileSystem, name string) (*SDFile, error) {
+	defer obs.Begin(c.Proc, obs.LayerHDF, "sd_open").Attr("file", name).End()
 	f, err := fs.Open(c, name)
 	if err != nil {
 		return nil, err
@@ -164,14 +167,20 @@ func (s *SDFile) WriteSDS(name string, dims []int, elemSize int, data []byte) er
 	if n != int64(len(data)) {
 		return fmt.Errorf("hdf4: SDS %q dims imply %d bytes, got %d", name, n, len(data))
 	}
+	sp := obs.Begin(s.client.Proc, obs.LayerHDF, "sds_write").Bytes(n).Attr("sds", name)
+	defer sp.End()
 	info := SDSInfo{Name: name, Dims: append([]int(nil), dims...), ElemSize: elemSize,
 		DataOff: s.eof + ddSize, DataLen: n}
+	md := obs.Begin(s.client.Proc, obs.LayerHDF, "sds_meta")
 	s.f.WriteAt(s.client, encodeDD(info), s.eof)
+	md.End()
 	s.f.WriteAt(s.client, data, info.DataOff)
 	s.eof = info.DataOff + n
 	s.byName[name] = len(s.index)
 	s.index = append(s.index, info)
+	md = obs.Begin(s.client.Proc, obs.LayerHDF, "sds_meta")
 	s.writeHeader()
+	md.End()
 	return nil
 }
 
@@ -191,6 +200,8 @@ func (s *SDFile) ReadSDS(name string) (SDSInfo, []byte, error) {
 	if err != nil {
 		return info, nil, err
 	}
+	sp := obs.Begin(s.client.Proc, obs.LayerHDF, "sds_read").Bytes(info.DataLen).Attr("sds", name)
+	defer sp.End()
 	buf := make([]byte, info.DataLen)
 	s.f.ReadAt(s.client, buf, info.DataOff)
 	return info, buf, nil

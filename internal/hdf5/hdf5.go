@@ -24,6 +24,7 @@ import (
 
 	"repro/internal/mpi"
 	"repro/internal/mpiio"
+	"repro/internal/obs"
 	"repro/internal/pfs"
 )
 
@@ -101,6 +102,7 @@ type File struct {
 
 // Create collectively creates a container. Rank 0 writes the superblock.
 func Create(r *mpi.Rank, fs pfs.FileSystem, name string, cfg Config, hints mpiio.Hints) (*File, error) {
+	defer obs.Begin(r.Proc(), obs.LayerHDF, "md_create").Attr("file", name).End()
 	mf, err := mpiio.Open(r, fs, name, mpiio.ModeCreate, hints)
 	if err != nil {
 		return nil, err
@@ -117,6 +119,7 @@ func Create(r *mpi.Rank, fs pfs.FileSystem, name string, cfg Config, hints mpiio
 // OpenRead collectively opens an existing container. Rank 0 scans the
 // object-header chain and broadcasts the index.
 func OpenRead(r *mpi.Rank, fs pfs.FileSystem, name string, cfg Config, hints mpiio.Hints) (*File, error) {
+	defer obs.Begin(r.Proc(), obs.LayerHDF, "md_open").Attr("file", name).End()
 	mf, err := mpiio.Open(r, fs, name, mpiio.ModeRead, hints)
 	if err != nil {
 		return nil, err
@@ -252,6 +255,7 @@ func (h *File) CreateDataset(name string, dims []int, elemSize int) (*Dataset, e
 	if _, dup := h.index[name]; dup {
 		return nil, fmt.Errorf("hdf5: dataset %q already exists", name)
 	}
+	defer obs.Begin(h.r.Proc(), obs.LayerHDF, "md_dataset_create").Attr("dataset", name).End()
 	n := int64(elemSize)
 	for _, d := range dims {
 		n *= int64(d)
@@ -308,6 +312,7 @@ func (d *Dataset) ElemSize() int { return d.info.ElemSize }
 
 // packCost charges overhead (3): the recursive hyperslab iterator.
 func (d *Dataset) packCost(runs []mpi.Run) {
+	defer obs.Begin(d.h.r.Proc(), obs.LayerHDF, "pack").Bytes(mpi.TotalLen(runs)).End()
 	if d.h.cfg.DisableRecursivePack {
 		d.h.r.CopyCost(mpi.TotalLen(runs)) // flat memcpy-speed pack
 		return
@@ -341,6 +346,7 @@ func (d *Dataset) slabRuns(sel mpi.Subarray) []mpi.Run {
 // WriteHyperslab collectively writes a hyperslab selection; every rank of
 // the communicator must call it (possibly with an empty selection).
 func (d *Dataset) WriteHyperslab(sel mpi.Subarray, data []byte) {
+	defer obs.Begin(d.h.r.Proc(), obs.LayerHDF, "data_write").Bytes(int64(len(data))).End()
 	runs := d.slabRuns(sel)
 	d.packCost(runs)
 	d.h.mf.WriteAtAll(runs, data)
@@ -350,6 +356,7 @@ func (d *Dataset) WriteHyperslab(sel mpi.Subarray, data []byte) {
 // coordination (used for the irregular particle arrays, where each rank's
 // block is contiguous).
 func (d *Dataset) WriteHyperslabIndependent(sel mpi.Subarray, data []byte) {
+	defer obs.Begin(d.h.r.Proc(), obs.LayerHDF, "data_write_indep").Bytes(int64(len(data))).End()
 	runs := d.slabRuns(sel)
 	d.packCost(runs)
 	d.h.mf.WriteRuns(runs, data)
@@ -357,6 +364,7 @@ func (d *Dataset) WriteHyperslabIndependent(sel mpi.Subarray, data []byte) {
 
 // ReadHyperslab collectively reads a selection.
 func (d *Dataset) ReadHyperslab(sel mpi.Subarray, buf []byte) {
+	defer obs.Begin(d.h.r.Proc(), obs.LayerHDF, "data_read").Bytes(int64(len(buf))).End()
 	runs := d.slabRuns(sel)
 	d.h.mf.ReadAtAll(runs, buf)
 	d.packCost(runs) // scatter back through the selection iterator
@@ -364,6 +372,7 @@ func (d *Dataset) ReadHyperslab(sel mpi.Subarray, buf []byte) {
 
 // ReadHyperslabIndependent reads a selection without coordination.
 func (d *Dataset) ReadHyperslabIndependent(sel mpi.Subarray, buf []byte) {
+	defer obs.Begin(d.h.r.Proc(), obs.LayerHDF, "data_read_indep").Bytes(int64(len(buf))).End()
 	runs := d.slabRuns(sel)
 	d.h.mf.ReadRuns(runs, buf)
 	d.packCost(runs)
@@ -372,6 +381,7 @@ func (d *Dataset) ReadHyperslabIndependent(sel mpi.Subarray, buf []byte) {
 // Close collectively closes the dataset: another sync plus a rank-0
 // object-header rewrite (overhead 1 again).
 func (d *Dataset) Close() {
+	defer obs.Begin(d.h.r.Proc(), obs.LayerHDF, "md_dataset_close").End()
 	if !d.h.cfg.DisableCreateSync {
 		d.h.r.Barrier()
 	}
@@ -389,6 +399,7 @@ func (h *File) WriteAttribute(name string, value []byte) {
 	if int64(len(value)) > h.cfg.AttrSize-int64(nameLen)-tagPrefix {
 		panic(fmt.Sprintf("hdf5: attribute %q too large", name))
 	}
+	defer obs.Begin(h.r.Proc(), obs.LayerHDF, "md_attr").Attr("attr", name).End()
 	if h.r.Rank() == 0 {
 		rec := make([]byte, h.cfg.AttrSize)
 		copy(rec[:4], tagAttr)
@@ -406,6 +417,7 @@ func (h *File) WriteAttribute(name string, value []byte) {
 // Close collectively closes the container (final superblock update by
 // rank 0).
 func (h *File) Close() {
+	defer obs.Begin(h.r.Proc(), obs.LayerHDF, "md_close").End()
 	h.r.Barrier()
 	if h.r.Rank() == 0 {
 		h.writeSuperblock()

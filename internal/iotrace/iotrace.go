@@ -16,6 +16,7 @@ import (
 	"sync"
 
 	"repro/internal/pfs"
+	"repro/internal/sim"
 )
 
 // Op is the traced operation kind.
@@ -98,6 +99,9 @@ type OpStats struct {
 	MinBytes   int64
 	MaxBytes   int64
 	Sequential int64 // calls continuing the previous call's extent on the same file
+
+	// Per-call latency percentiles (nearest-rank over the call durations).
+	P50, P95, P99 float64
 }
 
 // Bandwidth returns bytes/second over the summed call durations.
@@ -127,12 +131,14 @@ func (r *Recorder) Summarize() Summary {
 	s := Summary{PerOp: make(map[Op]*OpStats), SizeHistogram: make(map[int]int64)}
 	lastEnd := make(map[string]int64) // file -> previous extent end
 	files := map[string]bool{}
+	durs := make(map[Op][]float64)
 	for i, ev := range evs {
 		st := s.PerOp[ev.Op]
 		if st == nil {
 			st = &OpStats{MinBytes: math.MaxInt64}
 			s.PerOp[ev.Op] = st
 		}
+		durs[ev.Op] = append(durs[ev.Op], ev.End-ev.Start)
 		st.Count++
 		st.Bytes += ev.Bytes
 		st.Seconds += ev.End - ev.Start
@@ -162,7 +168,31 @@ func (r *Recorder) Summarize() Summary {
 		}
 	}
 	s.Files = len(files)
+	for op, d := range durs {
+		st := s.PerOp[op]
+		st.P50 = percentile(d, 0.50)
+		st.P95 = percentile(d, 0.95)
+		st.P99 = percentile(d, 0.99)
+	}
 	return s
+}
+
+// percentile returns the q-quantile (0 < q <= 1) of durs by the
+// nearest-rank method, or 0 for an empty slice.
+func percentile(durs []float64, q float64) float64 {
+	if len(durs) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), durs...)
+	sort.Float64s(sorted)
+	rank := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(sorted) {
+		rank = len(sorted) - 1
+	}
+	return sorted[rank]
 }
 
 // Report writes a human-readable characterization, in the style of the
@@ -179,11 +209,11 @@ func (r *Recorder) Report(w io.Writer) {
 	for _, op := range ops {
 		st := s.PerOp[op]
 		fmt.Fprintf(w, "%-7s calls=%-7d bytes=%-12d", op, st.Count, st.Bytes)
-		if op == OpRead || op == OpWrite {
-			fmt.Fprintf(w, " min=%-8d max=%-10d seq=%5.1f%% bw=%.2f MB/s",
+		if (op == OpRead || op == OpWrite) && st.Count > 0 {
+			fmt.Fprintf(w, " min=%-8d max=%-10d seq=%5.1f%% bw=%.2f MB/s p50=%.2gs p95=%.2gs p99=%.2gs",
 				st.MinBytes, st.MaxBytes,
 				100*float64(st.Sequential)/float64(st.Count),
-				st.Bandwidth()/1e6)
+				st.Bandwidth()/1e6, st.P50, st.P95, st.P99)
 		}
 		fmt.Fprintln(w)
 	}
@@ -213,6 +243,11 @@ func (r *Recorder) Report(w io.Writer) {
 }
 
 func sizeLabel(bucket int) string {
+	if bucket == 0 {
+		// Bucket 0 holds 0- and 1-byte requests, so its lower bound is 0,
+		// not 2^0.
+		return "0B"
+	}
 	v := int64(1) << bucket
 	switch {
 	case v >= 1<<30:
@@ -240,6 +275,14 @@ type tracedFS struct {
 func (t *tracedFS) Name() string         { return t.inner.Name() }
 func (t *tracedFS) Stats() pfs.Stats     { return t.inner.Stats() }
 func (t *tracedFS) Exists(n string) bool { return t.inner.Exists(n) }
+
+// SetServeObserver implements pfs.ServeObservable by delegation, so the
+// tracing wrapper stays transparent to server observability.
+func (t *tracedFS) SetServeObserver(o sim.ServeObserver) {
+	if so, ok := t.inner.(pfs.ServeObservable); ok {
+		so.SetServeObserver(o)
+	}
+}
 
 func (t *tracedFS) Create(c pfs.Client, name string) (pfs.File, error) {
 	start := c.Proc.Now()

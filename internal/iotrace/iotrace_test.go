@@ -181,7 +181,8 @@ func TestSummaryConservesBytesProperty(t *testing.T) {
 }
 
 func TestSizeLabels(t *testing.T) {
-	cases := map[int]string{0: "1B", 10: "1K", 20: "1M", 30: "1G"}
+	// Bucket 0 also holds 0-byte requests, so its lower-bound label is 0B.
+	cases := map[int]string{0: "0B", 1: "2B", 10: "1K", 20: "1M", 30: "1G"}
 	for b, want := range cases {
 		if got := sizeLabel(b); got != want {
 			t.Fatalf("sizeLabel(%d) = %q, want %q", b, got, want)
@@ -266,5 +267,60 @@ func TestReportPatternsRenders(t *testing.T) {
 	out := buf.String()
 	if !strings.Contains(out, "strided") || !strings.Contains(out, "stride=512") {
 		t.Fatalf("report:\n%s", out)
+	}
+}
+
+func TestPercentilesEmptyTrace(t *testing.T) {
+	s := NewRecorder().Summarize()
+	if len(s.PerOp) != 0 {
+		t.Fatalf("empty trace produced per-op stats: %+v", s.PerOp)
+	}
+	if got := percentile(nil, 0.5); got != 0 {
+		t.Fatalf("percentile(nil) = %g, want 0", got)
+	}
+}
+
+func TestPercentilesSingleEvent(t *testing.T) {
+	rec := NewRecorder()
+	rec.Record(Event{Op: OpWrite, File: "f", Bytes: 100, Start: 1.0, End: 1.5})
+	st := rec.Summarize().PerOp[OpWrite]
+	if st == nil {
+		t.Fatal("no write stats")
+	}
+	for _, p := range []float64{st.P50, st.P95, st.P99} {
+		if p != 0.5 {
+			t.Fatalf("single-event percentiles = %g/%g/%g, want all 0.5", st.P50, st.P95, st.P99)
+		}
+	}
+}
+
+func TestPercentilesMultiFile(t *testing.T) {
+	rec := NewRecorder()
+	// 100 reads across two files with durations 0.01..1.00.
+	for i := 1; i <= 100; i++ {
+		file := "a"
+		if i%2 == 0 {
+			file = "b"
+		}
+		rec.Record(Event{Op: OpRead, File: file, Bytes: 10,
+			Start: float64(i), End: float64(i) + float64(i)/100})
+	}
+	st := rec.Summarize().PerOp[OpRead]
+	approx := func(got, want float64) bool { d := got - want; return d > -1e-9 && d < 1e-9 }
+	if !approx(st.P50, 0.50) || !approx(st.P95, 0.95) || !approx(st.P99, 0.99) {
+		t.Fatalf("percentiles = %g/%g/%g, want 0.50/0.95/0.99", st.P50, st.P95, st.P99)
+	}
+}
+
+func TestReportZeroCountNoPanic(t *testing.T) {
+	// A read op whose only events carry Count>0 is normal; construct the
+	// degenerate summary path by reporting an empty recorder plus an
+	// open-only trace (no read/write events at all).
+	rec := NewRecorder()
+	rec.Record(Event{Op: OpOpen, File: "f"})
+	var sb strings.Builder
+	rec.Report(&sb) // must not divide by zero
+	if !strings.Contains(sb.String(), "open") {
+		t.Fatalf("report missing open line:\n%s", sb.String())
 	}
 }

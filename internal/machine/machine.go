@@ -86,6 +86,14 @@ func (m *Machine) Node(rank int) int {
 // traffic compete for the same links (the Figure 8 effect).
 func (m *Machine) NIC(node int) *sim.Server { return m.nics[node] }
 
+// SetServeObserver attaches o to every node NIC, so network contention
+// shows up on observability timelines alongside disk queues.
+func (m *Machine) SetServeObserver(o sim.ServeObserver) {
+	for _, nic := range m.nics {
+		nic.SetObserver(o)
+	}
+}
+
 // SameNode reports whether two ranks share a physical node.
 func (m *Machine) SameNode(a, b int) bool { return m.Node(a) == m.Node(b) }
 

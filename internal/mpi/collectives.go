@@ -4,6 +4,8 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
+
+	"repro/internal/obs"
 )
 
 // collTag returns the reserved tag for this rank's next collective. Ranks
@@ -17,6 +19,7 @@ func (r *Rank) collTag() int {
 // Barrier blocks until every rank has entered it, using a dissemination
 // barrier: ceil(log2 P) rounds of zero-byte messages.
 func (r *Rank) Barrier() {
+	defer obs.Begin(r.proc, obs.LayerMPI, "barrier").End()
 	tag := r.collTag()
 	size := r.Size()
 	if size == 1 {
@@ -35,6 +38,8 @@ func (r *Rank) Barrier() {
 // Non-root ranks pass nil and receive the payload as the return value; the
 // root gets its own slice back.
 func (r *Rank) Bcast(root int, data []byte) []byte {
+	sp := obs.Begin(r.proc, obs.LayerMPI, "bcast").Bytes(int64(len(data)))
+	defer sp.End()
 	tag := r.collTag()
 	size := r.Size()
 	if size == 1 {
@@ -73,6 +78,7 @@ func (r *Rank) Bcast(root int, data []byte) []byte {
 // result is nil. Arrivals funnel through the root's NIC, so the incast
 // serialization the original ENZO HDF4 path suffers appears naturally.
 func (r *Rank) Gatherv(root int, data []byte) [][]byte {
+	defer obs.Begin(r.proc, obs.LayerMPI, "gatherv").Bytes(int64(len(data))).End()
 	tag := r.collTag()
 	size := r.Size()
 	if r.rank != root {
@@ -97,6 +103,11 @@ func (r *Rank) Gatherv(root int, data []byte) [][]byte {
 // Scatterv distributes parts[i] from root to rank i; every rank returns its
 // own part. Non-root ranks pass nil.
 func (r *Rank) Scatterv(root int, parts [][]byte) []byte {
+	var total int64
+	for _, p := range parts {
+		total += int64(len(p))
+	}
+	defer obs.Begin(r.proc, obs.LayerMPI, "scatterv").Bytes(total).End()
 	tag := r.collTag()
 	size := r.Size()
 	if r.rank == root {
@@ -122,6 +133,7 @@ func (r *Rank) Scatterv(root int, parts [][]byte) []byte {
 // algorithm: P-1 steps, each forwarding the most recently received block to
 // the right neighbour.
 func (r *Rank) Allgatherv(data []byte) [][]byte {
+	defer obs.Begin(r.proc, obs.LayerMPI, "allgatherv").Bytes(int64(len(data))).End()
 	tag := r.collTag()
 	size := r.Size()
 	out := make([][]byte, size)
@@ -153,6 +165,11 @@ func (r *Rank) Alltoallv(parts [][]byte) [][]byte {
 	if len(parts) != size {
 		panic(fmt.Sprintf("mpi: Alltoallv got %d parts for %d ranks", len(parts), size))
 	}
+	var total int64
+	for _, p := range parts {
+		total += int64(len(p))
+	}
+	defer obs.Begin(r.proc, obs.LayerMPI, "alltoallv").Bytes(total).End()
 	tag := r.collTag()
 	out := make([][]byte, size)
 	own := make([]byte, len(parts[r.rank]))
@@ -223,6 +240,7 @@ func decF64(b []byte) float64 { return math.Float64frombits(uint64(decI64(b))) }
 
 // reduceBytes runs a binomial-tree reduction of 8-byte payloads to root.
 func (r *Rank) reduceBytes(root int, data []byte, combine func(acc, in []byte) []byte) []byte {
+	defer obs.Begin(r.proc, obs.LayerMPI, "reduce").Bytes(int64(len(data))).End()
 	tag := r.collTag()
 	size := r.Size()
 	if size == 1 {

@@ -17,6 +17,7 @@ import (
 	"sort"
 
 	"repro/internal/mpi"
+	"repro/internal/obs"
 	"repro/internal/pfs"
 )
 
@@ -87,6 +88,7 @@ func Open(r *mpi.Rank, fs pfs.FileSystem, name string, mode Mode, hints Hints) (
 		hints.DSBufferSize = 4 << 20
 	}
 	client := pfs.Client{Proc: r.Proc(), Node: r.World().Machine().Node(r.Rank())}
+	defer obs.Begin(r.Proc(), obs.LayerMPIIO, "open").Attr("file", name).End()
 	var f pfs.File
 	var err error
 	if mode == ModeCreate {
@@ -117,6 +119,7 @@ func OpenIndependent(r *mpi.Rank, fs pfs.FileSystem, name string, mode Mode, hin
 		hints.DSBufferSize = 4 << 20
 	}
 	client := pfs.Client{Proc: r.Proc(), Node: r.World().Machine().Node(r.Rank())}
+	defer obs.Begin(r.Proc(), obs.LayerMPIIO, "open_indep").Attr("file", name).End()
 	var f pfs.File
 	var err error
 	if mode == ModeCreate {
@@ -143,12 +146,16 @@ func (f *File) Close() { f.f.Close(f.client) }
 
 // WriteAt writes a contiguous buffer at an explicit offset (independent).
 func (f *File) WriteAt(data []byte, off int64) {
+	sp := obs.Begin(f.client.Proc, obs.LayerMPIIO, "write_indep").Bytes(int64(len(data)))
 	f.f.WriteAt(f.client, data, off)
+	sp.End()
 }
 
 // ReadAt reads a contiguous extent at an explicit offset (independent).
 func (f *File) ReadAt(buf []byte, off int64) {
+	sp := obs.Begin(f.client.Proc, obs.LayerMPIIO, "read_indep").Bytes(int64(len(buf)))
 	f.f.ReadAt(f.client, buf, off)
+	sp.End()
 }
 
 // WriteRuns performs an independent noncontiguous write described by the
@@ -161,6 +168,8 @@ func (f *File) WriteRuns(runs []mpi.Run, data []byte) {
 		panic(fmt.Sprintf("mpiio: WriteRuns data %d bytes for %d bytes of runs",
 			len(data), mpi.TotalLen(runs)))
 	}
+	sp := obs.Begin(f.client.Proc, obs.LayerMPIIO, "write_runs").Bytes(int64(len(data)))
+	defer sp.End()
 	var p int64
 	for _, run := range runs {
 		f.f.WriteAt(f.client, data[p:p+run.Len], run.Off)
@@ -181,6 +190,8 @@ func (f *File) ReadRuns(runs []mpi.Run, buf []byte) {
 		return
 	}
 	if len(runs) == 1 || !f.hints.DataSieving {
+		sp := obs.Begin(f.client.Proc, obs.LayerMPIIO, "read_runs").Bytes(total)
+		defer sp.End()
 		var p int64
 		for _, run := range runs {
 			f.f.ReadAt(f.client, buf[p:p+run.Len], run.Off)
@@ -189,6 +200,9 @@ func (f *File) ReadRuns(runs []mpi.Run, buf []byte) {
 		return
 	}
 	// Data sieving: read [first, last) in chunks, extract pieces.
+	sp := obs.Begin(f.client.Proc, obs.LayerMPIIO, "read_sieve").Bytes(total).
+		Attr("sieving", "true")
+	defer sp.End()
 	lo := runs[0].Off
 	hi := runs[len(runs)-1].Off + runs[len(runs)-1].Len
 	chunk := make([]byte, f.hints.DSBufferSize)
@@ -401,7 +415,12 @@ func (f *File) WriteAtAll(runs []mpi.Run, data []byte) {
 	if mpi.TotalLen(runs) != int64(len(data)) {
 		panic("mpiio: WriteAtAll data/runs length mismatch")
 	}
+	proc := f.client.Proc
+	all := obs.Begin(proc, obs.LayerMPIIO, "write_all").Bytes(int64(len(data)))
+	defer all.End()
+	off := obs.Begin(proc, obs.LayerMPIIO, "offsets")
 	lo, hi, interleaved := f.accessRange(runs)
+	off.End()
 	if hi <= lo {
 		f.r.Barrier()
 		return
@@ -411,9 +430,11 @@ func (f *File) WriteAtAll(runs []mpi.Run, data []byte) {
 		// aggregation — write independently. The offset exchange above
 		// already synchronized entry; like ROMIO, there is no trailing
 		// barrier, so different ranks' writes pipeline across calls.
+		all.Attr("path", "independent")
 		f.WriteRuns(runs, data)
 		return
 	}
+	all.Attr("path", "two-phase")
 	naggs, rot := f.aggregators(lo, hi)
 	bufOff := bufPrefix(runs)
 
@@ -431,11 +452,14 @@ func (f *File) WriteAtAll(runs []mpi.Run, data []byte) {
 		}
 		parts[f.aggRank(a, rot)] = encodePieces(offs, lens, payload)
 	}
+	exch := obs.Begin(proc, obs.LayerMPIIO, "exchange")
 	recvd := f.r.Alltoallv(parts)
+	exch.End()
 
 	// I/O phase (aggregators only): assemble, coalesce, write in
 	// CBBufferSize chunks.
 	if f.myAggIndex(naggs, rot) >= 0 {
+		iop := obs.Begin(proc, obs.LayerMPIIO, "io")
 		var pieces []piece
 		var assembled int64
 		for _, msg := range recvd {
@@ -450,6 +474,7 @@ func (f *File) WriteAtAll(runs []mpi.Run, data []byte) {
 			sort.Slice(pieces, func(i, j int) bool { return pieces[i].off < pieces[j].off })
 			f.writeCoalesced(pieces)
 		}
+		iop.Bytes(assembled).End()
 	}
 	// Keep the participants in lockstep (ROMIO's two-phase iterations
 	// synchronize implicitly; a trailing barrier models that).
@@ -505,7 +530,12 @@ func (f *File) ReadAtAll(runs []mpi.Run, buf []byte) {
 	if mpi.TotalLen(runs) != int64(len(buf)) {
 		panic("mpiio: ReadAtAll buf/runs length mismatch")
 	}
+	proc := f.client.Proc
+	allSp := obs.Begin(proc, obs.LayerMPIIO, "read_all").Bytes(int64(len(buf)))
+	defer allSp.End()
+	offSp := obs.Begin(proc, obs.LayerMPIIO, "offsets")
 	lo, hi, interleaved := f.accessRange(runs)
+	offSp.End()
 	if hi <= lo {
 		f.r.Barrier()
 		return
@@ -514,9 +544,11 @@ func (f *File) ReadAtAll(runs []mpi.Run, buf []byte) {
 		// romio_cb_read=automatic: disjoint extents read independently
 		// (with data sieving for noncontiguous views), no trailing
 		// barrier.
+		allSp.Attr("path", "independent")
 		f.ReadRuns(runs, buf)
 		return
 	}
+	allSp.Attr("path", "two-phase")
 	naggs, rot := f.aggregators(lo, hi)
 	bufOff := bufPrefix(runs)
 
@@ -534,12 +566,15 @@ func (f *File) ReadAtAll(runs []mpi.Run, buf []byte) {
 		wants[a] = want{bpos: bpos}
 		reqs[f.aggRank(a, rot)] = encodePieces(offs, lens, make([][]byte, len(offs)))
 	}
+	exch := obs.Begin(proc, obs.LayerMPIIO, "exchange")
 	reqsRecvd := f.r.Alltoallv(reqs)
+	exch.End()
 
 	// I/O phase: aggregators read the coalesced union of requested
 	// extents and build per-requester replies.
 	replies := make([][]byte, f.r.Size())
 	if f.myAggIndex(naggs, rot) >= 0 {
+		iop := obs.Begin(proc, obs.LayerMPIIO, "io")
 		// Collect every requested extent.
 		type reqPiece struct {
 			src  int
@@ -614,8 +649,11 @@ func (f *File) ReadAtAll(runs []mpi.Run, buf []byte) {
 				replies[src] = encodePieces(offs, lens, payload)
 			}
 		}
+		iop.End()
 	}
+	exch = obs.Begin(proc, obs.LayerMPIIO, "exchange")
 	got := f.r.Alltoallv(replies)
+	exch.End()
 
 	// Place the received pieces into buf, in the order we requested them.
 	for a := 0; a < naggs; a++ {

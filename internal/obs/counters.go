@@ -1,0 +1,229 @@
+package obs
+
+import (
+	"repro/internal/pfs"
+	"repro/internal/sim"
+)
+
+// NumSizeBuckets bounds the request-size histogram: bucket i holds requests
+// with 2^i <= bytes < 2^(i+1); bucket 0 also holds 0- and 1-byte requests.
+// 2^47 bytes is far beyond any modelled request.
+const NumSizeBuckets = 48
+
+// SizeBucket returns the histogram bucket for an n-byte request.
+func SizeBucket(n int64) int {
+	b := 0
+	for v := n; v > 1; v >>= 1 {
+		b++
+	}
+	if b >= NumSizeBuckets {
+		b = NumSizeBuckets - 1
+	}
+	return b
+}
+
+// FileCounters is a Darshan-style counter record: one per (rank, file)
+// pair, accumulating operation counts, byte totals, access-pattern
+// classification and virtual time split between metadata and data.
+//
+// Access-pattern classification follows Darshan's definitions, tracked
+// independently for reads and writes: an access is *sequential* when its
+// offset is at or past the end of the rank's previous access to the file,
+// and *consecutive* when it starts exactly at the previous end.
+type FileCounters struct {
+	Rank int
+	File string
+
+	Creates int64
+	Opens   int64
+	Closes  int64
+	Reads   int64
+	Writes  int64
+
+	BytesRead    int64
+	BytesWritten int64
+
+	SeqReads     int64
+	ConsecReads  int64
+	SeqWrites    int64
+	ConsecWrites int64
+
+	// SizeHist buckets read+write request sizes by power of two.
+	SizeHist [NumSizeBuckets]int64
+
+	MetaTime  float64 // virtual seconds in create/open/close
+	ReadTime  float64
+	WriteTime float64
+
+	haveRead     bool
+	lastReadEnd  int64
+	haveWrite    bool
+	lastWriteEnd int64
+}
+
+func (t *Tracer) fileCounters(rank int, file string) *FileCounters {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	k := counterKey{rank: rank, file: file}
+	fc, ok := t.counters[k]
+	if !ok {
+		fc = &FileCounters{Rank: rank, File: file}
+		t.counters[k] = fc
+		t.ckeys = append(t.ckeys, k)
+	}
+	return fc
+}
+
+// Counters returns every per-rank per-file counter record in first-touch
+// order (deterministic: the engine serializes all simulated work).
+func (t *Tracer) Counters() []*FileCounters {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]*FileCounters, len(t.ckeys))
+	for i, k := range t.ckeys {
+		out[i] = t.counters[k]
+	}
+	return out
+}
+
+// WrapFS returns a pfs.FileSystem that records Darshan-style counters and
+// pfs-layer spans into tr around every call, then delegates to fs. Like
+// every obs hook it only reads the virtual clock. Procs without a tracer
+// attached pass through uncounted.
+func WrapFS(fs pfs.FileSystem, tr *Tracer) pfs.FileSystem {
+	return &obsFS{inner: fs, tr: tr}
+}
+
+type obsFS struct {
+	inner pfs.FileSystem
+	tr    *Tracer
+}
+
+func (o *obsFS) Name() string                      { return o.inner.Name() }
+func (o *obsFS) Stats() pfs.Stats                  { return o.inner.Stats() }
+func (o *obsFS) Exists(n string) bool              { return o.inner.Exists(n) }
+func (o *obsFS) Snapshot() map[string][]byte       { return o.inner.Snapshot() }
+func (o *obsFS) Restore(files map[string][]byte)   { o.inner.Restore(files) }
+
+// SetServeObserver implements pfs.ServeObservable by delegation, so server
+// observation reaches the real file system through the wrapper.
+func (o *obsFS) SetServeObserver(so sim.ServeObserver) {
+	if obsable, ok := o.inner.(pfs.ServeObservable); ok {
+		obsable.SetServeObserver(so)
+	}
+}
+
+// rank returns the rank attached to p, or -1 if p carries no tracer state.
+func rankOf(p *sim.Proc) int {
+	if h, ok := p.Trace().(*procTrace); ok {
+		return h.rank
+	}
+	return -1
+}
+
+func (o *obsFS) Create(c pfs.Client, name string) (pfs.File, error) {
+	sp := Begin(c.Proc, LayerPFS, "create").Attr("file", name)
+	start := c.Proc.Now()
+	f, err := o.inner.Create(c, name)
+	sp.End()
+	if err != nil {
+		return nil, err
+	}
+	if r := rankOf(c.Proc); r >= 0 {
+		fc := o.tr.fileCounters(r, name)
+		fc.Creates++
+		fc.MetaTime += c.Proc.Now() - start
+		o.tr.recordDur("create", c.Proc.Now()-start)
+	}
+	return &obsFile{inner: f, fs: o}, nil
+}
+
+func (o *obsFS) Open(c pfs.Client, name string) (pfs.File, error) {
+	sp := Begin(c.Proc, LayerPFS, "open").Attr("file", name)
+	start := c.Proc.Now()
+	f, err := o.inner.Open(c, name)
+	sp.End()
+	if err != nil {
+		return nil, err
+	}
+	if r := rankOf(c.Proc); r >= 0 {
+		fc := o.tr.fileCounters(r, name)
+		fc.Opens++
+		fc.MetaTime += c.Proc.Now() - start
+		o.tr.recordDur("open", c.Proc.Now()-start)
+	}
+	return &obsFile{inner: f, fs: o}, nil
+}
+
+type obsFile struct {
+	inner pfs.File
+	fs    *obsFS
+}
+
+func (f *obsFile) Name() string            { return f.inner.Name() }
+func (f *obsFile) Size(c pfs.Client) int64 { return f.inner.Size(c) }
+
+func (f *obsFile) ReadAt(c pfs.Client, buf []byte, off int64) {
+	n := int64(len(buf))
+	sp := Begin(c.Proc, LayerPFS, "read").Bytes(n)
+	start := c.Proc.Now()
+	f.inner.ReadAt(c, buf, off)
+	sp.End()
+	if r := rankOf(c.Proc); r >= 0 {
+		fc := f.fs.tr.fileCounters(r, f.inner.Name())
+		fc.Reads++
+		fc.BytesRead += n
+		fc.ReadTime += c.Proc.Now() - start
+		fc.SizeHist[SizeBucket(n)]++
+		if fc.haveRead {
+			if off == fc.lastReadEnd {
+				fc.ConsecReads++
+				fc.SeqReads++
+			} else if off > fc.lastReadEnd {
+				fc.SeqReads++
+			}
+		}
+		fc.haveRead = true
+		fc.lastReadEnd = off + n
+		f.fs.tr.recordDur("read", c.Proc.Now()-start)
+	}
+}
+
+func (f *obsFile) WriteAt(c pfs.Client, data []byte, off int64) {
+	n := int64(len(data))
+	sp := Begin(c.Proc, LayerPFS, "write").Bytes(n)
+	start := c.Proc.Now()
+	f.inner.WriteAt(c, data, off)
+	sp.End()
+	if r := rankOf(c.Proc); r >= 0 {
+		fc := f.fs.tr.fileCounters(r, f.inner.Name())
+		fc.Writes++
+		fc.BytesWritten += n
+		fc.WriteTime += c.Proc.Now() - start
+		fc.SizeHist[SizeBucket(n)]++
+		if fc.haveWrite {
+			if off == fc.lastWriteEnd {
+				fc.ConsecWrites++
+				fc.SeqWrites++
+			} else if off > fc.lastWriteEnd {
+				fc.SeqWrites++
+			}
+		}
+		fc.haveWrite = true
+		fc.lastWriteEnd = off + n
+		f.fs.tr.recordDur("write", c.Proc.Now()-start)
+	}
+}
+
+func (f *obsFile) Close(c pfs.Client) {
+	sp := Begin(c.Proc, LayerPFS, "close")
+	start := c.Proc.Now()
+	f.inner.Close(c)
+	sp.End()
+	if r := rankOf(c.Proc); r >= 0 {
+		fc := f.fs.tr.fileCounters(r, f.inner.Name())
+		fc.Closes++
+		fc.MetaTime += c.Proc.Now() - start
+		f.fs.tr.recordDur("close", c.Proc.Now()-start)
+	}
+}

@@ -57,6 +57,7 @@ type GPFS struct {
 	lockMgr *sim.Server
 	owners  map[*ByteStore]map[int64]int // file -> stripe -> last writer
 	meta    map[*ByteStore]*metanode     // file -> shared-file metanode state
+	obs     sim.ServeObserver            // attached to lazily created servers too
 	stats   statsCollector
 }
 
@@ -98,9 +99,30 @@ func (fs *GPFS) nodeVSD(node int) *sim.Server {
 	s, ok := fs.vsd[node]
 	if !ok {
 		s = sim.NewServer(fmt.Sprintf("gpfs/vsd%d", node))
+		s.SetObserver(fs.obs)
 		fs.vsd[node] = s
 	}
 	return s
+}
+
+// SetServeObserver implements ServeObservable: it covers the disks, I/O
+// NICs and token manager immediately and remembers o for the VSD client
+// queues and per-file metanodes that spring up later.
+func (fs *GPFS) SetServeObserver(o sim.ServeObserver) {
+	fs.obs = o
+	for _, d := range fs.disks {
+		d.Server().SetObserver(o)
+	}
+	for _, nic := range fs.ioNICs {
+		nic.SetObserver(o)
+	}
+	fs.lockMgr.SetObserver(o)
+	for _, s := range fs.vsd {
+		s.SetObserver(o)
+	}
+	for _, mn := range fs.meta {
+		mn.srv.SetObserver(o)
+	}
 }
 
 // Name implements FileSystem.
@@ -177,6 +199,7 @@ func (f *gpfsFile) metanodeUpdate(c Client, off, n int64) {
 	mn, ok := fs.meta[f.store]
 	if !ok {
 		mn = &metanode{srv: sim.NewServer("gpfs/metanode/" + f.name), lastExtender: -1}
+		mn.srv.SetObserver(fs.obs)
 		fs.meta[f.store] = mn
 	}
 	if off+n <= mn.seenMax {

@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"repro/internal/machine"
+	"repro/internal/sim"
 )
 
 // LocalConfig parameterizes the fourth experiment's storage: each compute
@@ -36,6 +37,7 @@ type LocalFS struct {
 	mu    sync.Mutex
 	disks map[int]*Disk
 	files map[string]map[int]*ByteStore // name -> node -> partition
+	obs   sim.ServeObserver             // attached to lazily created disks too
 	stats statsCollector
 }
 
@@ -69,9 +71,21 @@ func (fs *LocalFS) disk(node int) *Disk {
 	d, ok := fs.disks[node]
 	if !ok {
 		d = NewDisk(fmt.Sprintf("local/node%d", node), fs.cfg.Disk)
+		d.Server().SetObserver(fs.obs)
 		fs.disks[node] = d
 	}
 	return d
+}
+
+// SetServeObserver implements ServeObservable: it covers existing per-node
+// disks and remembers o for nodes whose disk has not been touched yet.
+func (fs *LocalFS) SetServeObserver(o sim.ServeObserver) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.obs = o
+	for _, d := range fs.disks {
+		d.Server().SetObserver(o)
+	}
 }
 
 func (fs *LocalFS) partition(name string, node int, create bool) (*ByteStore, error) {

@@ -51,6 +51,16 @@ type FileSystem interface {
 	Restore(files map[string][]byte)
 }
 
+// ServeObservable is implemented by file systems (and transparent
+// wrappers) that can attach a sim.ServeObserver to every internal
+// sim.Server — disks, NICs, daemon CPUs, lock managers — including servers
+// created lazily after the call. It is deliberately not part of FileSystem
+// so existing implementations and test fakes keep compiling; callers
+// type-assert and skip file systems that do not support it.
+type ServeObservable interface {
+	SetServeObserver(o sim.ServeObserver)
+}
+
 // File is an open file handle. Reads beyond the current size return zero
 // bytes (sparse-file semantics); writes extend the file.
 type File interface {

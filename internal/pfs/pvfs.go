@@ -81,6 +81,17 @@ func NewPVFS(mach *machine.Machine, cfg PVFSConfig) *PVFS {
 // Name implements FileSystem.
 func (fs *PVFS) Name() string { return "pvfs" }
 
+// SetServeObserver implements ServeObservable over the manager and every
+// iod's NIC, CPU and disk queues (all created eagerly).
+func (fs *PVFS) SetServeObserver(o sim.ServeObserver) {
+	fs.mgr.SetObserver(o)
+	for i := range fs.disks {
+		fs.disks[i].Server().SetObserver(o)
+		fs.iodNIC[i].SetObserver(o)
+		fs.iodCPU[i].SetObserver(o)
+	}
+}
+
 // Stats implements FileSystem.
 func (fs *PVFS) Stats() Stats { return fs.stats.snapshot() }
 

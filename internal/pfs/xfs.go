@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/machine"
+	"repro/internal/sim"
 )
 
 // XFSConfig parameterizes the Origin2000 scratch volume model: an XFS file
@@ -111,6 +112,13 @@ func (f *xfsFile) ReadAt(c Client, buf []byte, off int64) {
 	f.access(c, off, int64(len(buf)))
 	f.store.ReadAt(buf, off)
 	f.fs.stats.read(int64(len(buf)))
+}
+
+// SetServeObserver implements ServeObservable over every LUN queue.
+func (fs *XFS) SetServeObserver(o sim.ServeObserver) {
+	for _, d := range fs.luns {
+		d.Server().SetObserver(o)
+	}
 }
 
 // SeekStats sums the seek-class statistics across all LUNs.

@@ -77,6 +77,12 @@ type Proc struct {
 
 	resume chan struct{}
 	yield  chan yieldMsg
+
+	// trace is an opaque per-process observability context (owned by
+	// package obs). The engine never reads it; it rides on the Proc so
+	// instrumentation deep in the stack can find its tracer without
+	// threading a parameter through every layer.
+	trace any
 }
 
 // ID returns the process id (dense, starting at 0 in spawn order).
@@ -90,6 +96,14 @@ func (p *Proc) Now() float64 { return p.now }
 
 // Engine returns the engine that owns this process.
 func (p *Proc) Engine() *Engine { return p.engine }
+
+// SetTrace attaches an opaque observability context to this process (nil
+// detaches). Tracing never advances virtual clocks, so an attached context
+// cannot perturb the simulation.
+func (p *Proc) SetTrace(v any) { p.trace = v }
+
+// Trace returns the context set by SetTrace, or nil.
+func (p *Proc) Trace() any { return p.trace }
 
 // Advance moves this process's virtual clock forward by d seconds and
 // yields to the scheduler so that any process with an earlier clock can

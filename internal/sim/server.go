@@ -2,6 +2,13 @@ package sim
 
 import "fmt"
 
+// ServeObserver receives a callback for every request a Server processes.
+// Package obs implements it to build per-server timelines and queue-depth
+// counters; the callback must not advance any process clock.
+type ServeObserver interface {
+	ObserveServe(s *Server, arrive, start, end float64)
+}
+
 // Server models a shared hardware resource (a disk, a NIC, a lock manager,
 // an SMP node's I/O stack) as a FIFO queue in virtual time: a request that
 // arrives at time t while the server is busy until freeAt starts at
@@ -17,6 +24,14 @@ type Server struct {
 	// statistics
 	busy     float64
 	requests int64
+
+	// queue-wait accounting: time requests spend queued behind freeAt
+	// before their service starts.
+	waitSum float64
+	waitMax float64
+	delayed int64
+
+	obs ServeObserver
 }
 
 // NewServer returns an idle server. name appears in diagnostics.
@@ -26,6 +41,10 @@ func NewServer(name string) *Server {
 
 // Name returns the server's diagnostic name.
 func (s *Server) Name() string { return s.name }
+
+// SetObserver attaches an observer notified on every Serve. Pass nil to
+// detach. Observation is bookkeeping only and never changes virtual time.
+func (s *Server) SetObserver(o ServeObserver) { s.obs = o }
 
 // Serve enqueues a request arriving at virtual time `at` that needs
 // `service` seconds of exclusive use. It returns the times at which service
@@ -39,10 +58,20 @@ func (s *Server) Serve(at, service float64) (start, end float64) {
 	if s.freeAt > start {
 		start = s.freeAt
 	}
+	if wait := start - at; wait > 0 {
+		s.waitSum += wait
+		s.delayed++
+		if wait > s.waitMax {
+			s.waitMax = wait
+		}
+	}
 	end = start + service
 	s.freeAt = end
 	s.busy += service
 	s.requests++
+	if s.obs != nil {
+		s.obs.ObserveServe(s, at, start, end)
+	}
 	return start, end
 }
 
@@ -62,3 +91,26 @@ func (s *Server) BusyTime() float64 { return s.busy }
 
 // Requests returns how many requests the server has processed.
 func (s *Server) Requests() int64 { return s.requests }
+
+// QueueWait returns the total virtual seconds requests spent queued behind
+// earlier requests, the largest single queue delay, and how many requests
+// were delayed at all.
+func (s *Server) QueueWait() (total, max float64, delayed int64) {
+	return s.waitSum, s.waitMax, s.delayed
+}
+
+// Utilization returns the fraction of the window [0, until] this server
+// spent busy (0 if the window is empty). Callers typically pass the
+// engine's makespan.
+func (s *Server) Utilization(until float64) float64 {
+	if until <= 0 {
+		return 0
+	}
+	return s.busy / until
+}
+
+// String summarizes the server's load and queueing for diagnostics.
+func (s *Server) String() string {
+	return fmt.Sprintf("server %q: %d reqs, busy %.6fs, queue wait %.6fs (max %.6fs, %d delayed)",
+		s.name, s.requests, s.busy, s.waitSum, s.waitMax, s.delayed)
+}

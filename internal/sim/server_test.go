@@ -1,0 +1,98 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestServerQueueWait(t *testing.T) {
+	s := NewServer("disk")
+	// First request at t=0 for 2s: no wait.
+	start, end := s.Serve(0, 2)
+	if start != 0 || end != 2 {
+		t.Fatalf("first request: got start=%g end=%g", start, end)
+	}
+	// Second request arrives at t=1 while busy: waits 1s.
+	start, end = s.Serve(1, 3)
+	if start != 2 || end != 5 {
+		t.Fatalf("second request: got start=%g end=%g", start, end)
+	}
+	// Third request arrives at t=2 while busy until 5: waits 3s.
+	start, end = s.Serve(2, 1)
+	if start != 5 || end != 6 {
+		t.Fatalf("third request: got start=%g end=%g", start, end)
+	}
+	// Fourth request arrives after the queue drains: no wait.
+	start, end = s.Serve(10, 1)
+	if start != 10 || end != 11 {
+		t.Fatalf("fourth request: got start=%g end=%g", start, end)
+	}
+
+	total, max, delayed := s.QueueWait()
+	if total != 4 {
+		t.Errorf("total wait = %g, want 4", total)
+	}
+	if max != 3 {
+		t.Errorf("max wait = %g, want 3", max)
+	}
+	if delayed != 2 {
+		t.Errorf("delayed = %d, want 2", delayed)
+	}
+	if s.Requests() != 4 {
+		t.Errorf("requests = %d, want 4", s.Requests())
+	}
+	if s.BusyTime() != 7 {
+		t.Errorf("busy = %g, want 7", s.BusyTime())
+	}
+}
+
+func TestServerUtilization(t *testing.T) {
+	s := NewServer("nic")
+	s.Serve(0, 2)
+	s.Serve(0, 2)
+	if got := s.Utilization(8); got != 0.5 {
+		t.Errorf("Utilization(8) = %g, want 0.5", got)
+	}
+	if got := s.Utilization(0); got != 0 {
+		t.Errorf("Utilization(0) = %g, want 0", got)
+	}
+}
+
+func TestServerString(t *testing.T) {
+	s := NewServer("lun0")
+	s.Serve(0, 1)
+	s.Serve(0, 1)
+	str := s.String()
+	for _, want := range []string{"lun0", "2 reqs", "queue wait 1.000000s", "max 1.000000s", "1 delayed"} {
+		if !strings.Contains(str, want) {
+			t.Errorf("String() = %q, missing %q", str, want)
+		}
+	}
+}
+
+type recordingObserver struct {
+	serves [][3]float64
+}
+
+func (r *recordingObserver) ObserveServe(s *Server, arrive, start, end float64) {
+	r.serves = append(r.serves, [3]float64{arrive, start, end})
+}
+
+func TestServerObserver(t *testing.T) {
+	s := NewServer("obs")
+	var rec recordingObserver
+	s.SetObserver(&rec)
+	s.Serve(0, 2)
+	s.Serve(1, 1)
+	s.SetObserver(nil)
+	s.Serve(5, 1) // not observed
+	want := [][3]float64{{0, 0, 2}, {1, 2, 3}}
+	if len(rec.serves) != len(want) {
+		t.Fatalf("observed %d serves, want %d", len(rec.serves), len(want))
+	}
+	for i, w := range want {
+		if rec.serves[i] != w {
+			t.Errorf("serve %d = %v, want %v", i, rec.serves[i], w)
+		}
+	}
+}
