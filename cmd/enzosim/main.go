@@ -7,6 +7,7 @@
 //	enzosim [-machine origin2000|sp2|chiba] [-fs xfs|gpfs|pvfs|local]
 //	        [-np N] [-problem AMR64|AMR128|AMR256|tiny]
 //	        [-backend hdf4|mpiio|mpiio-cb|hdf5] [-dumps N]
+//	        [-codec none|rle|delta|lzss]
 //
 // Times are deterministic virtual seconds on the modelled platform, not
 // wall-clock time of the simulator.
@@ -17,6 +18,7 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/compress"
 	"repro/internal/enzo"
 	"repro/internal/iotrace"
 	"repro/internal/machine"
@@ -31,6 +33,7 @@ func main() {
 	backendName := flag.String("backend", "mpiio", "I/O backend: hdf4, mpiio, mpiio-cb, hdf5")
 	dumps := flag.Int("dumps", 1, "checkpoint dumps per run")
 	refine := flag.Int("refine", 0, "dynamic refinement passes during evolution")
+	codec := flag.String("codec", "none", "transparent field compression: none, rle, delta, lzss")
 	trace := flag.Bool("trace", false, "print a Pablo-style I/O characterization of the run")
 	flag.Parse()
 
@@ -50,6 +53,11 @@ func main() {
 	}
 	cfg.Dumps = *dumps
 	cfg.RefineCycles = *refine
+	if _, err := compress.Resolve(*codec); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	cfg.Codec = *codec
 
 	backend, err := enzo.BackendByName(*backendName)
 	if err != nil {
@@ -72,6 +80,7 @@ func main() {
 	fmt.Printf("problem      %s (%d grids)\n", res.Problem, res.Grids)
 	fmt.Printf("platform     %s / %s, %d ranks\n", *machName, *fsKind, *np)
 	fmt.Printf("backend      %s\n", res.Backend)
+	fmt.Printf("codec        %s\n", res.Codec)
 	for _, p := range res.Phases {
 		fmt.Printf("  %-10s %10.3f s\n", p.Name, p.Seconds)
 	}

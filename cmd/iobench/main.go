@@ -4,7 +4,8 @@
 //
 // Usage:
 //
-//	iobench [-exp table1|fig6|fig7|fig8|fig9|fig10|all] [-quick]
+//	iobench [-exp table1|fig6|fig7|fig8|fig9|fig10|codecs|all] [-quick]
+//	        [-codec none|rle|delta|lzss]
 package main
 
 import (
@@ -12,6 +13,7 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/compress"
 	"repro/internal/experiments"
 )
 
@@ -20,9 +22,14 @@ func main() {
 	quick := flag.Bool("quick", false, "shrink problems for a fast smoke run")
 	chart := flag.Bool("chart", false, "also render each figure as ASCII bar charts")
 	tracedir := flag.String("tracedir", "", "write per-case Perfetto timelines and counter reports into this directory")
+	codec := flag.String("codec", "none", "run the figure cases with transparent field compression: none, rle, delta, lzss")
 	flag.Parse()
 
-	o := experiments.Options{Quick: *quick, TraceDir: *tracedir}
+	if _, err := compress.Resolve(*codec); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	o := experiments.Options{Quick: *quick, TraceDir: *tracedir, Codec: *codec}
 	type driver struct {
 		name  string
 		title string
@@ -39,6 +46,16 @@ func main() {
 	if *exp == "table1" || *exp == "all" {
 		fmt.Println("Table 1: Amount of data read/written by the ENZO application")
 		experiments.PrintTable1(os.Stdout, experiments.Table1(o))
+		fmt.Println()
+	}
+	if *exp == "codecs" || *exp == "all" {
+		fmt.Println("Codec sweep: transparent compression vs file system (Chiba City, MPI-IO, AMR128, np=8)")
+		rows, err := experiments.CodecSweep(o)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		experiments.PrintCodecSweep(os.Stdout, rows)
 		fmt.Println()
 	}
 	for _, d := range drivers {

@@ -8,7 +8,8 @@
 // Usage:
 //
 //	ioreport [-machine chiba] [-fs pvfs] [-backend mpiio] [-problem AMR64]
-//	         [-np 8] [-quick] [-trace timeline.json] [-o report.txt]
+//	         [-np 8] [-quick] [-codec none|rle|delta|lzss]
+//	         [-trace timeline.json] [-o report.txt]
 //
 // Tracing is zero-perturbation: the virtual timings of a traced run are
 // bit-identical to the same run without instrumentation.
@@ -20,6 +21,7 @@ import (
 	"io"
 	"os"
 
+	"repro/internal/compress"
 	"repro/internal/enzo"
 	"repro/internal/machine"
 	"repro/internal/obs"
@@ -32,6 +34,7 @@ func main() {
 	problem := flag.String("problem", "AMR64", "problem size: tiny, AMR64, AMR128 or AMR256")
 	np := flag.Int("np", 8, "number of MPI ranks")
 	quick := flag.Bool("quick", false, "shrink the problem for a fast smoke run")
+	codec := flag.String("codec", "none", "transparent field compression: none, rle, delta, lzss")
 	tracePath := flag.String("trace", "", "write a Perfetto-loadable trace-event JSON timeline here")
 	outPath := flag.String("o", "", "write the counter report here (default stdout)")
 	flag.Parse()
@@ -48,6 +51,10 @@ func main() {
 		cfg.Dims = [3]int{n, n, n}
 		cfg.NParticles = n * n * n / 2
 	}
+	if _, err := compress.Resolve(*codec); err != nil {
+		fatal(err)
+	}
+	cfg.Codec = *codec
 	backend, err := enzo.BackendByName(*backendName)
 	if err != nil {
 		fatal(err)

@@ -1,0 +1,143 @@
+package compress
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+)
+
+// Chunked container format. A packed array is self-describing and
+// independently seekable per chunk:
+//
+//	container := header chunk*
+//	header    := magic "CZ01" (4) | codec id (1) | reserved (3)
+//	             | chunk size (u32) | chunk count (u32) | raw length (u64)
+//	chunk     := raw length (u32) | stored length (u32)
+//	             | CRC-32C of stored bytes (u32)
+//	             | stored codec id (1) | reserved (3) | stored bytes
+//
+// Every chunk is compressed independently, so a reader can decode any
+// chunk after scanning only the fixed-size headers before it. A chunk
+// whose encoded form would be no smaller than its raw bytes is stored raw
+// (stored codec id 0) — the container never expands by more than the
+// header overhead. The CRC is over the stored bytes, so corruption
+// surfaces as a checksum error rather than as garbage grid data.
+const (
+	containerMagic  = "CZ01"
+	headerSize      = 24
+	chunkHeaderSize = 16
+
+	// DefaultChunkSize is the Pack granularity: large enough that varint
+	// and token streams amortize their startup, small enough that a grid
+	// array spans several independently checksummed chunks.
+	DefaultChunkSize = 256 << 10
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// capHint bounds an output pre-allocation by a length field that has not
+// been validated yet (it may come from a corrupted or adversarial header):
+// decoders grow their buffers by actual decoded work instead of trusting
+// the declared size, so a lying header costs an error, not memory.
+func capHint(rawLen int64) int {
+	const maxHint = 1 << 20
+	if rawLen < 0 {
+		return 0
+	}
+	if rawLen > maxHint {
+		return maxHint
+	}
+	return int(rawLen)
+}
+
+// Pack compresses src into the container format with the given codec and
+// chunk size (0 means DefaultChunkSize).
+func Pack(c Codec, src []byte, chunkSize int) []byte {
+	if chunkSize <= 0 {
+		chunkSize = DefaultChunkSize
+	}
+	nChunks := (len(src) + chunkSize - 1) / chunkSize
+	out := make([]byte, headerSize, headerSize+len(src)/2)
+	copy(out, containerMagic)
+	out[4] = c.ID()
+	binary.LittleEndian.PutUint32(out[8:], uint32(chunkSize))
+	binary.LittleEndian.PutUint32(out[12:], uint32(nChunks))
+	binary.LittleEndian.PutUint64(out[16:], uint64(len(src)))
+	for i := 0; i < nChunks; i++ {
+		lo := i * chunkSize
+		hi := lo + chunkSize
+		if hi > len(src) {
+			hi = len(src)
+		}
+		raw := src[lo:hi]
+		stored := c.Compress(raw)
+		storedID := c.ID()
+		if len(stored) >= len(raw) {
+			stored, storedID = raw, 0 // store-raw fallback
+		}
+		var hdr [chunkHeaderSize]byte
+		binary.LittleEndian.PutUint32(hdr[0:], uint32(len(raw)))
+		binary.LittleEndian.PutUint32(hdr[4:], uint32(len(stored)))
+		binary.LittleEndian.PutUint32(hdr[8:], crc32.Checksum(stored, crcTable))
+		hdr[12] = storedID
+		out = append(out, hdr[:]...)
+		out = append(out, stored...)
+	}
+	return out
+}
+
+// RawLen reads the logical (decompressed) length from a container header
+// without decoding any data.
+func RawLen(blob []byte) (int64, error) {
+	if len(blob) < headerSize || string(blob[:4]) != containerMagic {
+		return 0, fmt.Errorf("compress: not a container (bad magic)")
+	}
+	return int64(binary.LittleEndian.Uint64(blob[16:])), nil
+}
+
+// Unpack decodes a container produced by Pack, verifying every chunk's
+// checksum and the declared lengths. Corruption yields an error naming
+// the failing chunk, never silently wrong data.
+func Unpack(blob []byte) ([]byte, error) {
+	if len(blob) < headerSize {
+		return nil, fmt.Errorf("compress: container truncated (%d bytes)", len(blob))
+	}
+	if string(blob[:4]) != containerMagic {
+		return nil, fmt.Errorf("compress: not a container (bad magic)")
+	}
+	nChunks := int(binary.LittleEndian.Uint32(blob[12:]))
+	rawLen := int64(binary.LittleEndian.Uint64(blob[16:]))
+	out := make([]byte, 0, capHint(rawLen))
+	p := headerSize
+	for i := 0; i < nChunks; i++ {
+		if p+chunkHeaderSize > len(blob) {
+			return nil, fmt.Errorf("compress: chunk %d header truncated", i)
+		}
+		chunkRaw := int(binary.LittleEndian.Uint32(blob[p:]))
+		storedLen := int(binary.LittleEndian.Uint32(blob[p+4:]))
+		wantCRC := binary.LittleEndian.Uint32(blob[p+8:])
+		storedID := blob[p+12]
+		p += chunkHeaderSize
+		if p+storedLen > len(blob) {
+			return nil, fmt.Errorf("compress: chunk %d data truncated", i)
+		}
+		stored := blob[p : p+storedLen]
+		p += storedLen
+		if got := crc32.Checksum(stored, crcTable); got != wantCRC {
+			return nil, fmt.Errorf("compress: chunk %d checksum mismatch (got %08x, want %08x): corrupted data", i, got, wantCRC)
+		}
+		codec, err := ByID(storedID)
+		if err != nil {
+			return nil, fmt.Errorf("compress: chunk %d: %v", i, err)
+		}
+		raw, err := codec.Decompress(stored, chunkRaw)
+		if err != nil {
+			return nil, fmt.Errorf("compress: chunk %d: %v", i, err)
+		}
+		out = append(out, raw...)
+	}
+	if int64(len(out)) != rawLen {
+		return nil, fmt.Errorf("compress: container decodes to %d bytes, want %d", len(out), rawLen)
+	}
+	return out, nil
+}

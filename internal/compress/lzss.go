@@ -1,0 +1,155 @@
+package compress
+
+import "fmt"
+
+// lzssCodec is a general-purpose LZSS coder: a 4 KiB sliding window,
+// matches of 3..18 bytes found through a deterministic hash-chain matcher,
+// and the classic flag-byte token stream:
+//
+//	each group starts with a flag byte covering the next 8 tokens
+//	(LSB first); flag bit 0 = one literal byte, flag bit 1 = a 2-byte
+//	match token: [offset low 8 | offset high 4, length-3 in low 4],
+//	offset in 1..4096 counting back from the current position.
+//
+// Repeating 4-byte float patterns (constant field regions, per-plane
+// constants of the derived velocity fields) turn into long matches at
+// small offsets, which is where this codec earns its place next to the
+// field-specific delta coder.
+type lzssCodec struct{}
+
+func (lzssCodec) Name() string { return "lzss" }
+func (lzssCodec) ID() uint8    { return 3 }
+
+const (
+	lzWindow   = 4096
+	lzMinMatch = 3
+	lzMaxMatch = 18
+	lzHashBits = 13
+	lzMaxChain = 64
+)
+
+func lzHash(b []byte) uint32 {
+	return (uint32(b[0])<<16 | uint32(b[1])<<8 | uint32(b[2])) * 2654435761 >> (32 - lzHashBits)
+}
+
+func (lzssCodec) Compress(src []byte) []byte {
+	out := make([]byte, 0, len(src)/2+16)
+	head := make([]int32, 1<<lzHashBits)
+	prev := make([]int32, len(src))
+	for i := range head {
+		head[i] = -1
+	}
+
+	var group [17]byte // flag byte + up to 8 two-byte tokens
+	groupLen := 1
+	groupBits := 0
+	flush := func() {
+		if groupBits > 0 {
+			out = append(out, group[:groupLen]...)
+			group[0] = 0
+			groupLen = 1
+			groupBits = 0
+		}
+	}
+	emitLiteral := func(b byte) {
+		group[groupLen] = b
+		groupLen++
+		groupBits++
+		if groupBits == 8 {
+			flush()
+		}
+	}
+	emitMatch := func(dist, length int) {
+		group[0] |= 1 << groupBits
+		group[groupLen] = byte(dist & 0xFF)
+		group[groupLen+1] = byte((dist>>8)<<4 | (length - lzMinMatch))
+		groupLen += 2
+		groupBits++
+		if groupBits == 8 {
+			flush()
+		}
+	}
+	insert := func(i int) {
+		if i+lzMinMatch <= len(src) {
+			h := lzHash(src[i:])
+			prev[i] = head[h]
+			head[h] = int32(i)
+		}
+	}
+
+	i := 0
+	for i < len(src) {
+		bestLen, bestDist := 0, 0
+		if i+lzMinMatch <= len(src) {
+			limit := len(src) - i
+			if limit > lzMaxMatch {
+				limit = lzMaxMatch
+			}
+			for cand, steps := head[lzHash(src[i:])], 0; cand >= 0 && steps < lzMaxChain; cand, steps = prev[cand], steps+1 {
+				c := int(cand)
+				if i-c > lzWindow {
+					break
+				}
+				l := 0
+				for l < limit && src[c+l] == src[i+l] {
+					l++
+				}
+				if l > bestLen {
+					bestLen, bestDist = l, i-c
+					if l == limit {
+						break
+					}
+				}
+			}
+		}
+		if bestLen >= lzMinMatch {
+			emitMatch(bestDist-1, bestLen)
+			for k := 0; k < bestLen; k++ {
+				insert(i + k)
+			}
+			i += bestLen
+		} else {
+			emitLiteral(src[i])
+			insert(i)
+			i++
+		}
+	}
+	flush()
+	return out
+}
+
+func (lzssCodec) Decompress(src []byte, rawLen int) ([]byte, error) {
+	out := make([]byte, 0, capHint(int64(rawLen)))
+	i := 0
+	for i < len(src) {
+		flags := src[i]
+		i++
+		for bit := 0; bit < 8 && i < len(src); bit++ {
+			if flags&(1<<bit) == 0 {
+				out = append(out, src[i])
+				i++
+			} else {
+				if i+2 > len(src) {
+					return nil, fmt.Errorf("compress: lzss match token truncated at %d", i)
+				}
+				dist := (int(src[i]) | int(src[i+1]>>4)<<8) + 1
+				length := int(src[i+1]&0x0F) + lzMinMatch
+				i += 2
+				start := len(out) - dist
+				if start < 0 {
+					return nil, fmt.Errorf("compress: lzss match reaches before window start")
+				}
+				for k := 0; k < length; k++ {
+					out = append(out, out[start+k])
+				}
+			}
+			if len(out) > rawLen {
+				return nil, fmt.Errorf("compress: lzss output exceeds declared size %d", rawLen)
+			}
+		}
+	}
+	if len(out) != rawLen {
+		return nil, fmt.Errorf("compress: lzss output is %d bytes, want %d", len(out), rawLen)
+	}
+	return out, nil
+}

@@ -27,7 +27,9 @@ import (
 	"sync"
 
 	"repro/internal/amr"
+	"repro/internal/compress"
 	"repro/internal/core"
+	"repro/internal/hdf5"
 	"repro/internal/machine"
 	"repro/internal/mpi"
 	"repro/internal/mpiio"
@@ -96,6 +98,30 @@ type Config struct {
 	// deepens, IDs and metadata are exchanged, and the dump layout grows
 	// (Figure 2's evolution loop). 0 keeps the pre-refined hierarchy.
 	RefineCycles int
+
+	// Codec enables transparent compression of the regular baryon field
+	// arrays in the MPI-IO and HDF5 paths ("" or "none" = off; see
+	// compress.Names for the menu). Particle arrays stay raw — they are
+	// high-entropy and their block-range accesses need fixed addressing —
+	// and the HDF4 backend stays the uncompressed baseline.
+	Codec string
+	// CompressBps/DecompressBps override the codec CPU cost model (bytes
+	// per second charged to the calling rank's virtual clock); 0 keeps
+	// compress.DefaultCostModel.
+	CompressBps   float64
+	DecompressBps float64
+}
+
+// CostModel resolves the run's codec CPU cost model.
+func (c Config) CostModel() compress.CostModel {
+	m := compress.DefaultCostModel()
+	if c.CompressBps != 0 {
+		m.CompressBps = c.CompressBps
+	}
+	if c.DecompressBps != 0 {
+		m.DecompressBps = c.DecompressBps
+	}
+	return m
 }
 
 // AMR64 is the paper's smallest problem: a 64^3 root grid.
@@ -135,6 +161,7 @@ type Result struct {
 	Backend Backend
 	FS      string
 	Procs   int
+	Codec   string // "none" when compression is off
 
 	Phases []Phase
 
@@ -216,7 +243,50 @@ type Sim struct {
 	localPartRows [2]int64         // top-grid particle rows written at the last dump
 	localICRows   map[int][2]int64 // per-grid particle rows staged at setup
 
+	// codec is non-nil when transparent field compression is on; zcost is
+	// the CPU cost model charged per compress/decompress.
+	codec compress.Codec
+	zcost compress.CostModel
+
 	res *Result
+}
+
+// compressed reports whether this run compresses field arrays.
+func (s *Sim) compressed() bool { return s.codec != nil }
+
+// recordCodecBytes forwards logical/physical byte accounting to the file
+// system stack when an instrumentation wrapper wants it.
+func (s *Sim) recordCodecBytes(file string, write bool, logical, physical int64) {
+	if cr, ok := s.fs.(pfs.CodecReporter); ok {
+		cr.RecordCodecBytes(file, write, logical, physical)
+	}
+}
+
+// h5cfg is the HDF5 library configuration for file fname: compressed runs
+// wire the codec cost model and route per-dataset codec accounting into
+// the file-system stack under the file's name.
+func (s *Sim) h5cfg(fname string) hdf5.Config {
+	c := hdf5.DefaultConfig()
+	if s.compressed() {
+		c.Cost = s.zcost
+		c.OnCodec = func(write bool, logical, physical int64) {
+			s.recordCodecBytes(fname, write, logical, physical)
+		}
+	}
+	return c
+}
+
+// squeeze/expand run the codec on the calling rank's clock.
+func (s *Sim) squeeze(raw []byte) []byte {
+	return compress.Squeeze(s.r.Proc(), s.codec, s.zcost, raw)
+}
+
+func (s *Sim) expand(blob []byte) []byte {
+	raw, err := compress.Expand(s.r.Proc(), s.zcost, blob)
+	if err != nil {
+		panic(err)
+	}
+	return raw
 }
 
 // client returns this rank's file-system client identity.
@@ -273,6 +343,9 @@ func RunOnceTraced(machCfg machine.Config, fsKind string, nprocs int, cfg Config
 func runOnce(machCfg machine.Config, fsKind string, nprocs int, cfg Config,
 	backend Backend, wrap func(pfs.FileSystem) pfs.FileSystem, tr *obs.Tracer) (*Result, error) {
 	eng := sim.NewEngine()
+	if _, err := compress.Resolve(cfg.Codec); err != nil {
+		return nil, err
+	}
 	mach := machine.New(machCfg)
 	fs, err := MakeFS(fsKind, mach)
 	if err != nil {
@@ -288,7 +361,11 @@ func runOnce(machCfg machine.Config, fsKind string, nprocs int, cfg Config,
 		}
 		mach.SetServeObserver(tr)
 	}
-	res := &Result{Problem: cfg.Problem, Backend: backend, FS: fsKind, Procs: nprocs}
+	codecName := "none"
+	if compress.Active(cfg.Codec) {
+		codecName = cfg.Codec
+	}
+	res := &Result{Problem: cfg.Problem, Backend: backend, FS: fsKind, Procs: nprocs, Codec: codecName}
 	mpi.NewWorld(eng, mach, nprocs, func(r *mpi.Rank) {
 		if tr != nil {
 			tr.Attach(r.Proc(), r.Rank())
@@ -333,13 +410,22 @@ func NewSim(r *mpi.Rank, fs pfs.FileSystem, backend Backend, cfg Config, res *Re
 		hints.CBForce = true
 	}
 	pz, py, px := mpi.ProcGrid3D(r.Size())
-	return &Sim{
+	codec, err := compress.Resolve(cfg.Codec)
+	if err != nil {
+		panic(err) // runOnce validates; direct NewSim callers get the panic
+	}
+	s := &Sim{
 		r: r, fs: fs, backend: backend, hints: hints, cfg: cfg,
 		pz: pz, py: py, px: px,
 		owned:     make(map[int]*amr.Grid),
 		localMode: fs.Name() == "local",
 		res:       res,
 	}
+	if backend != BackendHDF4 { // HDF4 stays the uncompressed baseline
+		s.codec = codec
+		s.zcost = cfg.CostModel()
+	}
+	return s
 }
 
 // Run performs the whole measured flow.
@@ -424,13 +510,19 @@ func (s *Sim) writeIC(h *amr.Hierarchy) {
 	case BackendHDF4:
 		s.hdf4WriteIC(h)
 	case BackendMPIIO, BackendMPIIOCB:
-		if s.localMode {
+		switch {
+		case s.compressed():
+			// Compressed initial conditions are provisioned by scatter on
+			// both shared and local file systems: per-rank partitions are
+			// separately packed segments, so each rank writes its own.
+			s.rawzProvisionIC(h)
+		case s.localMode:
 			s.rawProvisionLocalIC(h)
-		} else {
+		default:
 			s.rawWriteIC(h)
 		}
 	case BackendHDF5:
-		if s.localMode {
+		if s.localMode || s.compressed() {
 			s.h5ProvisionLocalIC(h)
 		} else {
 			s.h5WriteIC(h)
@@ -443,7 +535,11 @@ func (s *Sim) readInitial() {
 	case BackendHDF4:
 		s.hdf4ReadInitial()
 	case BackendMPIIO, BackendMPIIOCB:
-		s.rawReadInitial()
+		if s.compressed() {
+			s.rawzReadInitial()
+		} else {
+			s.rawReadInitial()
+		}
 	case BackendHDF5:
 		s.h5ReadInitial()
 	}
@@ -455,7 +551,11 @@ func (s *Sim) writeDump(d int) {
 	case BackendHDF4:
 		s.hdf4WriteDump(d)
 	case BackendMPIIO, BackendMPIIOCB:
-		s.rawWriteDump(d)
+		if s.compressed() {
+			s.rawzWriteDump(d)
+		} else {
+			s.rawWriteDump(d)
+		}
 	case BackendHDF5:
 		s.h5WriteDump(d)
 	}
@@ -466,7 +566,11 @@ func (s *Sim) readRestart(d int) {
 	case BackendHDF4:
 		s.hdf4ReadRestart(d)
 	case BackendMPIIO, BackendMPIIOCB:
-		s.rawReadRestart(d)
+		if s.compressed() {
+			s.rawzReadRestart(d)
+		} else {
+			s.rawReadRestart(d)
+		}
 	case BackendHDF5:
 		s.h5ReadRestart(d)
 	}

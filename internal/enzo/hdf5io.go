@@ -46,7 +46,7 @@ func (s *Sim) fieldSel(g core.GridMeta) mpi.Subarray {
 }
 
 func (s *Sim) h5WriteIC(h *amr.Hierarchy) {
-	hf, err := hdf5.Create(s.r, s.fs, icH5File(), hdf5.DefaultConfig(), s.hints)
+	hf, err := hdf5.Create(s.r, s.fs, icH5File(), s.h5cfg(icH5File()), s.hints)
 	if err != nil {
 		panic(err)
 	}
@@ -97,6 +97,17 @@ func (s *Sim) h5ReadGridPartitioned(hf *hdf5.File, g core.GridMeta) *partition {
 		if err != nil {
 			panic(err)
 		}
+		if ds.Compressed() {
+			// Compressed datasets store one independently packed segment
+			// per writing rank; the IC was provisioned with this rank's
+			// partition in its own slot.
+			raw, err := ds.ReadCompressedSeg(s.r.Rank())
+			if err != nil {
+				panic(err)
+			}
+			p.fields[fi] = raw
+			continue
+		}
 		buf := make([]byte, p.sub.Bytes())
 		if s.localMode {
 			// Node-local disks: read the partition staged at setup.
@@ -111,7 +122,9 @@ func (s *Sim) h5ReadGridPartitioned(hf *hdf5.File, g core.GridMeta) *partition {
 		return p
 	}
 	lo, hi := core.BlockRange(g.NParticles, s.r.Size(), s.r.Rank())
-	if s.localMode {
+	if s.localMode || s.compressed() {
+		// Rows staged at provisioning time (both the local-disk mode and
+		// the compressed IC path stage per-rank rows at setup).
 		rng := s.localICRows[g.ID]
 		lo, hi = rng[0], rng[1]
 	}
@@ -134,7 +147,7 @@ func (s *Sim) h5ReadGridPartitioned(hf *hdf5.File, g core.GridMeta) *partition {
 }
 
 func (s *Sim) h5ReadInitial() {
-	hf, err := hdf5.OpenRead(s.r, s.fs, icH5File(), hdf5.DefaultConfig(), s.hints)
+	hf, err := hdf5.OpenRead(s.r, s.fs, icH5File(), s.h5cfg(icH5File()), s.hints)
 	if err != nil {
 		panic(err)
 	}
@@ -146,7 +159,7 @@ func (s *Sim) h5ReadInitial() {
 }
 
 func (s *Sim) h5WriteDump(d int) {
-	hf, err := hdf5.Create(s.r, s.fs, dumpH5File(d), hdf5.DefaultConfig(), s.hints)
+	hf, err := hdf5.Create(s.r, s.fs, dumpH5File(d), s.h5cfg(dumpH5File(d)), s.hints)
 	if err != nil {
 		panic(err)
 	}
@@ -155,6 +168,16 @@ func (s *Sim) h5WriteDump(d int) {
 	topSp := obs.Begin(s.r.Proc(), obs.LayerApp, "grid_write").Attr("grid", "0")
 	dims3 := []int{g.Dims[0], g.Dims[1], g.Dims[2]}
 	for fi, name := range amr.FieldNames {
+		if s.compressed() {
+			// Each rank packs and appends its own partition segment.
+			ds, err := hf.CreateDatasetZ(dsName(g.ID, name), dims3, amr.FieldElemSize, s.codec)
+			if err != nil {
+				panic(err)
+			}
+			ds.WriteCompressed(s.codec, s.top.fields[fi])
+			ds.Close()
+			continue
+		}
 		ds, err := hf.CreateDataset(dsName(g.ID, name), dims3, amr.FieldElemSize)
 		if err != nil {
 			panic(err)
@@ -192,6 +215,21 @@ func (s *Sim) h5WriteDump(d int) {
 		sp := obs.Begin(s.r.Proc(), obs.LayerApp, "grid_write").Attr("grid", fmt.Sprint(gm.ID))
 		gdims := []int{gm.Dims[0], gm.Dims[1], gm.Dims[2]}
 		for fi, name := range amr.FieldNames {
+			if s.compressed() {
+				// Only the owner contributes bytes; everyone still pays
+				// the collective create/close and the length exchange.
+				ds, err := hf.CreateDatasetZ(dsName(gm.ID, name), gdims, amr.FieldElemSize, s.codec)
+				if err != nil {
+					panic(err)
+				}
+				var raw []byte
+				if grid != nil {
+					raw = grid.Fields[fi]
+				}
+				ds.WriteCompressed(s.codec, raw)
+				ds.Close()
+				continue
+			}
 			ds, err := hf.CreateDataset(dsName(gm.ID, name), gdims, amr.FieldElemSize)
 			if err != nil {
 				panic(err)
@@ -221,7 +259,7 @@ func (s *Sim) h5WriteDump(d int) {
 }
 
 func (s *Sim) h5ReadRestart(d int) {
-	hf, err := hdf5.OpenRead(s.r, s.fs, dumpH5File(d), hdf5.DefaultConfig(), s.hints)
+	hf, err := hdf5.OpenRead(s.r, s.fs, dumpH5File(d), s.h5cfg(dumpH5File(d)), s.hints)
 	if err != nil {
 		panic(err)
 	}
@@ -233,6 +271,16 @@ func (s *Sim) h5ReadRestart(d int) {
 		ds, err := hf.OpenDataset(dsName(g.ID, name))
 		if err != nil {
 			panic(err)
+		}
+		if ds.Compressed() {
+			// Restart uses the dump decomposition: this rank's segment is
+			// exactly its partition.
+			raw, err := ds.ReadCompressedSeg(s.r.Rank())
+			if err != nil {
+				panic(err)
+			}
+			s.top.fields[fi] = raw
+			continue
 		}
 		buf := make([]byte, s.top.sub.Bytes())
 		ds.ReadHyperslab(s.top.sub, buf)
@@ -278,6 +326,17 @@ func (s *Sim) h5ReadRestart(d int) {
 			ds, err := hf.OpenDataset(dsName(gm.ID, name))
 			if err != nil {
 				panic(err)
+			}
+			if ds.Compressed() {
+				// The dump owner wrote the whole array as its one segment;
+				// concatenating the non-empty slots recovers it without
+				// knowing who the owner was.
+				raw, err := ds.ReadCompressedAll()
+				if err != nil {
+					panic(err)
+				}
+				grid.Fields[fi] = raw
+				continue
 			}
 			buf := make([]byte, int64(gm.Cells())*amr.FieldElemSize)
 			ds.ReadHyperslabIndependent(fullSel(gdims, amr.FieldElemSize), buf)

@@ -81,7 +81,7 @@ func (s *Sim) rawProvisionLocalIC(h *amr.Hierarchy) {
 // h5ProvisionLocalIC stages the HDF5 initial conditions the same way,
 // through independent hyperslab writes.
 func (s *Sim) h5ProvisionLocalIC(h *amr.Hierarchy) {
-	hf, err := hdf5.Create(s.r, s.fs, icH5File(), hdf5.DefaultConfig(), s.hints)
+	hf, err := hdf5.Create(s.r, s.fs, icH5File(), s.h5cfg(icH5File()), s.hints)
 	if err != nil {
 		panic(err)
 	}
@@ -91,6 +91,15 @@ func (s *Sim) h5ProvisionLocalIC(h *amr.Hierarchy) {
 		sub := s.fieldSel(gm)
 		dims3 := []int{gm.Dims[0], gm.Dims[1], gm.Dims[2]}
 		for fi, name := range amr.FieldNames {
+			if s.compressed() {
+				ds, err := hf.CreateDatasetZ(dsName(gm.ID, name), dims3, amr.FieldElemSize, s.codec)
+				if err != nil {
+					panic(err)
+				}
+				ds.WriteCompressed(s.codec, fields[fi])
+				ds.Close()
+				continue
+			}
 			ds, err := hf.CreateDataset(dsName(gm.ID, name), dims3, amr.FieldElemSize)
 			if err != nil {
 				panic(err)

@@ -1,0 +1,473 @@
+package enzo
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/amr"
+	"repro/internal/core"
+	"repro/internal/mpi"
+	"repro/internal/mpiio"
+	"repro/internal/obs"
+)
+
+// Compressed variant of the raw MPI-IO shared-file layout. Fixed offsets
+// from the replicated metadata no longer work once field arrays shrink by
+// data-dependent amounts, so the file gains a directory — the only piece
+// of in-file metadata in the raw path:
+//
+//	file  := dir segment*
+//	dir   := magic "RZ01" (4) | nranks (u32) | ngrids (u32) | nslots (u32)
+//	         | nslots x segment length (u64)
+//
+// Slots follow the same deterministic order as the uncompressed layout —
+// grids in ID order, arrays in the fixed access order — except that each
+// *regular* (baryon field) array owns nranks slots, one per rank's
+// independently packed partition segment, while each *irregular* (particle)
+// array keeps a single raw slot: particles are high-entropy and their
+// block-range accesses need fixed addressing. Segment data follows the
+// directory in slot order. Per-rank segment lengths are exchanged with one
+// batched allgather per dump; rank 0 writes the directory.
+
+const zMagic = "RZ01"
+
+// zLayout is the compressed shared-file layout: slot lengths plus the
+// offsets derived from them.
+type zLayout struct {
+	np       int
+	lens     []int64
+	offs     []int64
+	dirSize  int64
+	slot     map[string]int // "gridID/array" -> first slot index
+	regSlots []int          // first slot index of every regular array, global order
+	ngrids   int
+}
+
+func zkey(gridID int, name string) string { return fmt.Sprintf("%d/%s", gridID, name) }
+
+// newZLayout enumerates the slots for a hierarchy; regular-array lengths
+// stay zero until exchanged or decoded from a directory.
+func newZLayout(m *core.HierarchyMeta, np int) *zLayout {
+	z := &zLayout{np: np, slot: make(map[string]int), ngrids: len(m.Grids)}
+	for _, g := range m.Grids {
+		for _, a := range g.Arrays() {
+			z.slot[zkey(g.ID, a.Name)] = len(z.lens)
+			if a.Pattern == core.PatternRegular {
+				z.regSlots = append(z.regSlots, len(z.lens))
+				for r := 0; r < np; r++ {
+					z.lens = append(z.lens, 0)
+				}
+			} else {
+				z.lens = append(z.lens, a.Bytes())
+			}
+		}
+	}
+	z.dirSize = 16 + 8*int64(len(z.lens))
+	return z
+}
+
+// finalize turns slot lengths into absolute offsets (data follows the dir).
+func (z *zLayout) finalize() {
+	z.offs = make([]int64, len(z.lens))
+	off := z.dirSize
+	for i, n := range z.lens {
+		z.offs[i] = off
+		off += n
+	}
+}
+
+// fieldSeg returns rank rk's segment of a regular array.
+func (z *zLayout) fieldSeg(gridID int, name string, rk int) (off, length int64) {
+	i := z.slot[zkey(gridID, name)] + rk
+	return z.offs[i], z.lens[i]
+}
+
+// arraySeg returns an irregular array's raw region.
+func (z *zLayout) arraySeg(gridID int, name string) (off, length int64) {
+	i := z.slot[zkey(gridID, name)]
+	return z.offs[i], z.lens[i]
+}
+
+func (z *zLayout) encodeDir() []byte {
+	dir := make([]byte, z.dirSize)
+	copy(dir, zMagic)
+	binary.LittleEndian.PutUint32(dir[4:], uint32(z.np))
+	binary.LittleEndian.PutUint32(dir[8:], uint32(z.ngrids))
+	binary.LittleEndian.PutUint32(dir[12:], uint32(len(z.lens)))
+	for i, n := range z.lens {
+		binary.LittleEndian.PutUint64(dir[16+8*i:], uint64(n))
+	}
+	return dir
+}
+
+func (z *zLayout) decodeDir(dir []byte) error {
+	if int64(len(dir)) < z.dirSize || string(dir[:4]) != zMagic {
+		return fmt.Errorf("enzo: not a compressed raw dump (bad magic)")
+	}
+	if np := int(binary.LittleEndian.Uint32(dir[4:])); np != z.np {
+		return fmt.Errorf("enzo: compressed dump written by %d ranks, reading with %d", np, z.np)
+	}
+	if n := int(binary.LittleEndian.Uint32(dir[12:])); n != len(z.lens) {
+		return fmt.Errorf("enzo: compressed dump has %d slots, hierarchy expects %d", n, len(z.lens))
+	}
+	for i := range z.lens {
+		z.lens[i] = int64(binary.LittleEndian.Uint64(dir[16+8*i:]))
+	}
+	z.finalize()
+	return nil
+}
+
+// zExchangeLens distributes every rank's regular-array segment lengths
+// (one batched allgather — the compressed path's only added collective)
+// and finalizes the layout. mine must hold one length per regular array in
+// global order.
+func (s *Sim) zExchangeLens(z *zLayout, mine []int64) {
+	if len(mine) != len(z.regSlots) {
+		panic(fmt.Sprintf("enzo: zExchangeLens got %d lengths, want %d", len(mine), len(z.regSlots)))
+	}
+	buf := make([]byte, 8*len(mine))
+	for i, n := range mine {
+		binary.LittleEndian.PutUint64(buf[8*i:], uint64(n))
+	}
+	all := s.r.Allgatherv(buf)
+	for i, slot := range z.regSlots {
+		for rk := 0; rk < z.np; rk++ {
+			z.lens[slot+rk] = int64(binary.LittleEndian.Uint64(all[rk][8*i:]))
+		}
+	}
+	z.finalize()
+}
+
+// zOpenDir reads a dump's directory (rank 0 reads, everyone decodes).
+func (s *Sim) zOpenDir(f *mpiio.File) *zLayout {
+	z := newZLayout(s.meta, s.r.Size())
+	var dir []byte
+	if s.r.Rank() == 0 {
+		dir = make([]byte, z.dirSize)
+		f.ReadAt(dir, 0)
+	}
+	dir = s.r.Bcast(0, dir)
+	if err := z.decodeDir(dir); err != nil {
+		panic(err)
+	}
+	return z
+}
+
+// rawzProvisionIC stages compressed initial conditions: rank 0 scatters
+// every grid's partitions, each rank packs and writes its own field
+// segments, particles land raw at their fixed in-slot offsets. Used on
+// shared and node-local file systems alike — per-rank segments make the
+// initial read independent either way. Untimed (setup).
+func (s *Sim) rawzProvisionIC(h *amr.Hierarchy) {
+	f, err := mpiio.Open(s.r, s.fs, icRawFile(), mpiio.ModeCreate, s.hints)
+	if err != nil {
+		panic(err)
+	}
+	z := newZLayout(s.meta, s.r.Size())
+	s.localICRows = make(map[int][2]int64)
+	type staged struct {
+		fields [][]byte // packed containers
+		raws   []int64  // logical sizes
+		rows   []byte
+	}
+	st := make([]staged, len(s.meta.Grids))
+	mine := make([]int64, 0, len(z.regSlots))
+	for gi, gm := range s.meta.Grids {
+		fields, rows := s.scatterGridFromRoot(h, gm)
+		st[gi].fields = make([][]byte, len(fields))
+		st[gi].raws = make([]int64, len(fields))
+		for fi := range fields {
+			st[gi].raws[fi] = int64(len(fields[fi]))
+			if len(fields[fi]) > 0 {
+				st[gi].fields[fi] = s.squeeze(fields[fi])
+			}
+			mine = append(mine, int64(len(st[gi].fields[fi])))
+		}
+		st[gi].rows = rows
+	}
+	s.zExchangeLens(z, mine)
+	for gi, gm := range s.meta.Grids {
+		for fi, name := range amr.FieldNames {
+			if blob := st[gi].fields[fi]; len(blob) > 0 {
+				off, _ := z.fieldSeg(gm.ID, name, s.r.Rank())
+				f.WriteAt(blob, off)
+				s.recordCodecBytes(icRawFile(), true, st[gi].raws[fi], int64(len(blob)))
+			}
+		}
+		if gm.NParticles == 0 {
+			continue
+		}
+		myCount := int64(len(st[gi].rows) / rowSize())
+		rowOff := s.r.ExscanInt64(myCount)
+		cols := columnsFromRows(st[gi].rows)
+		for k, pa := range amr.ParticleArrays {
+			base, _ := z.arraySeg(gm.ID, pa.Name)
+			f.WriteAt(cols[k], base+rowOff*int64(pa.ElemSize))
+		}
+		s.localICRows[gm.ID] = [2]int64{rowOff, rowOff + myCount}
+	}
+	if s.r.Rank() == 0 {
+		f.WriteAt(z.encodeDir(), 0)
+	}
+	f.Close()
+}
+
+// rawzReadGridPartitioned reads one grid's rank-local partition from a
+// compressed file: the rank's own field segments (independent reads — the
+// segments are contiguous by construction), then the raw particle rows it
+// staged, redistributed by position.
+func (s *Sim) rawzReadGridPartitioned(f *mpiio.File, fname string, z *zLayout, g core.GridMeta) *partition {
+	defer obs.Begin(s.r.Proc(), obs.LayerApp, "grid_read").Attr("grid", fmt.Sprint(g.ID)).End()
+	p := &partition{gridID: g.ID, sub: core.FieldSubarray(g, s.pz, s.py, s.px, s.r.Rank())}
+	p.fields = make([][]byte, len(amr.FieldNames))
+	for fi, name := range amr.FieldNames {
+		p.fields[fi] = s.zReadSeg(f, fname, z, g.ID, name, s.r.Rank())
+	}
+	if g.NParticles == 0 {
+		p.particles = amr.NewParticleSet(0)
+		return p
+	}
+	rng := s.localICRows[g.ID]
+	lo, hi := rng[0], rng[1]
+	cols := make([][]byte, len(amr.ParticleArrays))
+	for k, pa := range amr.ParticleArrays {
+		base, _ := z.arraySeg(g.ID, pa.Name)
+		buf := make([]byte, (hi-lo)*int64(pa.ElemSize))
+		f.ReadAt(buf, base+lo*int64(pa.ElemSize))
+		cols[k] = buf
+	}
+	rows := rowsFromColumns(cols)
+	s.r.CopyCost(int64(len(rows)))
+	p.particles = s.redistributeByPosition(rows, g)
+	return p
+}
+
+// zReadSeg reads and unpacks one rank's segment of a regular array.
+func (s *Sim) zReadSeg(f *mpiio.File, fname string, z *zLayout, gridID int, name string, rk int) []byte {
+	off, n := z.fieldSeg(gridID, name, rk)
+	if n == 0 {
+		return nil
+	}
+	blob := make([]byte, n)
+	f.ReadAt(blob, off)
+	raw := s.expand(blob)
+	s.recordCodecBytes(fname, false, int64(len(raw)), n)
+	return raw
+}
+
+func (s *Sim) rawzReadInitial() {
+	f, err := mpiio.Open(s.r, s.fs, icRawFile(), mpiio.ModeRead, s.hints)
+	if err != nil {
+		panic(err)
+	}
+	z := s.zOpenDir(f)
+	s.top = s.rawzReadGridPartitioned(f, icRawFile(), z, s.meta.Top())
+	for _, g := range s.meta.Subgrids() {
+		s.partials = append(s.partials, s.rawzReadGridPartitioned(f, icRawFile(), z, g))
+	}
+	f.Close()
+}
+
+func (s *Sim) rawzWriteDump(d int) {
+	f, err := mpiio.Open(s.r, s.fs, dumpRawFile(d), mpiio.ModeCreate, s.hints)
+	if err != nil {
+		panic(err)
+	}
+	z := newZLayout(s.meta, s.r.Size())
+	// Pack everything first, so one batched allgather settles the layout.
+	g := s.meta.Top()
+	topBlobs := make([][]byte, len(amr.FieldNames))
+	topRaws := make([]int64, len(amr.FieldNames))
+	for fi := range amr.FieldNames {
+		topRaws[fi] = int64(len(s.top.fields[fi]))
+		if topRaws[fi] > 0 {
+			topBlobs[fi] = s.squeeze(s.top.fields[fi])
+		}
+	}
+	subBlobs := make(map[int][][]byte)
+	subRaws := make(map[int][]int64)
+	for _, gm := range s.meta.Subgrids() {
+		grid := s.owned[gm.ID]
+		if grid == nil {
+			continue
+		}
+		blobs := make([][]byte, len(amr.FieldNames))
+		raws := make([]int64, len(amr.FieldNames))
+		for fi := range amr.FieldNames {
+			raws[fi] = int64(len(grid.Fields[fi]))
+			blobs[fi] = s.squeeze(grid.Fields[fi])
+		}
+		subBlobs[gm.ID] = blobs
+		subRaws[gm.ID] = raws
+	}
+	mine := make([]int64, 0, len(z.regSlots))
+	for _, gm := range s.meta.Grids {
+		for fi := range amr.FieldNames {
+			switch {
+			case gm.ID == 0:
+				mine = append(mine, int64(len(topBlobs[fi])))
+			case subBlobs[gm.ID] != nil:
+				mine = append(mine, int64(len(subBlobs[gm.ID][fi])))
+			default:
+				mine = append(mine, 0)
+			}
+		}
+	}
+	s.zExchangeLens(z, mine)
+
+	forceCB := s.backend == BackendMPIIOCB && !s.localMode
+	writeSeg := func(blob []byte, off int64) {
+		if forceCB {
+			// Variant: every array write goes through MPI_File_write_all
+			// with collective buffering forced; the per-array offset
+			// exchange serializes the writers exactly as in the
+			// uncompressed mpiio-cb path.
+			var runs []mpi.Run
+			if len(blob) > 0 {
+				runs = []mpi.Run{{Off: off, Len: int64(len(blob))}}
+			}
+			f.WriteAtAll(runs, blob)
+		} else if len(blob) > 0 {
+			f.WriteAt(blob, off)
+		}
+	}
+
+	topSp := obs.Begin(s.r.Proc(), obs.LayerApp, "grid_write").Attr("grid", "0")
+	for fi, name := range amr.FieldNames {
+		off, _ := z.fieldSeg(g.ID, name, s.r.Rank())
+		writeSeg(topBlobs[fi], off)
+		if len(topBlobs[fi]) > 0 {
+			s.recordCodecBytes(dumpRawFile(d), true, topRaws[fi], int64(len(topBlobs[fi])))
+		}
+	}
+	// Top-grid particles: parallel sort by ID, then raw block-wise
+	// contiguous writes — identical to the uncompressed path.
+	if g.NParticles > 0 {
+		sortedRows := s.parallelSortByID(&s.top.particles)
+		myCount := int64(len(sortedRows) / rowSize())
+		rowOff := s.r.ExscanInt64(myCount)
+		cols := columnsFromRows(sortedRows)
+		s.r.CopyCost(int64(len(sortedRows)))
+		for k, pa := range amr.ParticleArrays {
+			base, _ := z.arraySeg(g.ID, pa.Name)
+			f.WriteAt(cols[k], base+rowOff*int64(pa.ElemSize))
+		}
+		s.localPartRows = [2]int64{rowOff, rowOff + myCount}
+	}
+	topSp.End()
+
+	for _, gm := range s.meta.Subgrids() {
+		blobs := subBlobs[gm.ID] // nil on non-owners
+		if blobs == nil && !forceCB {
+			continue
+		}
+		sp := obs.Begin(s.r.Proc(), obs.LayerApp, "grid_write").Attr("grid", fmt.Sprint(gm.ID))
+		for fi, name := range amr.FieldNames {
+			var blob []byte
+			var off int64
+			if blobs != nil {
+				off, _ = z.fieldSeg(gm.ID, name, s.r.Rank())
+				blob = blobs[fi]
+			}
+			writeSeg(blob, off)
+			if len(blob) > 0 {
+				s.recordCodecBytes(dumpRawFile(d), true, subRaws[gm.ID][fi], int64(len(blob)))
+			}
+		}
+		if gm.NParticles > 0 {
+			grid := s.owned[gm.ID]
+			for k, pa := range amr.ParticleArrays {
+				var runs []mpi.Run
+				var data []byte
+				if grid != nil {
+					off, length := z.arraySeg(gm.ID, pa.Name)
+					runs = []mpi.Run{{Off: off, Len: length}}
+					data = grid.Particles.Arrays[k]
+				}
+				if forceCB {
+					f.WriteAtAll(runs, data)
+				} else if grid != nil {
+					f.WriteAt(data, runs[0].Off)
+				}
+			}
+		}
+		sp.End()
+	}
+	if s.r.Rank() == 0 {
+		f.WriteAt(z.encodeDir(), 0)
+	}
+	f.Close()
+}
+
+func (s *Sim) rawzReadRestart(d int) {
+	f, err := mpiio.Open(s.r, s.fs, dumpRawFile(d), mpiio.ModeRead, s.hints)
+	if err != nil {
+		panic(err)
+	}
+	z := s.zOpenDir(f)
+	g := s.meta.Top()
+	topSp := obs.Begin(s.r.Proc(), obs.LayerApp, "grid_read").Attr("grid", "0")
+	s.top = &partition{gridID: 0, sub: core.FieldSubarray(g, s.pz, s.py, s.px, s.r.Rank())}
+	s.top.fields = make([][]byte, len(amr.FieldNames))
+	for fi, name := range amr.FieldNames {
+		// Restart uses the dump decomposition, so each rank's own segment
+		// is exactly its partition.
+		s.top.fields[fi] = s.zReadSeg(f, dumpRawFile(d), z, g.ID, name, s.r.Rank())
+	}
+	if g.NParticles > 0 {
+		lo, hi := core.BlockRange(g.NParticles, s.r.Size(), s.r.Rank())
+		if s.localMode {
+			lo, hi = s.localPartRows[0], s.localPartRows[1]
+		}
+		cols := make([][]byte, len(amr.ParticleArrays))
+		for k, pa := range amr.ParticleArrays {
+			base, _ := z.arraySeg(g.ID, pa.Name)
+			buf := make([]byte, (hi-lo)*int64(pa.ElemSize))
+			f.ReadAt(buf, base+lo*int64(pa.ElemSize))
+			cols[k] = buf
+		}
+		rows := rowsFromColumns(cols)
+		s.r.CopyCost(int64(len(rows)))
+		s.top.particles = s.redistributeByPosition(rows, g)
+	} else {
+		s.top.particles = amr.NewParticleSet(0)
+	}
+	topSp.End()
+	owners := s.restartOwners()
+	for _, gm := range s.meta.Subgrids() {
+		if owners[gm.ID] != s.r.Rank() {
+			continue
+		}
+		sp := obs.Begin(s.r.Proc(), obs.LayerApp, "grid_read").Attr("grid", fmt.Sprint(gm.ID))
+		grid := &amr.Grid{
+			ID: gm.ID, Level: gm.Level, Parent: gm.Parent, Dims: gm.Dims,
+			LeftEdge: gm.LeftEdge, RightEdge: gm.RightEdge,
+		}
+		grid.Fields = make([][]byte, len(amr.FieldNames))
+		for fi, name := range amr.FieldNames {
+			// The dump owner's slot is the grid's single non-empty segment;
+			// concatenating the non-empty slots in rank order recovers the
+			// whole array without knowing who owned it.
+			var full []byte
+			for rk := 0; rk < z.np; rk++ {
+				full = append(full, s.zReadSeg(f, dumpRawFile(d), z, gm.ID, name, rk)...)
+			}
+			grid.Fields[fi] = full
+		}
+		if gm.NParticles > 0 {
+			ps := amr.ParticleSet{N: int(gm.NParticles), Arrays: make([][]byte, len(amr.ParticleArrays))}
+			for k, pa := range amr.ParticleArrays {
+				off, length := z.arraySeg(gm.ID, pa.Name)
+				buf := make([]byte, length)
+				f.ReadAt(buf, off)
+				ps.Arrays[k] = buf
+			}
+			grid.Particles = ps
+		} else {
+			grid.Particles = amr.NewParticleSet(0)
+		}
+		sp.End()
+		s.owned[gm.ID] = grid
+	}
+	f.Close()
+}

@@ -1,0 +1,50 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestCodecSweepQuick runs the codec sweep at reduced scale: every row
+// must verify, and on PVFS at least one codec must beat the uncompressed
+// baseline on end-to-end I/O time.
+func TestCodecSweepQuick(t *testing.T) {
+	rows, err := CodecSweep(Options{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 8 {
+		t.Fatalf("expected 2 fs x 4 codecs = 8 rows, got %d", len(rows))
+	}
+	var pvfsBase, pvfsBest float64 = -1, -1
+	for _, r := range rows {
+		if !r.Verified {
+			t.Fatalf("%s/%s: not verified", r.FS, r.Codec)
+		}
+		if r.FS != "pvfs" {
+			continue
+		}
+		tot := r.WriteSec + r.RestartSec
+		if r.Codec == "none" {
+			pvfsBase = tot
+		} else if pvfsBest < 0 || tot < pvfsBest {
+			pvfsBest = tot
+		}
+	}
+	if pvfsBase <= 0 || pvfsBest <= 0 {
+		t.Fatal("sweep missing pvfs rows")
+	}
+	if pvfsBest >= pvfsBase {
+		t.Fatalf("no codec beat the uncompressed baseline on pvfs: best %.3fs vs none %.3fs",
+			pvfsBest, pvfsBase)
+	}
+	var buf bytes.Buffer
+	PrintCodecSweep(&buf, rows)
+	out := buf.String()
+	for _, want := range []string{"pvfs", "local", "lzss", "vs none"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("sweep table missing %q:\n%s", want, out)
+		}
+	}
+}

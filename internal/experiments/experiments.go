@@ -17,6 +17,7 @@ import (
 	"text/tabwriter"
 
 	"repro/internal/amr"
+	"repro/internal/compress"
 	"repro/internal/core"
 	"repro/internal/enzo"
 	"repro/internal/machine"
@@ -31,6 +32,7 @@ type Row struct {
 	FS      string
 	Backend string
 	Procs   int
+	Codec   string
 
 	ReadSec    float64
 	WriteSec   float64
@@ -59,6 +61,11 @@ type Options struct {
 	// "<case>.report.txt" counter report. Tracing never changes virtual
 	// timings, so the measured rows are identical either way.
 	TraceDir string
+
+	// Codec, when non-empty and not "none", runs every figure case with
+	// transparent field compression (the codec sweep ignores this and
+	// sweeps all codecs itself).
+	Codec string
 }
 
 // problem returns the named configuration, shrunk in Quick mode (the
@@ -104,6 +111,7 @@ func rowFromResult(figure, machineName string, res *enzo.Result) Row {
 		FS:      res.FS,
 		Backend: res.Backend.String(),
 		Procs:   res.Procs,
+		Codec:   res.Codec,
 
 		ReadSec:    res.ReadTime(),
 		WriteSec:   res.WriteTime(),
@@ -129,7 +137,11 @@ type Case struct {
 
 // Name returns a stable identifier for the case.
 func (c Case) Name() string {
-	return fmt.Sprintf("%s/%s/%s/np%d", c.Config.Problem, c.FS, c.Backend, c.Procs)
+	n := fmt.Sprintf("%s/%s/%s/np%d", c.Config.Problem, c.FS, c.Backend, c.Procs)
+	if compress.Active(c.Config.Codec) {
+		n += "/" + c.Config.Codec
+	}
+	return n
 }
 
 // Run executes the case.
@@ -242,9 +254,11 @@ func FigureCases(figure string, o Options) []Case {
 	for _, s := range sweeps {
 		for _, np := range s.procs {
 			for _, b := range s.backends {
+				cfg := o.problem(s.problem)
+				cfg.Codec = o.Codec
 				cases = append(cases, Case{
 					Figure: figure, Machine: mach, FS: fs, Procs: np,
-					Config: o.problem(s.problem), Backend: b,
+					Config: cfg, Backend: b,
 				})
 			}
 		}
@@ -333,6 +347,69 @@ func Figure9(o Options) ([]Row, error) { return runFigure("fig9", o) }
 // Figure10 regenerates the HDF5 vs MPI-IO write comparison on the
 // Origin2000/XFS.
 func Figure10(o Options) ([]Row, error) { return runFigure("fig10", o) }
+
+// CodecSweep measures transparent compression across codecs and file
+// systems: every registered codec (plus the uncompressed baseline) on the
+// Chiba City cluster over PVFS (shared storage behind fast Ethernet, where
+// trading CPU for bytes pays) and over node-local disks (where the local
+// stream rate makes it a wash). AMR128, 8 processors, MPI-IO backend —
+// the paper's Ethernet-degradation configuration.
+func CodecSweep(o Options) ([]Row, error) {
+	var rows []Row
+	for _, fs := range []string{"pvfs", "local"} {
+		for _, codec := range compress.Names() {
+			cfg := o.problem("AMR128")
+			cfg.Codec = codec
+			c := Case{
+				Figure: "codecs", Machine: machine.ChibaCity(), FS: fs, Procs: 8,
+				Config: cfg, Backend: enzo.BackendMPIIO,
+			}
+			var row Row
+			var err error
+			if o.TraceDir != "" {
+				var tr *obs.Tracer
+				row, tr, err = c.RunTraced()
+				if err == nil {
+					err = writeCaseArtifacts(o.TraceDir, c, tr, row.Makespan)
+				}
+			} else {
+				row, err = c.Run()
+			}
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+// PrintCodecSweep renders the codec sweep grouped by file system, with
+// each codec's end-to-end I/O time and volume against the uncompressed
+// baseline of the same file system.
+func PrintCodecSweep(w io.Writer, rows []Row) {
+	base := make(map[string]Row)
+	for _, r := range rows {
+		if r.Codec == "none" {
+			base[r.FS] = r
+		}
+	}
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "fs\tcodec\twrite(s)\trestart-read(s)\tio(s)\tMB written\tvs none\tverified")
+	for _, r := range rows {
+		tot := r.WriteSec + r.RestartSec
+		rel := "-"
+		if b, ok := base[r.FS]; ok && r.Codec != "none" {
+			btot := b.WriteSec + b.RestartSec
+			if btot > 0 {
+				rel = fmt.Sprintf("%+.1f%%", 100*(tot-btot)/btot)
+			}
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%.3f\t%.3f\t%.3f\t%.1f\t%s\t%v\n",
+			r.FS, r.Codec, r.WriteSec, r.RestartSec, tot, r.WriteMB, rel, r.Verified)
+	}
+	tw.Flush()
+}
 
 // PrintTable1 renders Table 1 like the paper's.
 func PrintTable1(w io.Writer, rows []Table1Row) {

@@ -22,6 +22,7 @@ import (
 	"encoding/binary"
 	"fmt"
 
+	"repro/internal/compress"
 	"repro/internal/mpi"
 	"repro/internal/mpiio"
 	"repro/internal/obs"
@@ -53,6 +54,15 @@ type Config struct {
 	// ParallelAttrs lets the calling rank write attributes without
 	// funnelling through rank 0 and waiting (overhead 4).
 	ParallelAttrs bool
+
+	// Cost is the codec CPU cost model charged when datasets created with
+	// CreateDatasetZ are written or read (zero value = free codecs).
+	Cost compress.CostModel
+	// OnCodec, when set, receives the logical/physical byte counts of every
+	// compressed dataset segment transfer (write=true for writes). The
+	// caller typically forwards these to a pfs.CodecReporter with the
+	// container file's name attached.
+	OnCodec func(write bool, logical, physical int64)
 }
 
 // DefaultConfig matches the calibration used for the paper reproduction:
@@ -87,7 +97,29 @@ type datasetInfo struct {
 	HdrOff   int64
 	DataOff  int64
 	DataLen  int64
+
+	// Codec/Segs describe a compressed dataset (CreateDatasetZ): the codec
+	// that packed the data and the number of per-rank segments. Codec 0 is
+	// a plain (uncompressed, hyperslab-addressable) dataset.
+	Codec uint8
+	Segs  int
+
+	// ZLens caches a compressed dataset's segment lengths in the in-memory
+	// index: the writer learns them from the length allgather and readers
+	// from the rank-0 metadata scan at open time (broadcast with the rest
+	// of the index) — node-local disks hold the on-disk directory only on
+	// rank 0's node, exactly like the object headers.
+	ZLens []int64
 }
+
+// compressed datasets store a segment directory at DataOff — one entry per
+// communicator rank — followed by the per-rank container blobs:
+//
+//	dir := seg count (u32) | pad (u32) | Segs x (abs offset u64, length u64)
+//
+// A rank's segment holds its own partition of the array, independently
+// packed, so reads need only the directory plus the wanted segment.
+func zDirSize(segs int) int64 { return 8 + 16*int64(segs) }
 
 // File is an HDF5-like container opened collectively by every rank of a
 // communicator.
@@ -146,6 +178,20 @@ func OpenRead(r *mpi.Rank, fs pfs.FileSystem, name string, cfg Config, hints mpi
 				mf.ReadAt(hdr, off)
 				info := decodeHeader(hdr)
 				info.HdrOff = off
+				if info.Codec != 0 && info.Segs > 0 {
+					// Pull the segment directory into the index while we
+					// are the one rank scanning the metadata.
+					dir := make([]byte, zDirSize(info.Segs))
+					mf.ReadAt(dir, info.DataOff)
+					if got := int(binary.LittleEndian.Uint32(dir)); got != info.Segs {
+						return nil, fmt.Errorf("hdf5: dataset %q: segment directory says %d segments, header says %d",
+							info.Name, got, info.Segs)
+					}
+					info.ZLens = make([]int64, info.Segs)
+					for i := range info.ZLens {
+						info.ZLens[i] = int64(binary.LittleEndian.Uint64(dir[16+16*i:]))
+					}
+				}
 				h.addInfo(info)
 				off = info.DataOff + bodyLen
 				found++
@@ -187,6 +233,8 @@ func encodeHeader(cfg Config, info *datasetInfo) []byte {
 	}
 	binary.LittleEndian.PutUint32(hdr[p+nameLen+4+8*maxDims:], uint32(info.ElemSize))
 	binary.LittleEndian.PutUint64(hdr[p+nameLen+8+8*maxDims:], uint64(info.DataOff))
+	binary.LittleEndian.PutUint32(hdr[p+nameLen+16+8*maxDims:], uint32(info.Codec))
+	binary.LittleEndian.PutUint32(hdr[p+nameLen+20+8*maxDims:], uint32(info.Segs))
 	return hdr
 }
 
@@ -205,6 +253,8 @@ func decodeHeader(hdr []byte) *datasetInfo {
 	}
 	info.ElemSize = int(binary.LittleEndian.Uint32(hdr[p+nameLen+4+8*maxDims:]))
 	info.DataOff = int64(binary.LittleEndian.Uint64(hdr[p+nameLen+8+8*maxDims:]))
+	info.Codec = uint8(binary.LittleEndian.Uint32(hdr[p+nameLen+16+8*maxDims:]))
+	info.Segs = int(binary.LittleEndian.Uint32(hdr[p+nameLen+20+8*maxDims:]))
 	return info
 }
 
@@ -220,17 +270,33 @@ func (h *File) encodeIndex() []byte {
 		binary.LittleEndian.PutUint64(n[:], uint64(info.HdrOff))
 		out = append(out, n[:]...)
 		out = append(out, hdr...)
+		binary.LittleEndian.PutUint64(n[:], uint64(len(info.ZLens)))
+		out = append(out, n[:]...)
+		for _, l := range info.ZLens {
+			binary.LittleEndian.PutUint64(n[:], uint64(l))
+			out = append(out, n[:]...)
+		}
 	}
 	return out
 }
 
 func (h *File) decodeIndex(enc []byte) {
 	h.eof = int64(binary.LittleEndian.Uint64(enc))
-	step := 8 + h.cfg.ObjectHeaderSize
-	for p := int64(8); p+step <= int64(len(enc)); p += step {
+	hdrLen := h.cfg.ObjectHeaderSize
+	for p := int64(8); p+8+hdrLen+8 <= int64(len(enc)); {
 		hdrOff := int64(binary.LittleEndian.Uint64(enc[p:]))
-		info := decodeHeader(enc[p+8 : p+step])
+		info := decodeHeader(enc[p+8 : p+8+hdrLen])
 		info.HdrOff = hdrOff
+		p += 8 + hdrLen
+		nz := int(binary.LittleEndian.Uint64(enc[p:]))
+		p += 8
+		if nz > 0 {
+			info.ZLens = make([]int64, nz)
+			for i := 0; i < nz; i++ {
+				info.ZLens[i] = int64(binary.LittleEndian.Uint64(enc[p:]))
+				p += 8
+			}
+		}
 		h.addInfo(info)
 	}
 }
@@ -246,6 +312,26 @@ type Dataset struct {
 // allocation point and a superblock update seeking back to offset 0, all
 // by rank 0 while the others wait.
 func (h *File) CreateDataset(name string, dims []int, elemSize int) (*Dataset, error) {
+	n := int64(elemSize)
+	for _, d := range dims {
+		n *= int64(d)
+	}
+	return h.createDataset(name, dims, elemSize, 0, 0, n)
+}
+
+// CreateDatasetZ collectively creates a compressed ("chunked+filtered")
+// dataset: its data region starts with a per-rank segment directory, and
+// the actual array bytes arrive packed through WriteCompressed. The same
+// create/close synchronization overheads apply — compression changes the
+// data volume, not the metadata protocol.
+func (h *File) CreateDatasetZ(name string, dims []int, elemSize int, c compress.Codec) (*Dataset, error) {
+	if c == nil || c.ID() == 0 {
+		return nil, fmt.Errorf("hdf5: dataset %q: CreateDatasetZ needs an active codec", name)
+	}
+	return h.createDataset(name, dims, elemSize, c.ID(), h.r.Size(), zDirSize(h.r.Size()))
+}
+
+func (h *File) createDataset(name string, dims []int, elemSize int, codec uint8, segs int, dataLen int64) (*Dataset, error) {
 	if len(dims) == 0 || len(dims) > maxDims {
 		return nil, fmt.Errorf("hdf5: dataset %q has unsupported rank %d", name, len(dims))
 	}
@@ -256,10 +342,7 @@ func (h *File) CreateDataset(name string, dims []int, elemSize int) (*Dataset, e
 		return nil, fmt.Errorf("hdf5: dataset %q already exists", name)
 	}
 	defer obs.Begin(h.r.Proc(), obs.LayerHDF, "md_dataset_create").Attr("dataset", name).End()
-	n := int64(elemSize)
-	for _, d := range dims {
-		n *= int64(d)
-	}
+	n := dataLen
 	if !h.cfg.DisableCreateSync {
 		h.r.Barrier() // internal sync on entry
 	}
@@ -272,6 +355,7 @@ func (h *File) CreateDataset(name string, dims []int, elemSize int) (*Dataset, e
 	info := &datasetInfo{
 		Name: name, Dims: append([]int(nil), dims...), ElemSize: elemSize,
 		HdrOff: h.eof, DataOff: dataOff, DataLen: n,
+		Codec: codec, Segs: segs,
 	}
 	h.addInfo(info)
 	if h.r.Rank() == 0 {
@@ -376,6 +460,150 @@ func (d *Dataset) ReadHyperslabIndependent(sel mpi.Subarray, buf []byte) {
 	runs := d.slabRuns(sel)
 	d.h.mf.ReadRuns(runs, buf)
 	d.packCost(runs)
+}
+
+// Compressed reports whether the dataset was created with CreateDatasetZ.
+func (d *Dataset) Compressed() bool { return d.info.Codec != 0 }
+
+// WriteCompressed collectively writes this rank's partition of a
+// compressed dataset: the raw bytes are packed into the chunked container
+// on the caller's clock, segment lengths are exchanged (the collective
+// synchronization point, replacing the two-phase offset exchange), each
+// rank appends its blob after the directory, and rank 0 writes the
+// directory. Ranks without data pass raw == nil and contribute an empty
+// segment.
+func (d *Dataset) WriteCompressed(c compress.Codec, raw []byte) {
+	if !d.Compressed() || c == nil || c.ID() != d.info.Codec {
+		panic(fmt.Sprintf("hdf5: dataset %q: WriteCompressed codec mismatch", d.info.Name))
+	}
+	defer obs.Begin(d.h.r.Proc(), obs.LayerHDF, "data_write_z").Bytes(int64(len(raw))).End()
+	var blob []byte
+	if len(raw) > 0 {
+		blob = compress.Squeeze(d.h.r.Proc(), c, d.h.cfg.Cost, raw)
+	}
+	plens := d.h.r.AllgatherInt64(int64(len(blob)))
+	segBase := d.info.DataOff + zDirSize(d.info.Segs)
+	off := segBase
+	var total int64
+	for rk, n := range plens {
+		if rk == d.h.r.Rank() && n > 0 {
+			d.h.mf.WriteAt(blob, off)
+		}
+		off += n
+		total += n
+	}
+	if d.h.r.Rank() == 0 {
+		dir := make([]byte, zDirSize(d.info.Segs))
+		binary.LittleEndian.PutUint32(dir, uint32(d.info.Segs))
+		at := segBase
+		for rk, n := range plens {
+			binary.LittleEndian.PutUint64(dir[8+16*rk:], uint64(at))
+			binary.LittleEndian.PutUint64(dir[16+16*rk:], uint64(n))
+			at += n
+		}
+		d.h.mf.WriteAt(dir, d.info.DataOff)
+	}
+	d.info.ZLens = plens
+	d.info.DataLen = zDirSize(d.info.Segs) + total
+	d.h.eof = d.info.DataOff + d.info.DataLen
+	if len(raw) > 0 && d.h.cfg.OnCodec != nil {
+		d.h.cfg.OnCodec(true, int64(len(raw)), int64(len(blob)))
+	}
+}
+
+// readZDir fetches the segment directory — from the index when it was
+// cached at open/write time (the usual case; on node-local disks the
+// on-disk copy exists only on rank 0's node), falling back to an
+// independent on-disk read otherwise.
+func (d *Dataset) readZDir() ([]int64, []int64, error) {
+	if d.info.ZLens != nil {
+		offs := make([]int64, d.info.Segs)
+		lens := make([]int64, d.info.Segs)
+		at := d.info.DataOff + zDirSize(d.info.Segs)
+		for i, l := range d.info.ZLens {
+			offs[i], lens[i] = at, l
+			at += l
+		}
+		return offs, lens, nil
+	}
+	dir := make([]byte, zDirSize(d.info.Segs))
+	d.h.mf.ReadAt(dir, d.info.DataOff)
+	if got := int(binary.LittleEndian.Uint32(dir)); got != d.info.Segs {
+		return nil, nil, fmt.Errorf("hdf5: dataset %q: segment directory says %d segments, header says %d",
+			d.info.Name, got, d.info.Segs)
+	}
+	offs := make([]int64, d.info.Segs)
+	lens := make([]int64, d.info.Segs)
+	for i := 0; i < d.info.Segs; i++ {
+		offs[i] = int64(binary.LittleEndian.Uint64(dir[8+16*i:]))
+		lens[i] = int64(binary.LittleEndian.Uint64(dir[16+16*i:]))
+	}
+	return offs, lens, nil
+}
+
+// ReadCompressedSeg independently reads and unpacks one rank's segment of
+// a compressed dataset (nil for an empty segment). Checksums are verified;
+// corruption surfaces as an error.
+func (d *Dataset) ReadCompressedSeg(slot int) ([]byte, error) {
+	if !d.Compressed() {
+		return nil, fmt.Errorf("hdf5: dataset %q is not compressed", d.info.Name)
+	}
+	if slot < 0 || slot >= d.info.Segs {
+		return nil, fmt.Errorf("hdf5: dataset %q has no segment %d", d.info.Name, slot)
+	}
+	sp := obs.Begin(d.h.r.Proc(), obs.LayerHDF, "data_read_z")
+	defer sp.End()
+	offs, lens, err := d.readZDir()
+	if err != nil {
+		return nil, err
+	}
+	if lens[slot] == 0 {
+		return nil, nil
+	}
+	blob := make([]byte, lens[slot])
+	d.h.mf.ReadAt(blob, offs[slot])
+	raw, err := compress.Expand(d.h.r.Proc(), d.h.cfg.Cost, blob)
+	if err != nil {
+		return nil, fmt.Errorf("hdf5: dataset %q segment %d: %w", d.info.Name, slot, err)
+	}
+	sp.Bytes(int64(len(raw)))
+	if d.h.cfg.OnCodec != nil {
+		d.h.cfg.OnCodec(false, int64(len(raw)), lens[slot])
+	}
+	return raw, nil
+}
+
+// ReadCompressedAll independently reads every non-empty segment in slot
+// order and concatenates the decoded bytes — for single-writer datasets
+// (one owner rank wrote the whole array) this recovers the full array.
+func (d *Dataset) ReadCompressedAll() ([]byte, error) {
+	if !d.Compressed() {
+		return nil, fmt.Errorf("hdf5: dataset %q is not compressed", d.info.Name)
+	}
+	sp := obs.Begin(d.h.r.Proc(), obs.LayerHDF, "data_read_z")
+	defer sp.End()
+	offs, lens, err := d.readZDir()
+	if err != nil {
+		return nil, err
+	}
+	var out []byte
+	for i := range lens {
+		if lens[i] == 0 {
+			continue
+		}
+		blob := make([]byte, lens[i])
+		d.h.mf.ReadAt(blob, offs[i])
+		raw, err := compress.Expand(d.h.r.Proc(), d.h.cfg.Cost, blob)
+		if err != nil {
+			return nil, fmt.Errorf("hdf5: dataset %q segment %d: %w", d.info.Name, i, err)
+		}
+		if d.h.cfg.OnCodec != nil {
+			d.h.cfg.OnCodec(false, int64(len(raw)), lens[i])
+		}
+		out = append(out, raw...)
+	}
+	sp.Bytes(int64(len(out)))
+	return out, nil
 }
 
 // Close collectively closes the dataset: another sync plus a rank-0

@@ -58,11 +58,33 @@ type Event struct {
 	End    float64
 }
 
+// CodecFileStats tallies transparently compressed transfers on one file:
+// logical bytes are the uncompressed array sizes the application moved,
+// physical bytes the container bytes that actually hit the file system.
+type CodecFileStats struct {
+	File            string
+	LogicalRead     int64
+	PhysicalRead    int64
+	LogicalWritten  int64
+	PhysicalWritten int64
+}
+
+// Ratio returns logical/physical for the given direction sums, or 0 when
+// no physical bytes moved (an all-raw or untouched file).
+func Ratio(logical, physical int64) float64 {
+	if physical <= 0 {
+		return 0
+	}
+	return float64(logical) / float64(physical)
+}
+
 // Recorder accumulates events. It is safe for use from the (serialized)
 // simulation and from tests.
 type Recorder struct {
-	mu     sync.Mutex
-	events []Event
+	mu         sync.Mutex
+	events     []Event
+	codec      map[string]*CodecFileStats
+	codecOrder []string
 }
 
 // NewRecorder returns an empty recorder.
@@ -88,7 +110,43 @@ func (r *Recorder) Events() []Event {
 func (r *Recorder) Reset() {
 	r.mu.Lock()
 	r.events = nil
+	r.codec = nil
+	r.codecOrder = nil
 	r.mu.Unlock()
+}
+
+// RecordCodecBytes tallies one compressed transfer (see pfs.CodecReporter).
+func (r *Recorder) RecordCodecBytes(file string, write bool, logical, physical int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.codec == nil {
+		r.codec = make(map[string]*CodecFileStats)
+	}
+	cs, ok := r.codec[file]
+	if !ok {
+		cs = &CodecFileStats{File: file}
+		r.codec[file] = cs
+		r.codecOrder = append(r.codecOrder, file)
+	}
+	if write {
+		cs.LogicalWritten += logical
+		cs.PhysicalWritten += physical
+	} else {
+		cs.LogicalRead += logical
+		cs.PhysicalRead += physical
+	}
+}
+
+// CodecStats returns the per-file compression tallies in first-touch order
+// (empty when no compressed transfers were recorded).
+func (r *Recorder) CodecStats() []CodecFileStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]CodecFileStats, 0, len(r.codecOrder))
+	for _, f := range r.codecOrder {
+		out = append(out, *r.codec[f])
+	}
+	return out
 }
 
 // OpStats aggregates one operation kind.
@@ -217,6 +275,15 @@ func (r *Recorder) Report(w io.Writer) {
 		}
 		fmt.Fprintln(w)
 	}
+	if cs := r.CodecStats(); len(cs) > 0 {
+		fmt.Fprintln(w, "compression (logical vs physical bytes per file):")
+		for _, c := range cs {
+			fmt.Fprintf(w, "  %-16s write %12d -> %-12d (%.2fx)  read %12d -> %-12d (%.2fx)\n",
+				c.File,
+				c.LogicalWritten, c.PhysicalWritten, Ratio(c.LogicalWritten, c.PhysicalWritten),
+				c.LogicalRead, c.PhysicalRead, Ratio(c.LogicalRead, c.PhysicalRead))
+		}
+	}
 	if len(s.SizeHistogram) > 0 {
 		fmt.Fprintln(w, "request size histogram (log2 buckets):")
 		buckets := make([]int, 0, len(s.SizeHistogram))
@@ -281,6 +348,16 @@ func (t *tracedFS) Exists(n string) bool { return t.inner.Exists(n) }
 func (t *tracedFS) SetServeObserver(o sim.ServeObserver) {
 	if so, ok := t.inner.(pfs.ServeObservable); ok {
 		so.SetServeObserver(o)
+	}
+}
+
+// RecordCodecBytes implements pfs.CodecReporter: the application layer
+// reports every compressed array transfer so the characterization can show
+// logical vs physical bytes and the achieved compression ratio per file.
+func (t *tracedFS) RecordCodecBytes(file string, write bool, logical, physical int64) {
+	t.rec.RecordCodecBytes(file, write, logical, physical)
+	if cr, ok := t.inner.(pfs.CodecReporter); ok {
+		cr.RecordCodecBytes(file, write, logical, physical)
 	}
 }
 

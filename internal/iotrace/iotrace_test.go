@@ -324,3 +324,68 @@ func TestReportZeroCountNoPanic(t *testing.T) {
 		t.Fatalf("report missing open line:\n%s", sb.String())
 	}
 }
+
+func TestCodecStatsAccumulateAndReport(t *testing.T) {
+	rec := NewRecorder()
+	rec.RecordCodecBytes("dump.raw", true, 1000, 250)
+	rec.RecordCodecBytes("dump.raw", true, 1000, 250)
+	rec.RecordCodecBytes("dump.raw", false, 500, 125)
+	rec.RecordCodecBytes("ic.raw", true, 100, 100)
+	stats := rec.CodecStats()
+	if len(stats) != 2 {
+		t.Fatalf("files = %d, want 2", len(stats))
+	}
+	if stats[0].File != "dump.raw" || stats[1].File != "ic.raw" {
+		t.Fatalf("first-touch order broken: %+v", stats)
+	}
+	if stats[0].LogicalWritten != 2000 || stats[0].PhysicalWritten != 500 {
+		t.Fatalf("write tally wrong: %+v", stats[0])
+	}
+	if stats[0].LogicalRead != 500 || stats[0].PhysicalRead != 125 {
+		t.Fatalf("read tally wrong: %+v", stats[0])
+	}
+	var buf bytes.Buffer
+	rec.Report(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "compression (logical vs physical bytes per file):") {
+		t.Fatalf("report missing compression section:\n%s", out)
+	}
+	if !strings.Contains(out, "4.00x") {
+		t.Fatalf("report missing ratio:\n%s", out)
+	}
+	rec.Reset()
+	if len(rec.CodecStats()) != 0 {
+		t.Fatal("Reset kept codec stats")
+	}
+}
+
+func TestRatioGuardsZeroPhysical(t *testing.T) {
+	if Ratio(100, 0) != 0 {
+		t.Fatal("zero physical bytes must yield ratio 0, not a division by zero")
+	}
+	if Ratio(0, 0) != 0 {
+		t.Fatal("empty transfer must yield ratio 0")
+	}
+	if Ratio(400, 100) != 4 {
+		t.Fatal("ratio wrong")
+	}
+}
+
+func TestUncompressedRunsOmitCodecSection(t *testing.T) {
+	fs, rec := tracedXFS()
+	eng := sim.NewEngine()
+	eng.Spawn("c", func(p *sim.Proc) {
+		c := pfs.Client{Proc: p, Node: 0}
+		f, _ := fs.Create(c, "plain")
+		f.WriteAt(c, []byte("data"), 0)
+		f.Close(c)
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	rec.Report(&buf)
+	if strings.Contains(buf.String(), "compression") {
+		t.Fatal("codec section printed for an uncompressed run")
+	}
+}

@@ -1,0 +1,83 @@
+package obs
+
+import "repro/internal/sim"
+
+// CodecCounters accumulates one rank's compression activity: call counts,
+// logical (raw grid) vs physical (stored container) bytes, and the CPU
+// time the cost model charged. The achieved ratio is logical/physical.
+type CodecCounters struct {
+	Rank int
+
+	CompressCalls   int64
+	CompressLogical int64 // raw bytes in
+	CompressStored  int64 // container bytes out
+	CompressTime    float64
+
+	DecompressCalls   int64
+	DecompressLogical int64 // raw bytes out
+	DecompressStored  int64 // container bytes in
+	DecompressTime    float64
+}
+
+// Ratio returns logical/physical, guarding against a zero physical count.
+func Ratio(logical, physical int64) float64 {
+	if physical <= 0 {
+		return 0
+	}
+	return float64(logical) / float64(physical)
+}
+
+func (t *Tracer) codecCounters(rank int) *CodecCounters {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.codecs == nil {
+		t.codecs = make(map[int]*CodecCounters)
+	}
+	cc, ok := t.codecs[rank]
+	if !ok {
+		cc = &CodecCounters{Rank: rank}
+		t.codecs[rank] = cc
+	}
+	return cc
+}
+
+// CodecStats returns the per-rank compression counters in rank order
+// (empty when no compression ran).
+func (t *Tracer) CodecStats() []*CodecCounters {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]*CodecCounters, 0, len(t.codecs))
+	for rank := 0; rank < len(t.ranks); rank++ {
+		if cc, ok := t.codecs[rank]; ok {
+			out = append(out, cc)
+		}
+	}
+	return out
+}
+
+// RecordCompress credits one compression call to p's rank. Like every obs
+// hook it is a no-op when p carries no tracer.
+func RecordCompress(p *sim.Proc, logical, stored int64, dur float64) {
+	h, _ := p.Trace().(*procTrace)
+	if h == nil {
+		return
+	}
+	cc := h.t.codecCounters(h.rank)
+	cc.CompressCalls++
+	cc.CompressLogical += logical
+	cc.CompressStored += stored
+	cc.CompressTime += dur
+}
+
+// RecordDecompress credits one decompression call to p's rank.
+func RecordDecompress(p *sim.Proc, logical, stored int64, dur float64) {
+	h, _ := p.Trace().(*procTrace)
+	if h == nil {
+		return
+	}
+	cc := h.t.codecCounters(h.rank)
+	cc.DecompressCalls++
+	cc.DecompressLogical += logical
+	cc.DecompressStored += stored
+	cc.DecompressTime += dur
+}

@@ -99,17 +99,26 @@ type obsFS struct {
 	tr    *Tracer
 }
 
-func (o *obsFS) Name() string                      { return o.inner.Name() }
-func (o *obsFS) Stats() pfs.Stats                  { return o.inner.Stats() }
-func (o *obsFS) Exists(n string) bool              { return o.inner.Exists(n) }
-func (o *obsFS) Snapshot() map[string][]byte       { return o.inner.Snapshot() }
-func (o *obsFS) Restore(files map[string][]byte)   { o.inner.Restore(files) }
+func (o *obsFS) Name() string                    { return o.inner.Name() }
+func (o *obsFS) Stats() pfs.Stats                { return o.inner.Stats() }
+func (o *obsFS) Exists(n string) bool            { return o.inner.Exists(n) }
+func (o *obsFS) Snapshot() map[string][]byte     { return o.inner.Snapshot() }
+func (o *obsFS) Restore(files map[string][]byte) { o.inner.Restore(files) }
 
 // SetServeObserver implements pfs.ServeObservable by delegation, so server
 // observation reaches the real file system through the wrapper.
 func (o *obsFS) SetServeObserver(so sim.ServeObserver) {
 	if obsable, ok := o.inner.(pfs.ServeObservable); ok {
 		obsable.SetServeObserver(so)
+	}
+}
+
+// RecordCodecBytes implements pfs.CodecReporter by delegation, so the
+// iotrace recorder (or any other wrapper below) still sees the
+// logical-vs-physical accounting when the obs wrapper sits on top.
+func (o *obsFS) RecordCodecBytes(file string, write bool, logical, physical int64) {
+	if cr, ok := o.inner.(pfs.CodecReporter); ok {
+		cr.RecordCodecBytes(file, write, logical, physical)
 	}
 }
 

@@ -31,6 +31,7 @@ const (
 	LayerMPIIO              // MPI-IO (ROMIO model): collective buffering, sieving
 	LayerMPI                // message passing: collectives, point-to-point
 	LayerPFS                // parallel file system calls
+	LayerCodec              // grid-data compression/decompression CPU
 	numLayers
 )
 
@@ -46,6 +47,8 @@ func (l Layer) String() string {
 		return "mpi"
 	case LayerPFS:
 		return "pfs"
+	case LayerCodec:
+		return "codec"
 	}
 	return "unknown"
 }
@@ -99,6 +102,8 @@ type Tracer struct {
 
 	counters map[counterKey]*FileCounters
 	ckeys    []counterKey // first-touch order
+
+	codecs map[int]*CodecCounters // per-rank compression counters
 
 	durs map[string][]float64 // op -> per-call virtual durations, for percentiles
 }

@@ -280,6 +280,34 @@ func (t *Tracer) WriteReport(w io.Writer, makespan float64) {
 		}
 	}
 
+	if cs := t.CodecStats(); len(cs) > 0 {
+		fmt.Fprintf(w, "\n== compression (logical vs physical bytes) ==\n")
+		fmt.Fprintf(w, "%4s %6s %12s %12s %6s %10s %6s %12s %12s %6s %10s\n",
+			"rank", "comps", "logical", "stored", "ratio", "cpu",
+			"decs", "logical", "stored", "ratio", "cpu")
+		var tot CodecCounters
+		for _, cc := range cs {
+			fmt.Fprintf(w, "%4d %6d %12d %12d %6.2f %10s %6d %12d %12d %6.2f %10s\n",
+				cc.Rank, cc.CompressCalls, cc.CompressLogical, cc.CompressStored,
+				Ratio(cc.CompressLogical, cc.CompressStored), fmtSecs(cc.CompressTime),
+				cc.DecompressCalls, cc.DecompressLogical, cc.DecompressStored,
+				Ratio(cc.DecompressLogical, cc.DecompressStored), fmtSecs(cc.DecompressTime))
+			tot.CompressCalls += cc.CompressCalls
+			tot.CompressLogical += cc.CompressLogical
+			tot.CompressStored += cc.CompressStored
+			tot.CompressTime += cc.CompressTime
+			tot.DecompressCalls += cc.DecompressCalls
+			tot.DecompressLogical += cc.DecompressLogical
+			tot.DecompressStored += cc.DecompressStored
+			tot.DecompressTime += cc.DecompressTime
+		}
+		fmt.Fprintf(w, "%4s %6d %12d %12d %6.2f %10s %6d %12d %12d %6.2f %10s\n",
+			"all", tot.CompressCalls, tot.CompressLogical, tot.CompressStored,
+			Ratio(tot.CompressLogical, tot.CompressStored), fmtSecs(tot.CompressTime),
+			tot.DecompressCalls, tot.DecompressLogical, tot.DecompressStored,
+			Ratio(tot.DecompressLogical, tot.DecompressStored), fmtSecs(tot.DecompressTime))
+	}
+
 	if srv := t.ServerStats(); len(srv) > 0 {
 		fmt.Fprintf(w, "\n== servers ==\n")
 		fmt.Fprintf(w, "%-24s %8s %12s %6s %12s %12s %8s\n", "server", "reqs", "busy", "util%", "wait_sum", "wait_max", "delayed")

@@ -61,6 +61,18 @@ type ServeObservable interface {
 	SetServeObserver(o sim.ServeObserver)
 }
 
+// CodecReporter is implemented by instrumentation wrappers that want the
+// logical (uncompressed) vs physical (on-disk) byte accounting of
+// transparently compressed transfers. The application layer calls it once
+// per compressed array transfer; the plain file system models do not
+// implement it — like ServeObservable it is type-asserted, never required.
+type CodecReporter interface {
+	// RecordCodecBytes reports one compressed transfer on file: logical is
+	// the array's uncompressed size, physical the container bytes actually
+	// moved. write distinguishes dump writes from restart/initial reads.
+	RecordCodecBytes(file string, write bool, logical, physical int64)
+}
+
 // File is an open file handle. Reads beyond the current size return zero
 // bytes (sparse-file semantics); writes extend the file.
 type File interface {
