@@ -7,7 +7,7 @@
 //	enzosim [-machine origin2000|sp2|chiba] [-fs xfs|gpfs|pvfs|local]
 //	        [-np N] [-problem AMR64|AMR128|AMR256|tiny]
 //	        [-backend hdf4|mpiio|mpiio-cb|hdf5] [-dumps N]
-//	        [-codec none|rle|delta|lzss]
+//	        [-codec none|rle|delta|lzss] [-async]
 //
 // Times are deterministic virtual seconds on the modelled platform, not
 // wall-clock time of the simulator.
@@ -34,6 +34,7 @@ func main() {
 	dumps := flag.Int("dumps", 1, "checkpoint dumps per run")
 	refine := flag.Int("refine", 0, "dynamic refinement passes during evolution")
 	codec := flag.String("codec", "none", "transparent field compression: none, rle, delta, lzss")
+	async := flag.Bool("async", false, "write-behind checkpoint I/O: overlap dumps with the next step's compute")
 	trace := flag.Bool("trace", false, "print a Pablo-style I/O characterization of the run")
 	flag.Parse()
 
@@ -58,6 +59,7 @@ func main() {
 		os.Exit(2)
 	}
 	cfg.Codec = *codec
+	cfg.AsyncIO = *async
 
 	backend, err := enzo.BackendByName(*backendName)
 	if err != nil {
@@ -83,6 +85,10 @@ func main() {
 	fmt.Printf("codec        %s\n", res.Codec)
 	for _, p := range res.Phases {
 		fmt.Printf("  %-10s %10.3f s\n", p.Name, p.Seconds)
+	}
+	if *async {
+		fmt.Printf("async dump   exposed %.3f s, hidden %.3f s (%.1f%% of device time hidden)\n",
+			res.ExposedWrite, res.HiddenWrite, 100*res.HiddenFraction())
 	}
 	fmt.Printf("bytes read   %d (%.1f MB)\n", res.BytesRead, float64(res.BytesRead)/(1<<20))
 	fmt.Printf("bytes written%d (%.1f MB)\n", res.BytesWritten, float64(res.BytesWritten)/(1<<20))

@@ -4,8 +4,8 @@
 //
 // Usage:
 //
-//	iobench [-exp table1|fig6|fig7|fig8|fig9|fig10|codecs|all] [-quick]
-//	        [-codec none|rle|delta|lzss]
+//	iobench [-exp table1|fig6|fig7|fig8|fig9|fig10|codecs|overlap|all]
+//	        [-quick] [-codec none|rle|delta|lzss] [-async]
 package main
 
 import (
@@ -23,13 +23,14 @@ func main() {
 	chart := flag.Bool("chart", false, "also render each figure as ASCII bar charts")
 	tracedir := flag.String("tracedir", "", "write per-case Perfetto timelines and counter reports into this directory")
 	codec := flag.String("codec", "none", "run the figure cases with transparent field compression: none, rle, delta, lzss")
+	async := flag.Bool("async", false, "run the figure cases with the write-behind dump pipeline")
 	flag.Parse()
 
 	if _, err := compress.Resolve(*codec); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-	o := experiments.Options{Quick: *quick, TraceDir: *tracedir, Codec: *codec}
+	o := experiments.Options{Quick: *quick, TraceDir: *tracedir, Codec: *codec, Async: *async}
 	type driver struct {
 		name  string
 		title string
@@ -46,6 +47,16 @@ func main() {
 	if *exp == "table1" || *exp == "all" {
 		fmt.Println("Table 1: Amount of data read/written by the ENZO application")
 		experiments.PrintTable1(os.Stdout, experiments.Table1(o))
+		fmt.Println()
+	}
+	if *exp == "overlap" || *exp == "all" {
+		fmt.Println("Overlap sweep: write-behind checkpoint I/O vs synchronous dumps (Chiba City, AMR128, np=8)")
+		rows, err := experiments.OverlapSweep(o)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		experiments.PrintOverlapSweep(os.Stdout, rows)
 		fmt.Println()
 	}
 	if *exp == "codecs" || *exp == "all" {

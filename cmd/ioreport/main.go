@@ -8,7 +8,7 @@
 // Usage:
 //
 //	ioreport [-machine chiba] [-fs pvfs] [-backend mpiio] [-problem AMR64]
-//	         [-np 8] [-quick] [-codec none|rle|delta|lzss]
+//	         [-np 8] [-quick] [-codec none|rle|delta|lzss] [-async]
 //	         [-trace timeline.json] [-o report.txt]
 //
 // Tracing is zero-perturbation: the virtual timings of a traced run are
@@ -35,6 +35,7 @@ func main() {
 	np := flag.Int("np", 8, "number of MPI ranks")
 	quick := flag.Bool("quick", false, "shrink the problem for a fast smoke run")
 	codec := flag.String("codec", "none", "transparent field compression: none, rle, delta, lzss")
+	async := flag.Bool("async", false, "write-behind checkpoint I/O: overlap dumps with the next step's compute")
 	tracePath := flag.String("trace", "", "write a Perfetto-loadable trace-event JSON timeline here")
 	outPath := flag.String("o", "", "write the counter report here (default stdout)")
 	flag.Parse()
@@ -55,6 +56,7 @@ func main() {
 		fatal(err)
 	}
 	cfg.Codec = *codec
+	cfg.AsyncIO = *async
 	backend, err := enzo.BackendByName(*backendName)
 	if err != nil {
 		fatal(err)

@@ -1,0 +1,183 @@
+// Write-behind dump pipeline (Config.AsyncIO): every data write of a
+// checkpoint is issued through the nonblocking/split-collective MPI-IO
+// interfaces, the rank overlaps the next evolution step's compute with the
+// draining devices, and the dump settles before the following one starts.
+// File bytes are identical to the synchronous path — deferral changes only
+// who waits for the devices, not what reaches them.
+package enzo
+
+import (
+	"repro/internal/hdf5"
+	"repro/internal/mpi"
+	"repro/internal/mpiio"
+	"repro/internal/obs"
+)
+
+// asyncDumps reports whether this run uses the write-behind dump pipeline.
+// HDF4 stays the synchronous baseline regardless of Config.AsyncIO.
+func (s *Sim) asyncDumps() bool { return s.cfg.AsyncIO && s.backend != BackendHDF4 }
+
+// pendingDump collects the deferred pieces of one in-flight checkpoint.
+type pendingDump struct {
+	// drains settle the deferred operations, in issue order — the order
+	// matters because split-collective Ends resynchronize the communicator
+	// and every rank appends its collective operations in SPMD order.
+	drains []func()
+	// closers run after the drains (a file closes only once its writes
+	// have settled).
+	closers []func()
+	// maxEnd is the latest deferred device completion issued by this rank.
+	maxEnd float64
+}
+
+func (p *pendingDump) note(end float64) {
+	if end > p.maxEnd {
+		p.maxEnd = end
+	}
+}
+
+// The dump writers (rawio/rawzio/hdf5io) route every data write and file
+// close through the helpers below: blocking when no dump is pending,
+// write-behind while one is.
+
+func (s *Sim) dWriteAt(f *mpiio.File, data []byte, off int64) {
+	if s.pend == nil {
+		f.WriteAt(data, off)
+		return
+	}
+	pw := f.IwriteAt(data, off)
+	s.pend.note(pw.Completion())
+	s.pend.drains = append(s.pend.drains, pw.Wait)
+}
+
+func (s *Sim) dWriteAtAll(f *mpiio.File, runs []mpi.Run, data []byte) {
+	if s.pend == nil {
+		f.WriteAtAll(runs, data)
+		return
+	}
+	sw := f.WriteAtAllBegin(runs, data)
+	s.pend.note(sw.Completion())
+	s.pend.drains = append(s.pend.drains, sw.End)
+}
+
+func (s *Sim) dClose(f *mpiio.File) {
+	if s.pend == nil {
+		f.Close()
+		return
+	}
+	s.pend.closers = append(s.pend.closers, f.Close)
+}
+
+func (s *Sim) dH5Slab(ds *hdf5.Dataset, sel mpi.Subarray, data []byte) {
+	if s.pend == nil {
+		ds.WriteHyperslab(sel, data)
+		return
+	}
+	sw := ds.WriteHyperslabBegin(sel, data)
+	s.pend.note(sw.Completion())
+	s.pend.drains = append(s.pend.drains, sw.End)
+}
+
+func (s *Sim) dH5SlabIndep(ds *hdf5.Dataset, sel mpi.Subarray, data []byte) {
+	if s.pend == nil {
+		ds.WriteHyperslabIndependent(sel, data)
+		return
+	}
+	pw := ds.WriteHyperslabIndependentAsync(sel, data)
+	s.pend.note(pw.Completion())
+	s.pend.drains = append(s.pend.drains, pw.Wait)
+}
+
+// dH5Open switches a freshly created dump container into write-behind
+// metadata mode when a dump is pending (the library's metadata cache:
+// header flushes defer like data writes).
+func (s *Sim) dH5Open(hf *hdf5.File) {
+	if s.pend != nil {
+		hf.SetWriteBehindMeta(s.pend.note)
+	}
+}
+
+func (s *Sim) dH5Close(hf *hdf5.File) {
+	if s.pend == nil {
+		hf.Close()
+		return
+	}
+	s.pend.closers = append(s.pend.closers, func() {
+		// The drain already settled every deferred completion; the close's
+		// own superblock write goes back to synchronous.
+		hf.SetWriteBehindMeta(nil)
+		hf.Close()
+	})
+}
+
+func (s *Sim) dH5Z(ds *hdf5.Dataset, raw []byte) {
+	if s.pend == nil {
+		ds.WriteCompressed(s.codec, raw)
+		return
+	}
+	pw := ds.WriteCompressedAsync(s.codec, raw)
+	s.pend.note(pw.Completion())
+	s.pend.drains = append(s.pend.drains, pw.Wait)
+}
+
+// localCells returns the cells this rank evolves per cycle — the same
+// count the evolve phase computes on, reused for the overlapped step.
+func (s *Sim) localCells() int64 {
+	var cells int64
+	if s.top != nil {
+		cells += s.top.sub.NumElems()
+	}
+	for _, g := range s.owned {
+		cells += g.Cells()
+	}
+	return cells
+}
+
+// writeDumpAsync is the double-buffered write-behind checkpoint: issue the
+// dump's writes deferred, run the next evolution step's compute while the
+// devices drain, then settle. Per dump it accumulates into the result how
+// much dump wall-time stayed exposed (issue + drain) versus how much device
+// time hid under the compute.
+func (s *Sim) writeDumpAsync(d int) {
+	t0 := s.r.Now()
+	s.pend = &pendingDump{maxEnd: t0}
+	issue := obs.Begin(s.r.Proc(), obs.LayerApp, "dump_issue")
+	s.writeDump(d)
+	issue.End()
+	pend := s.pend
+	s.pend = nil
+	t1 := s.r.Now()
+
+	ov := obs.Begin(s.r.Proc(), obs.LayerApp, "dump_overlap_compute")
+	s.r.Compute(s.localCells() * s.cfg.FlopsPerCell)
+	ov.End()
+	t2 := s.r.Now()
+
+	dr := obs.Begin(s.r.Proc(), obs.LayerApp, "dump_drain")
+	for _, fn := range pend.drains {
+		fn()
+	}
+	s.r.Proc().AdvanceTo(pend.maxEnd)
+	for _, fn := range pend.closers {
+		fn()
+	}
+	dr.End()
+	t3 := s.r.Now()
+
+	// Exposed: what the rank actually waited on I/O. Hidden: device time
+	// past issue, capped by the compute window it hid under.
+	exposed := (t1 - t0) + (t3 - t2)
+	hidden := pend.maxEnd - t1
+	if c := t2 - t1; hidden > c {
+		hidden = c
+	}
+	if hidden < 0 {
+		hidden = 0
+	}
+	exposedMax := s.r.AllreduceFloat64(exposed, mpi.OpMax)
+	hiddenMax := s.r.AllreduceFloat64(hidden, mpi.OpMax)
+	if s.r.Rank() == 0 {
+		s.res.ExposedWrite += exposedMax
+		s.res.HiddenWrite += hiddenMax
+	}
+}

@@ -99,6 +99,19 @@ type Config struct {
 	// (Figure 2's evolution loop). 0 keeps the pre-refined hierarchy.
 	RefineCycles int
 
+	// AsyncIO enables the write-behind dump pipeline: each checkpoint's
+	// writes are issued through the nonblocking/split-collective MPI-IO
+	// interfaces, the rank computes the next evolution step while the
+	// devices drain, and the dump settles before the following one starts.
+	// The HDF4 backend ignores it and stays the synchronous baseline.
+	// Restart files are bit-identical to the synchronous path.
+	AsyncIO bool
+
+	// CBNodes overrides the ROMIO cb_nodes hint (number of collective
+	// aggregators); 0 keeps the host-based default of one aggregator per
+	// physical node.
+	CBNodes int
+
 	// Codec enables transparent compression of the regular baryon field
 	// arrays in the MPI-IO and HDF5 paths ("" or "none" = off; see
 	// compress.Names for the menu). Particle arrays stay raw — they are
@@ -180,6 +193,23 @@ type Result struct {
 	// Makespan is the run's total virtual time (engine max clock),
 	// including the untimed setup.
 	Makespan float64
+
+	// Async dump accounting (AsyncIO runs only; both zero otherwise).
+	// ExposedWrite is dump wall-time the ranks actually waited on I/O
+	// (issue + drain, max across ranks, summed over dumps); HiddenWrite is
+	// device time that ran under the overlapped compute. The "write" phase
+	// of an async run additionally contains the overlap compute itself.
+	ExposedWrite float64
+	HiddenWrite  float64
+}
+
+// HiddenFraction is the share of dump I/O wall-time hidden behind compute:
+// hidden / (hidden + exposed), or 0 when no dump accounting exists.
+func (res *Result) HiddenFraction() float64 {
+	if tot := res.HiddenWrite + res.ExposedWrite; tot > 0 {
+		return res.HiddenWrite / tot
+	}
+	return 0
 }
 
 // Phase returns a named phase duration (0 if absent).
@@ -247,6 +277,10 @@ type Sim struct {
 	// the CPU cost model charged per compress/decompress.
 	codec compress.Codec
 	zcost compress.CostModel
+
+	// pend, when non-nil, redirects dump writes through the write-behind
+	// interfaces (see async.go); nil keeps every write blocking.
+	pend *pendingDump
 
 	res *Result
 }
@@ -406,6 +440,9 @@ func NewSim(r *mpi.Rank, fs pfs.FileSystem, backend Backend, cfg Config, res *Re
 		nodes[mach.Node(i)] = true
 	}
 	hints.CBNodes = len(nodes)
+	if cfg.CBNodes > 0 {
+		hints.CBNodes = cfg.CBNodes
+	}
 	if backend == BackendMPIIOCB {
 		hints.CBForce = true
 	}
@@ -438,11 +475,19 @@ func (s *Sim) Run() {
 
 	snap := s.snapshot()
 
-	s.timed("write", func() {
-		for d := 0; d < s.cfg.Dumps; d++ {
-			s.writeDump(d)
-		}
-	})
+	if s.asyncDumps() {
+		s.timed("write", func() {
+			for d := 0; d < s.cfg.Dumps; d++ {
+				s.writeDumpAsync(d)
+			}
+		})
+	} else {
+		s.timed("write", func() {
+			for d := 0; d < s.cfg.Dumps; d++ {
+				s.writeDump(d)
+			}
+		})
+	}
 
 	s.clearState()
 	s.timed("restart", func() { s.readRestart(s.cfg.Dumps - 1) })

@@ -163,6 +163,7 @@ func (s *Sim) h5WriteDump(d int) {
 	if err != nil {
 		panic(err)
 	}
+	s.dH5Open(hf)
 	// Top grid fields: collective hyperslab writes.
 	g := s.meta.Top()
 	topSp := obs.Begin(s.r.Proc(), obs.LayerApp, "grid_write").Attr("grid", "0")
@@ -174,7 +175,7 @@ func (s *Sim) h5WriteDump(d int) {
 			if err != nil {
 				panic(err)
 			}
-			ds.WriteCompressed(s.codec, s.top.fields[fi])
+			s.dH5Z(ds, s.top.fields[fi])
 			ds.Close()
 			continue
 		}
@@ -182,7 +183,7 @@ func (s *Sim) h5WriteDump(d int) {
 		if err != nil {
 			panic(err)
 		}
-		ds.WriteHyperslab(s.top.sub, s.top.fields[fi])
+		s.dH5Slab(ds, s.top.sub, s.top.fields[fi])
 		ds.Close()
 	}
 	// Top grid particles: parallel sort, then independent 1-D hyperslabs.
@@ -199,7 +200,7 @@ func (s *Sim) h5WriteDump(d int) {
 			}
 			sel := mpi.Subarray{Sizes: []int{int(g.NParticles)}, Subsizes: []int{int(myCount)},
 				Starts: []int{int(rowOff)}, ElemSize: pa.ElemSize}
-			ds.WriteHyperslabIndependent(sel, cols[k])
+			s.dH5SlabIndep(ds, sel, cols[k])
 			ds.Close()
 		}
 		s.localPartRows = [2]int64{rowOff, rowOff + myCount}
@@ -226,7 +227,7 @@ func (s *Sim) h5WriteDump(d int) {
 				if grid != nil {
 					raw = grid.Fields[fi]
 				}
-				ds.WriteCompressed(s.codec, raw)
+				s.dH5Z(ds, raw)
 				ds.Close()
 				continue
 			}
@@ -235,7 +236,7 @@ func (s *Sim) h5WriteDump(d int) {
 				panic(err)
 			}
 			if grid != nil {
-				ds.WriteHyperslabIndependent(fullSel(gdims, amr.FieldElemSize), grid.Fields[fi])
+				s.dH5SlabIndep(ds, fullSel(gdims, amr.FieldElemSize), grid.Fields[fi])
 			}
 			ds.Close()
 		}
@@ -247,7 +248,7 @@ func (s *Sim) h5WriteDump(d int) {
 					panic(err)
 				}
 				if grid != nil {
-					ds.WriteHyperslabIndependent(fullSel(pdims, pa.ElemSize), grid.Particles.Arrays[k])
+					s.dH5SlabIndep(ds, fullSel(pdims, pa.ElemSize), grid.Particles.Arrays[k])
 				}
 				ds.Close()
 			}
@@ -255,7 +256,7 @@ func (s *Sim) h5WriteDump(d int) {
 		hf.WriteAttribute(fmt.Sprintf("g%04d_level", gm.ID), []byte{byte(gm.Level)})
 		sp.End()
 	}
-	hf.Close()
+	s.dH5Close(hf)
 }
 
 func (s *Sim) h5ReadRestart(d int) {

@@ -137,7 +137,7 @@ func (s *Sim) rawWriteDump(d int) {
 	g := s.meta.Top()
 	topSp := obs.Begin(s.r.Proc(), obs.LayerApp, "grid_write").Attr("grid", "0")
 	for fi, name := range amr.FieldNames {
-		f.WriteAtAll(s.fieldRuns(g, name, s.top.sub), s.top.fields[fi])
+		s.dWriteAtAll(f, s.fieldRuns(g, name, s.top.sub), s.top.fields[fi])
 	}
 	// Top grid particles: parallel sort by ID, then block-wise
 	// non-collective contiguous writes ("the block-wise pattern for 1-D
@@ -150,7 +150,7 @@ func (s *Sim) rawWriteDump(d int) {
 		s.r.CopyCost(int64(len(sortedRows)))
 		for k, pa := range amr.ParticleArrays {
 			base, _ := s.layout.ArrayOffset(g.ID, pa.Name)
-			f.WriteAt(cols[k], base+rowOff*int64(pa.ElemSize))
+			s.dWriteAt(f, cols[k], base+rowOff*int64(pa.ElemSize))
 		}
 		s.localPartRows = [2]int64{rowOff, rowOff + myCount}
 	}
@@ -179,11 +179,11 @@ func (s *Sim) rawWriteDump(d int) {
 					runs = []mpi.Run{{Off: off, Len: length}}
 					data = gridArray(grid, a.Name)
 				}
-				f.WriteAtAll(runs, data)
+				s.dWriteAtAll(f, runs, data)
 			}
 			sp.End()
 		}
-		f.Close()
+		s.dClose(f)
 		return
 	}
 	for _, gm := range s.meta.Subgrids() {
@@ -194,17 +194,17 @@ func (s *Sim) rawWriteDump(d int) {
 		sp := obs.Begin(s.r.Proc(), obs.LayerApp, "grid_write").Attr("grid", fmt.Sprint(gm.ID))
 		for fi, name := range amr.FieldNames {
 			off, _ := s.layout.ArrayOffset(gm.ID, name)
-			f.WriteAt(grid.Fields[fi], off)
+			s.dWriteAt(f, grid.Fields[fi], off)
 		}
 		if gm.NParticles > 0 {
 			for k, pa := range amr.ParticleArrays {
 				off, _ := s.layout.ArrayOffset(gm.ID, pa.Name)
-				f.WriteAt(grid.Particles.Arrays[k], off)
+				s.dWriteAt(f, grid.Particles.Arrays[k], off)
 			}
 		}
 		sp.End()
 	}
-	f.Close()
+	s.dClose(f)
 }
 
 func (s *Sim) rawReadRestart(d int) {

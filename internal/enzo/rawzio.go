@@ -326,9 +326,9 @@ func (s *Sim) rawzWriteDump(d int) {
 			if len(blob) > 0 {
 				runs = []mpi.Run{{Off: off, Len: int64(len(blob))}}
 			}
-			f.WriteAtAll(runs, blob)
+			s.dWriteAtAll(f, runs, blob)
 		} else if len(blob) > 0 {
-			f.WriteAt(blob, off)
+			s.dWriteAt(f, blob, off)
 		}
 	}
 
@@ -350,7 +350,7 @@ func (s *Sim) rawzWriteDump(d int) {
 		s.r.CopyCost(int64(len(sortedRows)))
 		for k, pa := range amr.ParticleArrays {
 			base, _ := z.arraySeg(g.ID, pa.Name)
-			f.WriteAt(cols[k], base+rowOff*int64(pa.ElemSize))
+			s.dWriteAt(f, cols[k], base+rowOff*int64(pa.ElemSize))
 		}
 		s.localPartRows = [2]int64{rowOff, rowOff + myCount}
 	}
@@ -385,18 +385,18 @@ func (s *Sim) rawzWriteDump(d int) {
 					data = grid.Particles.Arrays[k]
 				}
 				if forceCB {
-					f.WriteAtAll(runs, data)
+					s.dWriteAtAll(f, runs, data)
 				} else if grid != nil {
-					f.WriteAt(data, runs[0].Off)
+					s.dWriteAt(f, data, runs[0].Off)
 				}
 			}
 		}
 		sp.End()
 	}
 	if s.r.Rank() == 0 {
-		f.WriteAt(z.encodeDir(), 0)
+		s.dWriteAt(f, z.encodeDir(), 0)
 	}
-	f.Close()
+	s.dClose(f)
 }
 
 func (s *Sim) rawzReadRestart(d int) {

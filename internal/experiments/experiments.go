@@ -66,6 +66,12 @@ type Options struct {
 	// transparent field compression (the codec sweep ignores this and
 	// sweeps all codecs itself).
 	Codec string
+
+	// Async runs every figure case with the write-behind dump pipeline
+	// (Config.AsyncIO). File contents and byte accounting are unchanged;
+	// only who waits for the devices moves. The overlap sweep ignores this
+	// and runs both modes itself.
+	Async bool
 }
 
 // problem returns the named configuration, shrunk in Quick mode (the
@@ -87,6 +93,7 @@ func (o Options) problem(name string) enzo.Config {
 		cfg.Dims = [3]int{n, n, n}
 		cfg.NParticles = n * n * n / 2
 	}
+	cfg.AsyncIO = o.Async
 	return cfg
 }
 
@@ -407,6 +414,106 @@ func PrintCodecSweep(w io.Writer, rows []Row) {
 		}
 		fmt.Fprintf(tw, "%s\t%s\t%.3f\t%.3f\t%.3f\t%.1f\t%s\t%v\n",
 			r.FS, r.Codec, r.WriteSec, r.RestartSec, tot, r.WriteMB, rel, r.Verified)
+	}
+	tw.Flush()
+}
+
+// OverlapRow is one configuration of the compute/I-O overlap sweep: the
+// synchronous dump baseline against the write-behind pipeline with enough
+// per-cell work that the overlapped compute covers the dump.
+type OverlapRow struct {
+	Problem string
+	FS      string
+	Backend string
+	Procs   int
+
+	SyncWriteSec  float64 // synchronous dump wall-time
+	AsyncWriteSec float64 // async "write" phase (contains the overlap compute)
+	ExposedSec    float64 // dump time the ranks still waited on I/O
+	HiddenSec     float64 // device time that ran under the compute
+	HiddenFrac    float64 // fraction of the sync dump wall-time hidden: 1 - exposed/sync
+	ComputeSec    float64 // the overlapped compute window (evolve-equivalent)
+	Verified      bool
+}
+
+// OverlapSweep measures the write-behind dump pipeline on the Chiba City
+// cluster: shared PVFS and node-local disks, raw MPI-IO and HDF5 backends,
+// AMR128 at 8 processors. Each case first runs synchronously to calibrate,
+// then scales FlopsPerCell so the overlapped compute window covers the dump
+// (the regime write-behind targets) and reruns with AsyncIO: the exposed
+// dump time collapses toward the issue cost while the device time hides
+// under the compute.
+func OverlapSweep(o Options) ([]OverlapRow, error) {
+	var rows []OverlapRow
+	mach := machine.ChibaCity()
+	const np = 8
+	for _, fs := range []string{"pvfs", "local"} {
+		for _, backend := range []enzo.Backend{enzo.BackendMPIIO, enzo.BackendHDF5} {
+			cfg := o.problem("AMR128")
+			cfg.Codec = o.Codec
+			cfg.AsyncIO = false // the sweep runs both modes itself
+			syncRes, err := enzo.RunOnce(mach, fs, np, cfg, backend)
+			if err != nil {
+				return nil, fmt.Errorf("overlap %s/%s sync: %w", fs, backend, err)
+			}
+			// Calibrate: compute >= I/O. The evolve phase measures one
+			// cycle's compute at the current FlopsPerCell; scale it to 1.5x
+			// the synchronous dump time so the drain has headroom.
+			if ev := syncRes.Phase("evolve"); ev > 0 && syncRes.WriteTime() > ev {
+				scale := 1.5 * syncRes.WriteTime() / ev
+				cfg.FlopsPerCell = int64(float64(cfg.FlopsPerCell)*scale) + 1
+			}
+			acfg := cfg
+			acfg.AsyncIO = true
+			var asyncRes *enzo.Result
+			if o.TraceDir != "" {
+				tr := obs.NewTracer()
+				asyncRes, err = enzo.RunOnceTraced(mach, fs, np, acfg, backend, tr)
+				if err == nil {
+					c := Case{Figure: "overlap", Machine: mach, FS: fs, Procs: np,
+						Config: acfg, Backend: backend}
+					err = writeCaseArtifacts(o.TraceDir, c, tr, asyncRes.Makespan)
+				}
+			} else {
+				asyncRes, err = enzo.RunOnce(mach, fs, np, acfg, backend)
+			}
+			if err != nil {
+				return nil, fmt.Errorf("overlap %s/%s async: %w", fs, backend, err)
+			}
+			// The headline number: how much of the synchronous dump's
+			// wall-time no longer shows up on the critical path.
+			frac := 0.0
+			if sw := syncRes.WriteTime(); sw > 0 {
+				frac = 1 - asyncRes.ExposedWrite/sw
+				if frac < 0 {
+					frac = 0
+				}
+			}
+			rows = append(rows, OverlapRow{
+				Problem: asyncRes.Problem, FS: fs, Backend: backend.String(), Procs: np,
+				SyncWriteSec:  syncRes.WriteTime(),
+				AsyncWriteSec: asyncRes.WriteTime(),
+				ExposedSec:    asyncRes.ExposedWrite,
+				HiddenSec:     asyncRes.HiddenWrite,
+				HiddenFrac:    frac,
+				ComputeSec:    asyncRes.WriteTime() - asyncRes.ExposedWrite,
+				Verified:      asyncRes.Verified,
+			})
+		}
+	}
+	return rows, nil
+}
+
+// PrintOverlapSweep renders the overlap sweep: per case, the synchronous
+// dump baseline, the exposed remainder under write-behind, and how much of
+// the dump's device time hid behind the compute.
+func PrintOverlapSweep(w io.Writer, rows []OverlapRow) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "fs\tbackend\tprocs\tsync write(s)\texposed(s)\thidden(s)\thidden%\tverified")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%s\t%d\t%.3f\t%.3f\t%.3f\t%.1f%%\t%v\n",
+			r.FS, r.Backend, r.Procs, r.SyncWriteSec, r.ExposedSec, r.HiddenSec,
+			100*r.HiddenFrac, r.Verified)
 	}
 	tw.Flush()
 }

@@ -281,3 +281,50 @@ func TestRunTracedWritesArtifacts(t *testing.T) {
 		}
 	}
 }
+
+func TestOverlapSweepQuick(t *testing.T) {
+	rows, err := OverlapSweep(Options{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 { // {pvfs, local} x {mpiio, hdf5}
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if !r.Verified {
+			t.Fatalf("%s/%s: async run not verified", r.FS, r.Backend)
+		}
+		if r.HiddenSec <= 0 {
+			t.Fatalf("%s/%s: nothing hidden: %+v", r.FS, r.Backend, r)
+		}
+		if r.ExposedSec >= r.SyncWriteSec {
+			t.Fatalf("%s/%s: exposed %.3fs not below sync dump %.3fs",
+				r.FS, r.Backend, r.ExposedSec, r.SyncWriteSec)
+		}
+	}
+	var buf bytes.Buffer
+	PrintOverlapSweep(&buf, rows)
+	out := buf.String()
+	if !strings.Contains(out, "hidden%") || !strings.Contains(out, "pvfs") {
+		t.Fatalf("table missing columns:\n%s", out)
+	}
+}
+
+func TestShapeOverlapHidesMostDumpTime(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale shape check")
+	}
+	// The acceptance bar: with compute >= dump time, the write-behind
+	// pipeline hides at least 70% of the dump wall-time on shared PVFS at
+	// AMR128 / 8 processors.
+	rows, err := OverlapSweep(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.FS == "pvfs" && r.HiddenFrac < 0.70 {
+			t.Errorf("%s/%s: hidden fraction %.2f below 0.70 (exposed %.3fs, hidden %.3fs, sync %.3fs)",
+				r.FS, r.Backend, r.HiddenFrac, r.ExposedSec, r.HiddenSec, r.SyncWriteSec)
+		}
+	}
+}

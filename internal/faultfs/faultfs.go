@@ -133,11 +133,33 @@ func (ff *faultFile) shouldInject(n int64) bool {
 	return true
 }
 
+// WriteAtDeferred implements pfs.DeferredWriter by delegation so fault
+// injection stays transparent to write-behind callers; injected writes fall
+// back to the synchronous path (fault handling is not worth modelling
+// asynchronously).
+func (ff *faultFile) WriteAtDeferred(c pfs.Client, data []byte, off int64) float64 {
+	dw, ok := ff.inner.(pfs.DeferredWriter)
+	if !ok {
+		ff.WriteAt(c, data, off)
+		return c.Proc.Now()
+	}
+	if !ff.shouldInject(int64(len(data))) {
+		return dw.WriteAtDeferred(c, data, off)
+	}
+	ff.injectWrite(c, data, off)
+	return c.Proc.Now()
+}
+
 func (ff *faultFile) WriteAt(c pfs.Client, data []byte, off int64) {
 	if !ff.shouldInject(int64(len(data))) {
 		ff.inner.WriteAt(c, data, off)
 		return
 	}
+	ff.injectWrite(c, data, off)
+}
+
+// injectWrite performs the configured corruption of one selected write.
+func (ff *faultFile) injectWrite(c pfs.Client, data []byte, off int64) {
 	switch ff.fs.cfg.Mode {
 	case CorruptWrite:
 		corrupted := make([]byte, len(data))

@@ -1,0 +1,99 @@
+// Asynchronous dataset writes: the split-collective and nonblocking MPI-IO
+// interfaces lifted to hyperslab selections and compressed segments.
+// Metadata traffic (dataset creation, headers, attributes, closes) stays
+// synchronous — it is small, collective and keeps the index consistent —
+// while the bulk data transfers are issued write-behind and settled when
+// the caller drains.
+package hdf5
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/compress"
+	"repro/internal/mpi"
+	"repro/internal/mpiio"
+	"repro/internal/obs"
+)
+
+// SetWriteBehindMeta puts the file's internal rank-0 metadata writes
+// (dataset object headers, superblock updates, attribute records) into
+// write-behind mode: each is issued deferred and its completion reported to
+// note. This models the library's metadata cache — dirty headers are
+// flushed lazily instead of synchronously per create/close — and is only
+// meaningful while the caller drains the reported completions before
+// reading the file. The eager per-dataset create/close synchronizations
+// are elided too (as with DisableCreateSync): with headers write-behind
+// there is no per-dataset consistency point to enforce, the drain settles
+// the whole file at once. Pass nil to restore synchronous metadata.
+func (h *File) SetWriteBehindMeta(note func(end float64)) { h.metaNote = note }
+
+// WriteHyperslabBegin starts a split-collective hyperslab write: the pack
+// cost and the two-phase exchange run now, the aggregator I/O phase is
+// deferred. Every rank must call it (possibly with an empty selection) and
+// later End the returned handle, in the same order across ranks.
+func (d *Dataset) WriteHyperslabBegin(sel mpi.Subarray, data []byte) *mpiio.SplitWrite {
+	defer obs.Begin(d.h.r.Proc(), obs.LayerHDF, "data_write").Bytes(int64(len(data))).Attr("deferred", "1").End()
+	runs := d.slabRuns(sel)
+	d.packCost(runs)
+	return d.h.mf.WriteAtAllBegin(runs, data)
+}
+
+// WriteHyperslabIndependentAsync starts a nonblocking independent
+// hyperslab write; settle it with the returned handle's Wait.
+func (d *Dataset) WriteHyperslabIndependentAsync(sel mpi.Subarray, data []byte) *mpiio.Pending {
+	defer obs.Begin(d.h.r.Proc(), obs.LayerHDF, "data_write_indep").Bytes(int64(len(data))).Attr("deferred", "1").End()
+	runs := d.slabRuns(sel)
+	d.packCost(runs)
+	return d.h.mf.IwriteRuns(runs, data)
+}
+
+// WriteCompressedAsync is WriteCompressed with the segment and directory
+// writes issued write-behind. The compression CPU and the segment-length
+// allgather still run at issue (they need the rank on the CPU and keep the
+// broadcast index consistent); only the device time is deferred to the
+// returned handle's Wait.
+func (d *Dataset) WriteCompressedAsync(c compress.Codec, raw []byte) *mpiio.Pending {
+	if !d.Compressed() || c == nil || c.ID() != d.info.Codec {
+		panic(fmt.Sprintf("hdf5: dataset %q: WriteCompressedAsync codec mismatch", d.info.Name))
+	}
+	defer obs.Begin(d.h.r.Proc(), obs.LayerHDF, "data_write_z").Bytes(int64(len(raw))).Attr("deferred", "1").End()
+	var blob []byte
+	if len(raw) > 0 {
+		blob = compress.Squeeze(d.h.r.Proc(), c, d.h.cfg.Cost, raw)
+	}
+	plens := d.h.r.AllgatherInt64(int64(len(blob)))
+	segBase := d.info.DataOff + zDirSize(d.info.Segs)
+	off := segBase
+	end := d.h.r.Now()
+	var total int64
+	for rk, n := range plens {
+		if rk == d.h.r.Rank() && n > 0 {
+			if e := d.h.mf.IwriteAt(blob, off).Completion(); e > end {
+				end = e
+			}
+		}
+		off += n
+		total += n
+	}
+	if d.h.r.Rank() == 0 {
+		dir := make([]byte, zDirSize(d.info.Segs))
+		binary.LittleEndian.PutUint32(dir, uint32(d.info.Segs))
+		at := segBase
+		for rk, n := range plens {
+			binary.LittleEndian.PutUint64(dir[8+16*rk:], uint64(at))
+			binary.LittleEndian.PutUint64(dir[16+16*rk:], uint64(n))
+			at += n
+		}
+		if e := d.h.mf.IwriteAt(dir, d.info.DataOff).Completion(); e > end {
+			end = e
+		}
+	}
+	d.info.ZLens = plens
+	d.info.DataLen = zDirSize(d.info.Segs) + total
+	d.h.eof = d.info.DataOff + d.info.DataLen
+	if len(raw) > 0 && d.h.cfg.OnCodec != nil {
+		d.h.cfg.OnCodec(true, int64(len(raw)), int64(len(blob)))
+	}
+	return d.h.mf.NewPending(end)
+}

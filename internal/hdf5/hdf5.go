@@ -130,6 +130,30 @@ type File struct {
 	eof   int64
 	index map[string]*datasetInfo
 	order []string
+	// metaNote, when set by SetWriteBehindMeta, puts rank 0's internal
+	// metadata writes into write-behind mode (see async.go).
+	metaNote func(end float64)
+}
+
+// metaWrite performs one rank-0 internal metadata write (object header,
+// superblock, attribute record): synchronously by default, deferred with
+// the completion reported to metaNote in write-behind mode.
+func (h *File) metaWrite(data []byte, off int64) {
+	if h.metaNote != nil {
+		h.metaNote(h.mf.IwriteAt(data, off).Completion())
+		return
+	}
+	h.mf.WriteAt(data, off)
+}
+
+// eagerMetaSync reports whether dataset create/close run their eager
+// internal synchronizations. They are elided both by the explicit
+// DisableCreateSync tuning knob and in write-behind metadata mode, where
+// dirty headers sit in the metadata cache and consistency is settled once
+// at the caller's drain instead of per dataset. The call protocol stays
+// SPMD either way — every rank still computes the same allocation.
+func (h *File) eagerMetaSync() bool {
+	return !h.cfg.DisableCreateSync && h.metaNote == nil
 }
 
 // Create collectively creates a container. Rank 0 writes the superblock.
@@ -218,7 +242,7 @@ func (h *File) writeSuperblock() {
 	sb := make([]byte, h.cfg.SuperblockSize)
 	copy(sb, "\x89HDF")
 	binary.LittleEndian.PutUint32(sb[4:], uint32(len(h.order)))
-	h.mf.WriteAt(sb, 0)
+	h.metaWrite(sb, 0)
 }
 
 func encodeHeader(cfg Config, info *datasetInfo) []byte {
@@ -343,7 +367,7 @@ func (h *File) createDataset(name string, dims []int, elemSize int, codec uint8,
 	}
 	defer obs.Begin(h.r.Proc(), obs.LayerHDF, "md_dataset_create").Attr("dataset", name).End()
 	n := dataLen
-	if !h.cfg.DisableCreateSync {
+	if h.eagerMetaSync() {
 		h.r.Barrier() // internal sync on entry
 	}
 	dataOff := h.eof + h.cfg.ObjectHeaderSize
@@ -359,13 +383,13 @@ func (h *File) createDataset(name string, dims []int, elemSize int, codec uint8,
 	}
 	h.addInfo(info)
 	if h.r.Rank() == 0 {
-		h.mf.WriteAt(encodeHeader(h.cfg, info), info.HdrOff)
+		h.metaWrite(encodeHeader(h.cfg, info), info.HdrOff)
 		if !h.cfg.AlignData {
 			h.writeSuperblock() // seeks back to 0: metadata and data share the file
 		}
 	}
 	h.eof = info.DataOff + n
-	if !h.cfg.DisableCreateSync {
+	if h.eagerMetaSync() {
 		h.r.Barrier() // internal sync on exit
 	}
 	return &Dataset{h: h, info: info}, nil
@@ -610,13 +634,13 @@ func (d *Dataset) ReadCompressedAll() ([]byte, error) {
 // object-header rewrite (overhead 1 again).
 func (d *Dataset) Close() {
 	defer obs.Begin(d.h.r.Proc(), obs.LayerHDF, "md_dataset_close").End()
-	if !d.h.cfg.DisableCreateSync {
+	if d.h.eagerMetaSync() {
 		d.h.r.Barrier()
 	}
 	if d.h.r.Rank() == 0 {
-		d.h.mf.WriteAt(encodeHeader(d.h.cfg, d.info), d.info.HdrOff)
+		d.h.metaWrite(encodeHeader(d.h.cfg, d.info), d.info.HdrOff)
 	}
-	if !d.h.cfg.DisableCreateSync {
+	if d.h.eagerMetaSync() {
 		d.h.r.Barrier()
 	}
 }
@@ -634,10 +658,10 @@ func (h *File) WriteAttribute(name string, value []byte) {
 		binary.LittleEndian.PutUint64(rec[8:], uint64(len(value)))
 		copy(rec[tagPrefix:tagPrefix+nameLen], name)
 		copy(rec[tagPrefix+nameLen:], value)
-		h.mf.WriteAt(rec, h.eof)
+		h.metaWrite(rec, h.eof)
 	}
 	h.eof += h.cfg.AttrSize
-	if !h.cfg.ParallelAttrs {
+	if !h.cfg.ParallelAttrs && h.metaNote == nil {
 		h.r.Barrier()
 	}
 }

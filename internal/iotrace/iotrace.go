@@ -55,7 +55,23 @@ type Event struct {
 	Offset int64
 	Bytes  int64
 	Start  float64 // virtual seconds
-	End    float64
+	End    float64 // when the caller's clock resumed (issue end for async)
+	// Completion is the virtual time the operation finished on the device.
+	// For synchronous calls it equals End; for deferred (write-behind)
+	// calls it is later, and Completion-End is the per-call hidden time.
+	Completion float64
+}
+
+// Exposed returns the virtual time the caller's clock spent in the call.
+func (ev Event) Exposed() float64 { return ev.End - ev.Start }
+
+// Hidden returns the device time past the caller's return — zero for every
+// synchronous call.
+func (ev Event) Hidden() float64 {
+	if h := ev.Completion - ev.End; h > 0 {
+		return h
+	}
+	return 0
 }
 
 // CodecFileStats tallies transparently compressed transfers on one file:
@@ -90,8 +106,13 @@ type Recorder struct {
 // NewRecorder returns an empty recorder.
 func NewRecorder() *Recorder { return &Recorder{} }
 
-// Record appends one event.
+// Record appends one event. A zero Completion (every synchronous call
+// site) is normalized to End, so Hidden() is 0 unless a deferred write
+// recorded a later device completion.
 func (r *Recorder) Record(ev Event) {
+	if ev.Completion < ev.End {
+		ev.Completion = ev.End
+	}
 	r.mu.Lock()
 	r.events = append(r.events, ev)
 	r.mu.Unlock()
@@ -235,6 +256,71 @@ func (r *Recorder) Summarize() Summary {
 	return s
 }
 
+// FileOverlapStats is the per-file split between exposed I/O time (what
+// the calling ranks' clocks paid inside calls, summed across ranks) and
+// hidden time (how long deferred device work stayed outstanding past
+// issue, per rank as a union of the [issue end, completion] windows so
+// back-to-back deferred calls draining together are not double-counted,
+// then summed across ranks — 0 on every synchronous path).
+type FileOverlapStats struct {
+	File    string
+	Exposed float64
+	Hidden  float64
+}
+
+// FileOverlap aggregates exposed vs hidden virtual time per file, in file
+// name order.
+func (r *Recorder) FileOverlap() []FileOverlapStats {
+	type key struct {
+		file string
+		node int
+	}
+	agg := make(map[string]*FileOverlapStats)
+	pending := make(map[key][][2]float64)
+	var names []string
+	for _, ev := range r.Events() {
+		st, ok := agg[ev.File]
+		if !ok {
+			st = &FileOverlapStats{File: ev.File}
+			agg[ev.File] = st
+			names = append(names, ev.File)
+		}
+		st.Exposed += ev.Exposed()
+		if ev.Hidden() > 0 {
+			k := key{ev.File, ev.Node}
+			pending[k] = append(pending[k], [2]float64{ev.End, ev.Completion})
+		}
+	}
+	for k, ivs := range pending {
+		agg[k.file].Hidden += unionLen(ivs)
+	}
+	sort.Strings(names)
+	out := make([]FileOverlapStats, 0, len(names))
+	for _, n := range names {
+		out = append(out, *agg[n])
+	}
+	return out
+}
+
+// unionLen returns the total length covered by the union of the intervals.
+func unionLen(ivs [][2]float64) float64 {
+	sort.Slice(ivs, func(i, j int) bool { return ivs[i][0] < ivs[j][0] })
+	var total float64
+	end := math.Inf(-1)
+	for _, iv := range ivs {
+		if iv[1] <= end {
+			continue
+		}
+		start := iv[0]
+		if start < end {
+			start = end
+		}
+		total += iv[1] - start
+		end = iv[1]
+	}
+	return total
+}
+
 // percentile returns the q-quantile (0 < q <= 1) of durs by the
 // nearest-rank method, or 0 for an empty slice.
 func percentile(durs []float64, q float64) float64 {
@@ -274,6 +360,17 @@ func (r *Recorder) Report(w io.Writer) {
 				st.Bandwidth()/1e6, st.P50, st.P95, st.P99)
 		}
 		fmt.Fprintln(w)
+	}
+	if fo := r.FileOverlap(); len(fo) > 0 {
+		fmt.Fprintln(w, "per-file exposed vs hidden I/O time (hidden = write-behind work outstanding past issue):")
+		for _, o := range fo {
+			pct := 0.0
+			if tot := o.Exposed + o.Hidden; tot > 0 {
+				pct = 100 * o.Hidden / tot
+			}
+			fmt.Fprintf(w, "  %-20s exposed %10.6fs  hidden %10.6fs  (%5.1f%% hidden)\n",
+				o.File, o.Exposed, o.Hidden, pct)
+		}
 	}
 	if cs := r.CodecStats(); len(cs) > 0 {
 		fmt.Fprintln(w, "compression (logical vs physical bytes per file):")
@@ -401,6 +498,22 @@ func (f *tracedFile) WriteAt(c pfs.Client, data []byte, off int64) {
 	f.inner.WriteAt(c, data, off)
 	f.fs.rec.Record(Event{Op: OpWrite, File: f.inner.Name(), Node: c.Node,
 		Offset: off, Bytes: int64(len(data)), Start: start, End: c.Proc.Now()})
+}
+
+// WriteAtDeferred implements pfs.DeferredWriter by delegation, recording
+// the issue interval as the event's Start..End and the device completion
+// separately, so the report can attribute exposed vs hidden time per file.
+func (f *tracedFile) WriteAtDeferred(c pfs.Client, data []byte, off int64) float64 {
+	dw, ok := f.inner.(pfs.DeferredWriter)
+	if !ok {
+		f.WriteAt(c, data, off)
+		return c.Proc.Now()
+	}
+	start := c.Proc.Now()
+	end := dw.WriteAtDeferred(c, data, off)
+	f.fs.rec.Record(Event{Op: OpWrite, File: f.inner.Name(), Node: c.Node,
+		Offset: off, Bytes: int64(len(data)), Start: start, End: c.Proc.Now(), Completion: end})
+	return end
 }
 
 func (f *tracedFile) Close(c pfs.Client) {

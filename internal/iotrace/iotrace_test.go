@@ -120,6 +120,79 @@ func TestSummaryStatistics(t *testing.T) {
 	}
 }
 
+func TestFileOverlapSplitsExposedAndHidden(t *testing.T) {
+	rec := NewRecorder()
+	// Synchronous write: Completion normalized to End, nothing hidden.
+	rec.Record(Event{Op: OpWrite, File: "sync", Bytes: 10, Start: 0, End: 0.5})
+	// Deferred writes: the device finished after the caller returned. The
+	// third call's outstanding window sits inside the second's, so the
+	// union counts it once — hidden is (1.9-1.1) + (2.5-2.2), not the sum
+	// of the three per-call gaps.
+	rec.Record(Event{Op: OpWrite, File: "async", Bytes: 10, Start: 1, End: 1.1, Completion: 1.9})
+	rec.Record(Event{Op: OpWrite, File: "async", Bytes: 10, Start: 2, End: 2.2, Completion: 2.5})
+	rec.Record(Event{Op: OpWrite, File: "async", Bytes: 10, Start: 2.2, End: 2.3, Completion: 2.45})
+	fo := rec.FileOverlap()
+	if len(fo) != 2 || fo[0].File != "async" || fo[1].File != "sync" {
+		t.Fatalf("overlap rows = %+v", fo)
+	}
+	if a := fo[0]; !near(a.Exposed, 0.4) || !near(a.Hidden, 1.1) {
+		t.Fatalf("async file split = %+v", a)
+	}
+	if s := fo[1]; !near(s.Exposed, 0.5) || s.Hidden != 0 {
+		t.Fatalf("sync file split = %+v", s)
+	}
+	var buf bytes.Buffer
+	rec.Report(&buf)
+	if !strings.Contains(buf.String(), "exposed vs hidden") {
+		t.Fatalf("report missing overlap section:\n%s", buf.String())
+	}
+}
+
+func near(a, b float64) bool { return a-b < 1e-9 && b-a < 1e-9 }
+
+// TestDeferredWriteTraced drives the wrapper's WriteAtDeferred path on a
+// file system that implements it (PVFS charges the devices at issue and
+// returns a later completion) and checks the trace separates the issue
+// interval from the device completion.
+func TestDeferredWriteTraced(t *testing.T) {
+	mach := machine.New(machine.ByName("chiba"))
+	rec := NewRecorder()
+	fs := Wrap(pfs.NewPVFS(mach, pfs.DefaultPVFS()), rec)
+	eng := sim.NewEngine()
+	eng.Spawn("c", func(p *sim.Proc) {
+		c := pfs.Client{Proc: p, Node: 0}
+		f, err := fs.Create(c, "dump")
+		if err != nil {
+			panic(err)
+		}
+		end := pfs.WriteAtAsync(f, c, make([]byte, 1<<20), 0)
+		if end <= p.Now() {
+			panic("deferred completion not in the future")
+		}
+		p.AdvanceTo(end)
+		f.Close(c)
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	var wr *Event
+	for i := range rec.Events() {
+		if ev := rec.Events()[i]; ev.Op == OpWrite {
+			wr = &ev
+			break
+		}
+	}
+	if wr == nil {
+		t.Fatal("no write traced")
+	}
+	if wr.Hidden() <= 0 {
+		t.Fatalf("deferred write recorded no hidden time: %+v", wr)
+	}
+	if wr.Exposed() >= wr.Hidden() {
+		t.Fatalf("issue cost %.6fs should be far below device time %.6fs", wr.Exposed(), wr.Hidden())
+	}
+}
+
 func TestReportRenders(t *testing.T) {
 	rec := NewRecorder()
 	rec.Record(Event{Op: OpWrite, File: "a", Offset: 0, Bytes: 4096, Start: 0, End: 0.1})

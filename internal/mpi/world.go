@@ -142,6 +142,15 @@ const MaxUserTag = 1 << 16
 // when the message arrives: buffering is unbounded, as in a simulator it
 // can be.
 func (r *Rank) Send(dst, tag int, data []byte) {
+	r.proc.AdvanceTo(r.post(dst, tag, data))
+}
+
+// post does all the sender-side work of a buffered send — payload copy,
+// transfer charging, inbox insertion, waiter wake-up — except advancing the
+// caller's clock, and returns the virtual time at which the sender CPU is
+// free. Send completes by advancing to it; Isend defers that advance to the
+// matching Wait.
+func (r *Rank) post(dst, tag int, data []byte) (senderFree float64) {
 	if dst < 0 || dst >= r.world.size {
 		panic(fmt.Sprintf("mpi: Send to invalid rank %d", dst))
 	}
@@ -158,7 +167,7 @@ func (r *Rank) Send(dst, tag int, data []byte) {
 		target.waiting = nil
 		r.world.eng.Wake(target.proc, arrival)
 	}
-	r.proc.AdvanceTo(senderFree)
+	return senderFree
 }
 
 // Recv blocks until a message matching (src, tag) is available and returns

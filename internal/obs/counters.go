@@ -55,6 +55,12 @@ type FileCounters struct {
 	ReadTime  float64
 	WriteTime float64
 
+	// Write-behind accounting: deferred (async) writes charge only their
+	// issue cost to WriteTime; the device time past issue — which the rank
+	// may overlap with compute — accumulates here.
+	DeferredWrites  int64
+	WriteBehindTime float64
+
 	haveRead     bool
 	lastReadEnd  int64
 	haveWrite    bool
@@ -222,6 +228,47 @@ func (f *obsFile) WriteAt(c pfs.Client, data []byte, off int64) {
 		fc.lastWriteEnd = off + n
 		f.fs.tr.recordDur("write", c.Proc.Now()-start)
 	}
+}
+
+// WriteAtDeferred implements pfs.DeferredWriter by delegation, so async
+// writes through the observability wrapper keep their write-behind
+// semantics (a traced run must charge the same virtual times as an
+// untraced one). The span covers the issue interval only; the device time
+// past issue is recorded in the file's write-behind counters.
+func (f *obsFile) WriteAtDeferred(c pfs.Client, data []byte, off int64) float64 {
+	dw, ok := f.inner.(pfs.DeferredWriter)
+	if !ok {
+		f.WriteAt(c, data, off)
+		return c.Proc.Now()
+	}
+	n := int64(len(data))
+	sp := Begin(c.Proc, LayerPFS, "write").Bytes(n).Attr("deferred", "1")
+	start := c.Proc.Now()
+	end := dw.WriteAtDeferred(c, data, off)
+	sp.End()
+	if r := rankOf(c.Proc); r >= 0 {
+		fc := f.fs.tr.fileCounters(r, f.inner.Name())
+		fc.Writes++
+		fc.DeferredWrites++
+		fc.BytesWritten += n
+		fc.WriteTime += c.Proc.Now() - start
+		if end > c.Proc.Now() {
+			fc.WriteBehindTime += end - c.Proc.Now()
+		}
+		fc.SizeHist[SizeBucket(n)]++
+		if fc.haveWrite {
+			if off == fc.lastWriteEnd {
+				fc.ConsecWrites++
+				fc.SeqWrites++
+			} else if off > fc.lastWriteEnd {
+				fc.SeqWrites++
+			}
+		}
+		fc.haveWrite = true
+		fc.lastWriteEnd = off + n
+		f.fs.tr.recordDur("write", c.Proc.Now()-start)
+	}
+	return end
 }
 
 func (f *obsFile) Close(c pfs.Client) {

@@ -214,10 +214,19 @@ func (f *gpfsFile) metanodeUpdate(c Client, off, n int64) {
 }
 
 func (f *gpfsFile) WriteAt(c Client, data []byte, off int64) {
+	c.Proc.AdvanceTo(f.WriteAtDeferred(c, data, off))
+}
+
+// WriteAtDeferred implements DeferredWriter. The VSD queue, token
+// acquisition and metanode update are synchronous lock traffic and stay on
+// the caller's clock at issue (they really do block the client thread);
+// only the data transfer to the I/O servers and the disk work are deferred
+// to the returned completion time.
+func (f *gpfsFile) WriteAtDeferred(c Client, data []byte, off int64) float64 {
 	fs := f.fs
 	n := int64(len(data))
 	if n == 0 {
-		return
+		return c.Proc.Now()
 	}
 	c.Proc.Advance(fs.cfg.PerCall)
 	fs.nodeVSD(c.Node).ServeAndWait(c.Proc, fs.cfg.VSDPerReq)
@@ -232,9 +241,9 @@ func (f *gpfsFile) WriteAt(c Client, data []byte, off int64) {
 			end = e
 		}
 	}
-	c.Proc.AdvanceTo(end)
 	f.store.WriteAt(data, off)
 	fs.stats.write(n)
+	return end
 }
 
 func (f *gpfsFile) ReadAt(c Client, buf []byte, off int64) {

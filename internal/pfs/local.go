@@ -149,17 +149,25 @@ func (f *localFile) Size(c Client) int64 {
 func (f *localFile) Close(c Client) {}
 
 func (f *localFile) WriteAt(c Client, data []byte, off int64) {
+	c.Proc.AdvanceTo(f.WriteAtDeferred(c, data, off))
+}
+
+// WriteAtDeferred implements DeferredWriter: call overhead and the memory
+// copy stay on the caller's clock (the CPU really does that work at issue),
+// the disk is charged at issue, and only the wait for the device is
+// deferred to the returned completion time.
+func (f *localFile) WriteAtDeferred(c Client, data []byte, off int64) float64 {
 	fs := f.fs
 	n := int64(len(data))
 	if n == 0 {
-		return
+		return c.Proc.Now()
 	}
 	c.Proc.Advance(fs.cfg.PerCall + fs.mach.CopyTime(n))
 	end := fs.disk(c.Node).Access(c.Proc.Now(), off, n)
-	c.Proc.AdvanceTo(end)
 	st, _ := fs.partition(f.name, c.Node, true)
 	st.WriteAt(data, off)
 	fs.stats.write(n)
+	return end
 }
 
 func (f *localFile) ReadAt(c Client, buf []byte, off int64) {

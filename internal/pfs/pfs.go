@@ -73,6 +73,36 @@ type CodecReporter interface {
 	RecordCodecBytes(file string, write bool, logical, physical int64)
 }
 
+// DeferredWriter is implemented by file handles that support write-behind:
+// WriteAtDeferred performs the complete write — charging every shared
+// resource (servers, disks, NICs, lock managers) at issue time with exactly
+// the timestamps a blocking WriteAt would use, and storing the bytes — but
+// does not advance the caller's clock to the device completion. Instead it
+// returns the virtual completion time; the caller settles by AdvanceTo-ing
+// it (or the max over a batch) when it drains.
+//
+// Charging at issue is what keeps the engine's scheduling invariant intact:
+// the running process holds the minimum clock, so a server seeing the
+// request now observes the same nondecreasing arrival order it would under
+// blocking I/O. Deferral postpones only the caller's own wait.
+//
+// Like ServeObservable this is deliberately not part of File; callers
+// type-assert (or use WriteAtAsync) and fall back to the blocking path.
+type DeferredWriter interface {
+	WriteAtDeferred(c Client, data []byte, off int64) (end float64)
+}
+
+// WriteAtAsync issues a write-behind write when f supports it and returns
+// the virtual completion time; otherwise it performs a blocking WriteAt and
+// returns the caller's clock afterwards (completion == now: nothing hidden).
+func WriteAtAsync(f File, c Client, data []byte, off int64) (end float64) {
+	if dw, ok := f.(DeferredWriter); ok {
+		return dw.WriteAtDeferred(c, data, off)
+	}
+	f.WriteAt(c, data, off)
+	return c.Proc.Now()
+}
+
 // File is an open file handle. Reads beyond the current size return zero
 // bytes (sparse-file semantics); writes extend the file.
 type File interface {

@@ -173,10 +173,18 @@ func perIOD(spans []stripeSpan, n int) [][]stripeSpan {
 }
 
 func (f *pvfsFile) WriteAt(c Client, data []byte, off int64) {
+	c.Proc.AdvanceTo(f.WriteAtDeferred(c, data, off))
+}
+
+// WriteAtDeferred implements DeferredWriter: the client-library call and the
+// request injections onto the wire happen at issue (so iod NICs, CPUs and
+// disks see the same arrivals as a blocking write), and only the wait for
+// the slowest daemon's ack is deferred to the returned completion time.
+func (f *pvfsFile) WriteAtDeferred(c Client, data []byte, off int64) float64 {
 	fs := f.fs
 	n := int64(len(data))
 	if n == 0 {
-		return
+		return c.Proc.Now()
 	}
 	c.Proc.Advance(fs.cfg.PerCall)
 	end := c.Proc.Now()
@@ -203,9 +211,9 @@ func (f *pvfsFile) WriteAt(c Client, data []byte, off int64) {
 			end = e
 		}
 	}
-	c.Proc.AdvanceTo(end)
 	f.store.WriteAt(data, off)
 	fs.stats.write(n)
+	return end
 }
 
 func (f *pvfsFile) ReadAt(c Client, buf []byte, off int64) {

@@ -91,6 +91,12 @@ func (f *xfsFile) Size(c Client) int64 { return f.store.Size() }
 func (f *xfsFile) Close(c Client)      { c.Proc.Advance(f.fs.cfg.MetaTime / 2) }
 
 func (f *xfsFile) access(c Client, off, n int64) {
+	c.Proc.AdvanceTo(f.accessDeferred(c, off, n))
+}
+
+// accessDeferred charges the syscall, buffer-cache copy and LUN queues at
+// issue and returns the completion time without advancing the caller to it.
+func (f *xfsFile) accessDeferred(c Client, off, n int64) float64 {
 	fs := f.fs
 	c.Proc.Advance(fs.cfg.PerCall + fs.mach.CopyTime(n)) // syscall + buffer-cache copy
 	end := c.Proc.Now()
@@ -99,13 +105,23 @@ func (f *xfsFile) access(c Client, off, n int64) {
 			end = e
 		}
 	}
-	c.Proc.AdvanceTo(end)
+	return end
 }
 
 func (f *xfsFile) WriteAt(c Client, data []byte, off int64) {
 	f.access(c, off, int64(len(data)))
 	f.store.WriteAt(data, off)
 	f.fs.stats.write(int64(len(data)))
+}
+
+// WriteAtDeferred implements DeferredWriter: once the data is in the buffer
+// cache (the copy stays on the caller's clock) the LUN work proceeds on its
+// own; the returned time is when the last stripe hits its LUN.
+func (f *xfsFile) WriteAtDeferred(c Client, data []byte, off int64) float64 {
+	end := f.accessDeferred(c, off, int64(len(data)))
+	f.store.WriteAt(data, off)
+	f.fs.stats.write(int64(len(data)))
+	return end
 }
 
 func (f *xfsFile) ReadAt(c Client, buf []byte, off int64) {

@@ -109,8 +109,11 @@ func (s *Server) Utilization(until float64) float64 {
 	return s.busy / until
 }
 
-// String summarizes the server's load and queueing for diagnostics.
+// String summarizes the server's load and queueing for diagnostics. The
+// utilization figure is the busy fraction of [0, freeAt] — the window the
+// server has been live; callers wanting the makespan-relative figure use
+// Utilization directly.
 func (s *Server) String() string {
-	return fmt.Sprintf("server %q: %d reqs, busy %.6fs, queue wait %.6fs (max %.6fs, %d delayed)",
-		s.name, s.requests, s.busy, s.waitSum, s.waitMax, s.delayed)
+	return fmt.Sprintf("server %q: %d reqs, busy %.6fs (util %.1f%%), queue wait %.6fs (max %.6fs, %d delayed)",
+		s.name, s.requests, s.busy, 100*s.Utilization(s.freeAt), s.waitSum, s.waitMax, s.delayed)
 }
