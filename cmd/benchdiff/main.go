@@ -1,0 +1,181 @@
+// Command benchdiff is the repository's deterministic benchmark
+// regression gate. The simulation is virtual-time: identical code must
+// produce bit-identical results on every machine, so the committed
+// baselines (BENCH_baseline.json, BENCH_faults.json) are compared with
+// EXACT equality — any drift, however small, means the model's timing
+// changed and must be either fixed or consciously re-baselined.
+//
+// Usage:
+//
+//	benchdiff              compare a fresh run against the baselines
+//	benchdiff -update      re-run and overwrite the baselines
+//
+// The benchmark set: Table 1 volumes (all problems), the codec and
+// overlap sweeps at AMR128/np=8, and the fault sweep (stragglers and
+// corruption recovery) at AMR64/np=8.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"reflect"
+
+	"repro/internal/experiments"
+)
+
+// Baseline is the serialized benchmark result set of the main sweeps.
+type Baseline struct {
+	Table1  []experiments.Table1Row
+	Codecs  []experiments.Row
+	Overlap []experiments.OverlapRow
+}
+
+// Faults is the serialized fault-sweep result set, kept in its own file so
+// fault-model changes re-baseline separately from the main sweeps.
+type Faults struct {
+	Stragglers []experiments.StragglerRow
+	Recovery   []experiments.RecoveryRow
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fl := flag.NewFlagSet("benchdiff", flag.ContinueOnError)
+	fl.SetOutput(stderr)
+	update := fl.Bool("update", false, "overwrite the baselines with a fresh run instead of comparing")
+	basePath := fl.String("baseline", "BENCH_baseline.json", "main benchmark baseline file")
+	faultPath := fl.String("faults", "BENCH_faults.json", "fault-sweep baseline file")
+	if err := fl.Parse(args); err != nil {
+		return 2
+	}
+	if fl.NArg() != 0 {
+		fmt.Fprintf(stderr, "unexpected arguments: %v\n", fl.Args())
+		fl.Usage()
+		return 2
+	}
+
+	o := experiments.Options{}
+	fmt.Fprintln(stderr, "running table1...")
+	table1 := experiments.Table1(o)
+	fmt.Fprintln(stderr, "running codec sweep (AMR128, np=8)...")
+	codecs, err := experiments.CodecSweep(o)
+	if err != nil {
+		fmt.Fprintln(stderr, "error:", err)
+		return 1
+	}
+	fmt.Fprintln(stderr, "running overlap sweep (AMR128, np=8)...")
+	overlap, err := experiments.OverlapSweep(o)
+	if err != nil {
+		fmt.Fprintln(stderr, "error:", err)
+		return 1
+	}
+	fmt.Fprintln(stderr, "running fault sweep (AMR64, np=8)...")
+	stragglers, recovery, err := experiments.FaultSweep(o)
+	if err != nil {
+		fmt.Fprintln(stderr, "error:", err)
+		return 1
+	}
+	fresh := Baseline{Table1: table1, Codecs: codecs, Overlap: overlap}
+	freshFaults := Faults{Stragglers: stragglers, Recovery: recovery}
+
+	if *update {
+		if err := writeJSON(*basePath, fresh); err != nil {
+			fmt.Fprintln(stderr, "error:", err)
+			return 1
+		}
+		if err := writeJSON(*faultPath, freshFaults); err != nil {
+			fmt.Fprintln(stderr, "error:", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "baselines updated: %s, %s\n", *basePath, *faultPath)
+		return 0
+	}
+
+	var base Baseline
+	if err := readJSON(*basePath, &base); err != nil {
+		fmt.Fprintln(stderr, "error:", err)
+		return 1
+	}
+	var baseFaults Faults
+	if err := readJSON(*faultPath, &baseFaults); err != nil {
+		fmt.Fprintln(stderr, "error:", err)
+		return 1
+	}
+	var drift []string
+	drift = append(drift, CompareRows("table1", base.Table1, fresh.Table1)...)
+	drift = append(drift, CompareRows("codecs", base.Codecs, fresh.Codecs)...)
+	drift = append(drift, CompareRows("overlap", base.Overlap, fresh.Overlap)...)
+	drift = append(drift, CompareRows("faults/stragglers", baseFaults.Stragglers, freshFaults.Stragglers)...)
+	drift = append(drift, CompareRows("faults/recovery", baseFaults.Recovery, freshFaults.Recovery)...)
+	if len(drift) > 0 {
+		fmt.Fprintf(stdout, "BENCHMARK DRIFT: %d difference(s) against %s / %s\n\n",
+			len(drift), *basePath, *faultPath)
+		for _, d := range drift {
+			fmt.Fprintln(stdout, d)
+		}
+		fmt.Fprintln(stdout, "\nIf the change is intended, re-baseline with: go run ./cmd/benchdiff -update")
+		return 1
+	}
+	fmt.Fprintln(stdout, "benchmarks match the baselines exactly")
+	return 0
+}
+
+// CompareRows compares two row slices of the same comparable struct type
+// with exact equality and renders any differences field by field. Virtual
+// times survive the JSON round-trip bit-exactly (Go emits the shortest
+// representation that parses back to the same float64), so == is the right
+// comparison — no tolerance.
+func CompareRows[T comparable](section string, base, fresh []T) []string {
+	var out []string
+	if len(base) != len(fresh) {
+		out = append(out, fmt.Sprintf("%s: row count changed: baseline %d, fresh %d",
+			section, len(base), len(fresh)))
+	}
+	n := len(base)
+	if len(fresh) < n {
+		n = len(fresh)
+	}
+	for i := 0; i < n; i++ {
+		if base[i] == fresh[i] {
+			continue
+		}
+		out = append(out, fmt.Sprintf("%s row %d:%s", section, i, diffFields(base[i], fresh[i])))
+	}
+	return out
+}
+
+// diffFields renders the fields that differ between two structs of the
+// same type.
+func diffFields[T any](base, fresh T) string {
+	bv, fv := reflect.ValueOf(base), reflect.ValueOf(fresh)
+	t := bv.Type()
+	out := ""
+	for i := 0; i < t.NumField(); i++ {
+		b, f := bv.Field(i).Interface(), fv.Field(i).Interface()
+		if b != f {
+			out += fmt.Sprintf("\n  %-14s baseline %v\tfresh %v", t.Field(i).Name, b, f)
+		}
+	}
+	return out
+}
+
+func writeJSON(path string, v any) error {
+	b, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+func readJSON(path string, v any) error {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("%w (generate with: go run ./cmd/benchdiff -update)", err)
+	}
+	return json.Unmarshal(b, v)
+}

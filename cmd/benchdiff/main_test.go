@@ -1,0 +1,76 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+func TestCompareRowsExactMatchPasses(t *testing.T) {
+	rows := []experiments.Row{
+		{Figure: "fig8", Problem: "AMR128", Backend: "mpiio", WriteSec: 12.345678901234567, Verified: true},
+		{Figure: "fig8", Problem: "AMR128", Backend: "hdf4", WriteSec: 7.000000000000001, Verified: true},
+	}
+	if drift := CompareRows("t", rows, rows); len(drift) != 0 {
+		t.Fatalf("identical rows reported drift: %v", drift)
+	}
+}
+
+// TestCompareRowsCatchesSyntheticPerturbation is the gate proving itself:
+// a 1-ulp-scale perturbation of one virtual time must be reported.
+func TestCompareRowsCatchesSyntheticPerturbation(t *testing.T) {
+	base := []experiments.Row{
+		{Figure: "fig8", Problem: "AMR128", Backend: "mpiio", WriteSec: 12.345678901234567},
+	}
+	fresh := []experiments.Row{base[0]}
+	fresh[0].WriteSec += 1e-12
+	drift := CompareRows("codecs", base, fresh)
+	if len(drift) != 1 {
+		t.Fatalf("drift entries = %d, want 1", len(drift))
+	}
+	if !strings.Contains(drift[0], "WriteSec") || !strings.Contains(drift[0], "codecs row 0") {
+		t.Fatalf("drift message not field-attributed:\n%s", drift[0])
+	}
+}
+
+func TestCompareRowsCatchesRowCountChange(t *testing.T) {
+	base := []experiments.Table1Row{{Problem: "AMR64"}, {Problem: "AMR128"}}
+	fresh := base[:1]
+	drift := CompareRows("table1", base, fresh)
+	if len(drift) != 1 || !strings.Contains(drift[0], "row count changed") {
+		t.Fatalf("row-count drift not reported: %v", drift)
+	}
+}
+
+// TestFloatsSurviveJSONRoundTrip pins the property the exact-equality gate
+// rests on: encoding/json emits the shortest decimal that parses back to
+// the identical float64.
+func TestFloatsSurviveJSONRoundTrip(t *testing.T) {
+	vals := []float64{12.345678901234567, 1.0 / 3.0, 2.2250738585072014e-308, 0.1 + 0.2}
+	for _, v := range vals {
+		b, err := json.Marshal(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back float64
+		if err := json.Unmarshal(b, &back); err != nil {
+			t.Fatal(err)
+		}
+		if back != v {
+			t.Fatalf("%v did not round-trip (got %v)", v, back)
+		}
+	}
+}
+
+func TestBadFlagsRejected(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-bogus"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("exit code = %d, want 2", code)
+	}
+	if code := run([]string{"extra-arg"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("exit code for stray argument = %d, want 2", code)
+	}
+}

@@ -8,6 +8,14 @@
 //	        [-np N] [-problem AMR64|AMR128|AMR256|tiny]
 //	        [-backend hdf4|mpiio|mpiio-cb|hdf5] [-dumps N]
 //	        [-codec none|rle|delta|lzss] [-async]
+//	        [-scrub] [-generations N] [-straggler FACTOR] [-corrupt N]
+//
+// The fault flags: -scrub enables the post-dump read-back scrub with
+// re-dump and generation-fallback recovery; -generations bounds how many
+// dump generations the restart fallback scans; -straggler degrades one
+// data server of a striped file system (pvfs, gpfs) by the given
+// service-time factor; -corrupt silently corrupts every Nth sizeable write
+// to checkpoint files, which -scrub then has to catch.
 //
 // Times are deterministic virtual seconds on the modelled platform, not
 // wall-clock time of the simulator.
@@ -16,27 +24,56 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/compress"
 	"repro/internal/enzo"
+	"repro/internal/faultfs"
 	"repro/internal/iotrace"
 	"repro/internal/machine"
 	"repro/internal/pfs"
 )
 
 func main() {
-	machName := flag.String("machine", "origin2000", "platform model: origin2000, sp2, chiba")
-	fsKind := flag.String("fs", "xfs", "file system model: xfs, gpfs, pvfs, local")
-	np := flag.Int("np", 8, "number of MPI ranks")
-	problem := flag.String("problem", "AMR64", "problem size: AMR64, AMR128, AMR256, tiny")
-	backendName := flag.String("backend", "mpiio", "I/O backend: hdf4, mpiio, mpiio-cb, hdf5")
-	dumps := flag.Int("dumps", 1, "checkpoint dumps per run")
-	refine := flag.Int("refine", 0, "dynamic refinement passes during evolution")
-	codec := flag.String("codec", "none", "transparent field compression: none, rle, delta, lzss")
-	async := flag.Bool("async", false, "write-behind checkpoint I/O: overlap dumps with the next step's compute")
-	trace := flag.Bool("trace", false, "print a Pablo-style I/O characterization of the run")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fl := flag.NewFlagSet("enzosim", flag.ContinueOnError)
+	fl.SetOutput(stderr)
+	machName := fl.String("machine", "origin2000", "platform model: origin2000, sp2, chiba")
+	fsKind := fl.String("fs", "xfs", "file system model: xfs, gpfs, pvfs, local")
+	np := fl.Int("np", 8, "number of MPI ranks")
+	problem := fl.String("problem", "AMR64", "problem size: AMR64, AMR128, AMR256, tiny")
+	backendName := fl.String("backend", "mpiio", "I/O backend: hdf4, mpiio, mpiio-cb, hdf5")
+	dumps := fl.Int("dumps", 1, "checkpoint dumps per run")
+	refine := fl.Int("refine", 0, "dynamic refinement passes during evolution")
+	codec := fl.String("codec", "none", "transparent field compression: none, rle, delta, lzss")
+	async := fl.Bool("async", false, "write-behind checkpoint I/O: overlap dumps with the next step's compute")
+	scrub := fl.Bool("scrub", false, "read-back scrub after each dump, with re-dump and generation-fallback recovery")
+	generations := fl.Int("generations", 0, "dump generations the restart fallback scans, newest first (0 = all; needs -scrub)")
+	straggler := fl.Float64("straggler", 1, "degrade one data server of a striped fs by this service-time factor")
+	corrupt := fl.Int64("corrupt", 0, "silently corrupt every Nth sizeable checkpoint write (0 = off)")
+	trace := fl.Bool("trace", false, "print a Pablo-style I/O characterization of the run")
+	if err := fl.Parse(args); err != nil {
+		return 2
+	}
+
+	fail := func(format string, a ...any) int {
+		fmt.Fprintf(stderr, format+"\n", a...)
+		fl.Usage()
+		return 2
+	}
+
+	switch *machName {
+	case "origin2000", "sp2", "chiba":
+	default:
+		return fail("unknown machine %q (known: origin2000, sp2, chiba)", *machName)
+	}
+	if *np < 1 {
+		return fail("-np must be >= 1 (got %d)", *np)
+	}
 
 	var cfg enzo.Config
 	switch *problem {
@@ -49,57 +86,106 @@ func main() {
 	case "tiny":
 		cfg = enzo.Tiny()
 	default:
-		fmt.Fprintf(os.Stderr, "unknown problem %q\n", *problem)
-		os.Exit(2)
+		return fail("unknown problem %q", *problem)
 	}
 	cfg.Dumps = *dumps
 	cfg.RefineCycles = *refine
 	if _, err := compress.Resolve(*codec); err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		return fail("%v", err)
 	}
 	cfg.Codec = *codec
 	cfg.AsyncIO = *async
+	cfg.ScrubOnDump = *scrub
+	cfg.Generations = *generations
+	if *generations < 0 {
+		return fail("-generations must be >= 0 (got %d)", *generations)
+	}
+	if *generations > 0 && !*scrub {
+		return fail("-generations needs -scrub")
+	}
+	if *straggler < 1 {
+		return fail("-straggler must be >= 1 (got %g)", *straggler)
+	}
+	if *corrupt < 0 {
+		return fail("-corrupt must be >= 0 (got %d)", *corrupt)
+	}
 
 	backend, err := enzo.BackendByName(*backendName)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		return fail("%v", err)
 	}
 
 	var rec *iotrace.Recorder
-	var wrap func(pfs.FileSystem) pfs.FileSystem
+	var wraps []func(pfs.FileSystem) pfs.FileSystem
+	// The straggler hook must see the bare striped file system, so it runs
+	// before any wrapper is layered on.
+	if *straggler > 1 {
+		switch *fsKind {
+		case "pvfs", "gpfs":
+		default:
+			return fail("-straggler needs a striped file system (pvfs, gpfs); got %q", *fsKind)
+		}
+		wraps = append(wraps, func(fs pfs.FileSystem) pfs.FileSystem {
+			fs.(pfs.StripeFaultInjector).DegradeDataServer(0, *straggler)
+			return fs
+		})
+	}
+	if *corrupt > 0 {
+		wraps = append(wraps, func(fs pfs.FileSystem) pfs.FileSystem {
+			// Checkpoint files only ("dump..."), sizeable writes only, so
+			// the initial-conditions read stays intact; a bounded number of
+			// faults keeps recovery (with -scrub) terminating.
+			return faultfs.Wrap(fs, faultfs.Config{
+				Mode: faultfs.CorruptWrite, EveryN: *corrupt,
+				MinBytes: 2048, FileSubstr: "dump", MaxInject: 4,
+			})
+		})
+	}
 	if *trace {
 		rec = iotrace.NewRecorder()
-		wrap = func(fs pfs.FileSystem) pfs.FileSystem { return iotrace.Wrap(fs, rec) }
+		wraps = append(wraps, func(fs pfs.FileSystem) pfs.FileSystem { return iotrace.Wrap(fs, rec) })
+	}
+	var wrap func(pfs.FileSystem) pfs.FileSystem
+	if len(wraps) > 0 {
+		wrap = func(fs pfs.FileSystem) pfs.FileSystem {
+			for _, w := range wraps {
+				fs = w(fs)
+			}
+			return fs
+		}
 	}
 	res, err := enzo.RunOnceWrapped(machine.ByName(*machName), *fsKind, *np, cfg, backend, wrap)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "simulation failed:", err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, "simulation failed:", err)
+		return 1
 	}
 
-	fmt.Printf("problem      %s (%d grids)\n", res.Problem, res.Grids)
-	fmt.Printf("platform     %s / %s, %d ranks\n", *machName, *fsKind, *np)
-	fmt.Printf("backend      %s\n", res.Backend)
-	fmt.Printf("codec        %s\n", res.Codec)
+	fmt.Fprintf(stdout, "problem      %s (%d grids)\n", res.Problem, res.Grids)
+	fmt.Fprintf(stdout, "platform     %s / %s, %d ranks\n", *machName, *fsKind, *np)
+	fmt.Fprintf(stdout, "backend      %s\n", res.Backend)
+	fmt.Fprintf(stdout, "codec        %s\n", res.Codec)
 	for _, p := range res.Phases {
-		fmt.Printf("  %-10s %10.3f s\n", p.Name, p.Seconds)
+		fmt.Fprintf(stdout, "  %-10s %10.3f s\n", p.Name, p.Seconds)
 	}
 	if *async {
-		fmt.Printf("async dump   exposed %.3f s, hidden %.3f s (%.1f%% of device time hidden)\n",
+		fmt.Fprintf(stdout, "async dump   exposed %.3f s, hidden %.3f s (%.1f%% of device time hidden)\n",
 			res.ExposedWrite, res.HiddenWrite, 100*res.HiddenFraction())
 	}
-	fmt.Printf("bytes read   %d (%.1f MB)\n", res.BytesRead, float64(res.BytesRead)/(1<<20))
-	fmt.Printf("bytes written%d (%.1f MB)\n", res.BytesWritten, float64(res.BytesWritten)/(1<<20))
-	fmt.Printf("verified     %v\n", res.Verified)
+	if *scrub {
+		fmt.Fprintf(stdout, "scrub        failures %d, redumps %d, restart fallbacks %d\n",
+			res.ScrubFailures, res.Redumps, res.RestartFallbacks)
+	}
+	fmt.Fprintf(stdout, "bytes read   %d (%.1f MB)\n", res.BytesRead, float64(res.BytesRead)/(1<<20))
+	fmt.Fprintf(stdout, "bytes written%d (%.1f MB)\n", res.BytesWritten, float64(res.BytesWritten)/(1<<20))
+	fmt.Fprintf(stdout, "verified     %v\n", res.Verified)
 	if rec != nil {
-		fmt.Println()
-		rec.Report(os.Stdout)
-		fmt.Println()
-		rec.ReportPatterns(os.Stdout)
+		fmt.Fprintln(stdout)
+		rec.Report(stdout)
+		fmt.Fprintln(stdout)
+		rec.ReportPatterns(stdout)
 	}
 	if !res.Verified {
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }

@@ -1,16 +1,18 @@
 // Command iobench regenerates the paper's evaluation: Table 1 and Figures
 // 6-10, printing each as a table of deterministic virtual-time
-// measurements.
+// measurements, plus the repository's extension sweeps (codecs, overlap,
+// faults).
 //
 // Usage:
 //
-//	iobench [-exp table1|fig6|fig7|fig8|fig9|fig10|codecs|overlap|all]
+//	iobench [-exp table1|fig6|fig7|fig8|fig9|fig10|codecs|overlap|faults|all]
 //	        [-quick] [-codec none|rle|delta|lzss] [-async]
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/compress"
@@ -18,17 +20,39 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: table1, fig6..fig10, or all")
-	quick := flag.Bool("quick", false, "shrink problems for a fast smoke run")
-	chart := flag.Bool("chart", false, "also render each figure as ASCII bar charts")
-	tracedir := flag.String("tracedir", "", "write per-case Perfetto timelines and counter reports into this directory")
-	codec := flag.String("codec", "none", "run the figure cases with transparent field compression: none, rle, delta, lzss")
-	async := flag.Bool("async", false, "run the figure cases with the write-behind dump pipeline")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
 
+var validExps = []string{"table1", "fig6", "fig7", "fig8", "fig9", "fig10", "codecs", "overlap", "faults", "all"}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fl := flag.NewFlagSet("iobench", flag.ContinueOnError)
+	fl.SetOutput(stderr)
+	exp := fl.String("exp", "all", "experiment to run: table1, fig6..fig10, codecs, overlap, faults, or all")
+	quick := fl.Bool("quick", false, "shrink problems for a fast smoke run")
+	chart := fl.Bool("chart", false, "also render each figure as ASCII bar charts")
+	tracedir := fl.String("tracedir", "", "write per-case Perfetto timelines and counter reports into this directory")
+	codec := fl.String("codec", "none", "run the figure cases with transparent field compression: none, rle, delta, lzss")
+	async := fl.Bool("async", false, "run the figure cases with the write-behind dump pipeline")
+	if err := fl.Parse(args); err != nil {
+		return 2
+	}
+
+	valid := false
+	for _, name := range validExps {
+		if *exp == name {
+			valid = true
+		}
+	}
+	if !valid {
+		fmt.Fprintf(stderr, "unknown experiment %q (want one of %v)\n", *exp, validExps)
+		fl.Usage()
+		return 2
+	}
 	if _, err := compress.Resolve(*codec); err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		fmt.Fprintln(stderr, err)
+		fl.Usage()
+		return 2
 	}
 	o := experiments.Options{Quick: *quick, TraceDir: *tracedir, Codec: *codec, Async: *async}
 	type driver struct {
@@ -45,44 +69,57 @@ func main() {
 	}
 
 	if *exp == "table1" || *exp == "all" {
-		fmt.Println("Table 1: Amount of data read/written by the ENZO application")
-		experiments.PrintTable1(os.Stdout, experiments.Table1(o))
-		fmt.Println()
+		fmt.Fprintln(stdout, "Table 1: Amount of data read/written by the ENZO application")
+		experiments.PrintTable1(stdout, experiments.Table1(o))
+		fmt.Fprintln(stdout)
 	}
 	if *exp == "overlap" || *exp == "all" {
-		fmt.Println("Overlap sweep: write-behind checkpoint I/O vs synchronous dumps (Chiba City, AMR128, np=8)")
+		fmt.Fprintln(stdout, "Overlap sweep: write-behind checkpoint I/O vs synchronous dumps (Chiba City, AMR128, np=8)")
 		rows, err := experiments.OverlapSweep(o)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "error:", err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, "error:", err)
+			return 1
 		}
-		experiments.PrintOverlapSweep(os.Stdout, rows)
-		fmt.Println()
+		experiments.PrintOverlapSweep(stdout, rows)
+		fmt.Fprintln(stdout)
 	}
 	if *exp == "codecs" || *exp == "all" {
-		fmt.Println("Codec sweep: transparent compression vs file system (Chiba City, MPI-IO, AMR128, np=8)")
+		fmt.Fprintln(stdout, "Codec sweep: transparent compression vs file system (Chiba City, MPI-IO, AMR128, np=8)")
 		rows, err := experiments.CodecSweep(o)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "error:", err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, "error:", err)
+			return 1
 		}
-		experiments.PrintCodecSweep(os.Stdout, rows)
-		fmt.Println()
+		experiments.PrintCodecSweep(stdout, rows)
+		fmt.Fprintln(stdout)
+	}
+	if *exp == "faults" || *exp == "all" {
+		fmt.Fprintln(stdout, "Fault sweep: straggler data servers and silent-corruption recovery (AMR64, np=8)")
+		stragglers, recovery, err := experiments.FaultSweep(o)
+		if err != nil {
+			fmt.Fprintln(stderr, "error:", err)
+			return 1
+		}
+		experiments.PrintStragglerSweep(stdout, stragglers)
+		fmt.Fprintln(stdout)
+		experiments.PrintRecoverySweep(stdout, recovery)
+		fmt.Fprintln(stdout)
 	}
 	for _, d := range drivers {
 		if *exp != "all" && *exp != d.name {
 			continue
 		}
-		fmt.Println(d.title)
+		fmt.Fprintln(stdout, d.title)
 		rows, err := d.fn(o)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "error:", err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, "error:", err)
+			return 1
 		}
-		experiments.PrintRows(os.Stdout, rows)
-		fmt.Println()
+		experiments.PrintRows(stdout, rows)
+		fmt.Fprintln(stdout)
 		if *chart {
-			experiments.RenderChart(os.Stdout, rows)
+			experiments.RenderChart(stdout, rows)
 		}
 	}
+	return 0
 }

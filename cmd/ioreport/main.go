@@ -8,7 +8,7 @@
 // Usage:
 //
 //	ioreport [-machine chiba] [-fs pvfs] [-backend mpiio] [-problem AMR64]
-//	         [-np 8] [-quick] [-codec none|rle|delta|lzss] [-async]
+//	         [-np 8] [-quick] [-codec none|rle|delta|lzss] [-async] [-scrub]
 //	         [-trace timeline.json] [-o report.txt]
 //
 // Tracing is zero-perturbation: the virtual timings of a traced run are
@@ -28,21 +28,36 @@ import (
 )
 
 func main() {
-	mach := flag.String("machine", "chiba", "platform: origin2000, sp2 or chiba")
-	fsKind := flag.String("fs", "pvfs", "file system: xfs, gpfs, pvfs or local")
-	backendName := flag.String("backend", "mpiio", "I/O backend: hdf4, mpiio, hdf5 or mpiio-cb")
-	problem := flag.String("problem", "AMR64", "problem size: tiny, AMR64, AMR128 or AMR256")
-	np := flag.Int("np", 8, "number of MPI ranks")
-	quick := flag.Bool("quick", false, "shrink the problem for a fast smoke run")
-	codec := flag.String("codec", "none", "transparent field compression: none, rle, delta, lzss")
-	async := flag.Bool("async", false, "write-behind checkpoint I/O: overlap dumps with the next step's compute")
-	tracePath := flag.String("trace", "", "write a Perfetto-loadable trace-event JSON timeline here")
-	outPath := flag.String("o", "", "write the counter report here (default stdout)")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fl := flag.NewFlagSet("ioreport", flag.ContinueOnError)
+	fl.SetOutput(stderr)
+	mach := fl.String("machine", "chiba", "platform: origin2000, sp2 or chiba")
+	fsKind := fl.String("fs", "pvfs", "file system: xfs, gpfs, pvfs or local")
+	backendName := fl.String("backend", "mpiio", "I/O backend: hdf4, mpiio, hdf5 or mpiio-cb")
+	problem := fl.String("problem", "AMR64", "problem size: tiny, AMR64, AMR128 or AMR256")
+	np := fl.Int("np", 8, "number of MPI ranks")
+	quick := fl.Bool("quick", false, "shrink the problem for a fast smoke run")
+	codec := fl.String("codec", "none", "transparent field compression: none, rle, delta, lzss")
+	async := fl.Bool("async", false, "write-behind checkpoint I/O: overlap dumps with the next step's compute")
+	scrub := fl.Bool("scrub", false, "read-back scrub after each dump, with re-dump and generation-fallback recovery")
+	tracePath := fl.String("trace", "", "write a Perfetto-loadable trace-event JSON timeline here")
+	outPath := fl.String("o", "", "write the counter report here (default stdout)")
+	if err := fl.Parse(args); err != nil {
+		return 2
+	}
+
+	fail := func(err error) int {
+		fmt.Fprintln(stderr, "error:", err)
+		fl.Usage()
+		return 2
+	}
 
 	cfg, err := configByName(*problem)
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
 	if *quick {
 		n := cfg.Dims[0] / 4
@@ -53,57 +68,69 @@ func main() {
 		cfg.NParticles = n * n * n / 2
 	}
 	if _, err := compress.Resolve(*codec); err != nil {
-		fatal(err)
+		return fail(err)
 	}
 	cfg.Codec = *codec
 	cfg.AsyncIO = *async
+	cfg.ScrubOnDump = *scrub
 	backend, err := enzo.BackendByName(*backendName)
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
 	machCfg, err := machineByName(*mach)
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
 	if *np < 1 {
-		fatal(fmt.Errorf("ioreport: -np must be at least 1 (got %d)", *np))
+		return fail(fmt.Errorf("ioreport: -np must be at least 1 (got %d)", *np))
 	}
 
 	tr := obs.NewTracer()
 	res, err := enzo.RunOnceTraced(machCfg, *fsKind, *np, cfg, backend, tr)
 	if err != nil {
-		fatal(err)
+		fmt.Fprintln(stderr, "error:", err)
+		return 1
 	}
 
-	out := io.Writer(os.Stdout)
+	out := stdout
 	if *outPath != "" {
 		f, err := os.Create(*outPath)
 		if err != nil {
-			fatal(err)
+			fmt.Fprintln(stderr, "error:", err)
+			return 1
 		}
 		defer f.Close()
 		out = f
 	}
 	fmt.Fprintf(out, "%s %s/%s backend=%s np=%d verified=%v\n",
 		res.Problem, *mach, *fsKind, res.Backend, res.Procs, res.Verified)
-	fmt.Fprintf(out, "phases: read=%.3fs write=%.3fs restart=%.3fs\n\n",
+	fmt.Fprintf(out, "phases: read=%.3fs write=%.3fs restart=%.3fs\n",
 		res.ReadTime(), res.WriteTime(), res.RestartTime())
+	if *scrub {
+		fmt.Fprintf(out, "scrub: %.3fs, failures=%d redumps=%d fallbacks=%d\n",
+			res.Phase("scrub"), res.ScrubFailures, res.Redumps, res.RestartFallbacks)
+	}
+	fmt.Fprintln(out)
 	tr.WriteReport(out, res.Makespan)
 
 	if *tracePath != "" {
 		f, err := os.Create(*tracePath)
 		if err != nil {
-			fatal(err)
+			fmt.Fprintln(stderr, "error:", err)
+			return 1
 		}
 		if err := tr.WriteTrace(f); err != nil {
 			f.Close()
-			fatal(err)
+			fmt.Fprintln(stderr, "error:", err)
+			return 1
 		}
 		if err := f.Close(); err != nil {
-			fatal(err)
+			fmt.Fprintln(stderr, "error:", err)
+			return 1
 		}
-		fmt.Fprintf(os.Stderr, "timeline written to %s (load in ui.perfetto.dev)\n", *tracePath)
+		fmt.Fprintf(stderr, "timeline written to %s (load in ui.perfetto.dev)\n", *tracePath)
 	}
+	return 0
 }
 
 func machineByName(name string) (machine.Config, error) {
@@ -126,9 +153,4 @@ func configByName(name string) (enzo.Config, error) {
 		return enzo.AMR256(), nil
 	}
 	return enzo.Config{}, fmt.Errorf("ioreport: unknown problem %q", name)
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "error:", err)
-	os.Exit(1)
 }

@@ -1,0 +1,44 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestBadFlagsRejected(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"unknown flag", []string{"-bogus"}},
+		{"bad machine", []string{"-machine", "bluegene"}},
+		{"bad problem", []string{"-problem", "AMR512"}},
+		{"bad backend", []string{"-backend", "netcdf"}},
+		{"bad codec", []string{"-codec", "zip"}},
+		{"zero ranks", []string{"-np", "0"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var stdout, stderr bytes.Buffer
+			if code := run(tc.args, &stdout, &stderr); code != 2 {
+				t.Fatalf("exit code = %d, want 2 (stderr: %s)", code, stderr.String())
+			}
+			if !strings.Contains(stderr.String(), "Usage of ioreport") {
+				t.Fatalf("no usage message on stderr:\n%s", stderr.String())
+			}
+		})
+	}
+}
+
+func TestTinyScrubReportRuns(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-problem", "tiny", "-np", "4", "-scrub"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit code = %d, stderr: %s", code, stderr.String())
+	}
+	out := stdout.String()
+	if !strings.Contains(out, "verified=true") || !strings.Contains(out, "scrub:") {
+		t.Fatalf("report missing fields:\n%s", out)
+	}
+}

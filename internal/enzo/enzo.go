@@ -123,6 +123,24 @@ type Config struct {
 	// compress.DefaultCostModel.
 	CompressBps   float64
 	DecompressBps float64
+
+	// ScrubOnDump enables checkpoint integrity protection: after the dump
+	// phase each generation is read back and compared against its manifest
+	// of content hashes (dumpNN.sum); a generation that fails the scrub is
+	// re-dumped, and the restart falls back to the newest generation whose
+	// manifest check passes. Off (the default), the run is bit-identical
+	// to a build without the feature.
+	ScrubOnDump bool
+	// Generations bounds how many generations the restart fallback scans,
+	// newest first (0 = all dumps). Only meaningful with ScrubOnDump.
+	Generations int
+	// MaxRedumps bounds the re-dump attempts per scrubbed generation
+	// (0 = default of 2). Only meaningful with ScrubOnDump.
+	MaxRedumps int
+
+	// IORetry, when Enabled, is passed to the MPI-IO layer as its
+	// per-request timeout/backoff/retry policy (see mpiio.RetryPolicy).
+	IORetry mpiio.RetryPolicy
 }
 
 // CostModel resolves the run's codec CPU cost model.
@@ -201,6 +219,15 @@ type Result struct {
 	// of an async run additionally contains the overlap compute itself.
 	ExposedWrite float64
 	HiddenWrite  float64
+
+	// Fault-tolerance accounting (ScrubOnDump runs only; all zero
+	// otherwise). ScrubFailures counts generations that failed a read-back
+	// scrub (including after re-dumps); Redumps counts re-dump attempts;
+	// RestartFallbacks counts dirty generations the restart skipped before
+	// finding a clean one.
+	ScrubFailures    int
+	Redumps          int
+	RestartFallbacks int
 }
 
 // HiddenFraction is the share of dump I/O wall-time hidden behind compute:
@@ -282,6 +309,14 @@ type Sim struct {
 	// interfaces (see async.go); nil keeps every write blocking.
 	pend *pendingDump
 
+	// tolerant turns read-path integrity failures (codec CRC mismatches,
+	// unreadable directories) into a damaged flag instead of a panic, so a
+	// scrub or fallback restart can reject the generation and move on;
+	// damaged records that at least one such failure happened on this rank
+	// since the last scrub began.
+	tolerant bool
+	damaged  bool
+
 	res *Result
 }
 
@@ -317,10 +352,24 @@ func (s *Sim) squeeze(raw []byte) []byte {
 
 func (s *Sim) expand(blob []byte) []byte {
 	raw, err := compress.Expand(s.r.Proc(), s.zcost, blob)
-	if err != nil {
-		panic(err)
+	if s.tolerate(err) {
+		return nil
 	}
 	return raw
+}
+
+// tolerate reports whether err was absorbed by tolerant-read mode (marking
+// this rank's state damaged). Outside tolerant mode a non-nil err panics,
+// preserving the strict behaviour of the normal read paths.
+func (s *Sim) tolerate(err error) bool {
+	if err == nil {
+		return false
+	}
+	if s.tolerant {
+		s.damaged = true
+		return true
+	}
+	panic(err)
 }
 
 // client returns this rank's file-system client identity.
@@ -446,6 +495,9 @@ func NewSim(r *mpi.Rank, fs pfs.FileSystem, backend Backend, cfg Config, res *Re
 	if backend == BackendMPIIOCB {
 		hints.CBForce = true
 	}
+	if cfg.IORetry.Enabled {
+		hints.Retry = cfg.IORetry
+	}
 	pz, py, px := mpi.ProcGrid3D(r.Size())
 	codec, err := compress.Resolve(cfg.Codec)
 	if err != nil {
@@ -489,8 +541,18 @@ func (s *Sim) Run() {
 		})
 	}
 
+	if s.cfg.ScrubOnDump {
+		s.timed("scrub", func() { s.scrubDumps(snap) })
+	}
+
 	s.clearState()
-	s.timed("restart", func() { s.readRestart(s.cfg.Dumps - 1) })
+	s.timed("restart", func() {
+		if s.cfg.ScrubOnDump {
+			s.restartNewestClean()
+		} else {
+			s.readRestart(s.cfg.Dumps - 1)
+		}
+	})
 
 	verified := s.verify(snap)
 	statsAfter := s.fs.Stats()

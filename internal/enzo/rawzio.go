@@ -110,8 +110,16 @@ func (z *zLayout) decodeDir(dir []byte) error {
 	if n := int(binary.LittleEndian.Uint32(dir[12:])); n != len(z.lens) {
 		return fmt.Errorf("enzo: compressed dump has %d slots, hierarchy expects %d", n, len(z.lens))
 	}
+	var total int64
 	for i := range z.lens {
-		z.lens[i] = int64(binary.LittleEndian.Uint64(dir[16+8*i:]))
+		n := int64(binary.LittleEndian.Uint64(dir[16+8*i:]))
+		// A corrupted directory could claim absurd segment lengths; reject
+		// them here rather than letting readers allocate them.
+		if n < 0 || n > 1<<40 || total > 1<<40 {
+			return fmt.Errorf("enzo: compressed dump directory has implausible segment lengths")
+		}
+		z.lens[i] = n
+		total += n
 	}
 	z.finalize()
 	return nil
@@ -138,7 +146,10 @@ func (s *Sim) zExchangeLens(z *zLayout, mine []int64) {
 	z.finalize()
 }
 
-// zOpenDir reads a dump's directory (rank 0 reads, everyone decodes).
+// zOpenDir reads a dump's directory (rank 0 reads, everyone decodes). In
+// tolerant mode an undecodable directory yields nil — every rank sees the
+// same broadcast bytes, so all ranks agree — and the caller must skip the
+// file's contents.
 func (s *Sim) zOpenDir(f *mpiio.File) *zLayout {
 	z := newZLayout(s.meta, s.r.Size())
 	var dir []byte
@@ -147,8 +158,8 @@ func (s *Sim) zOpenDir(f *mpiio.File) *zLayout {
 		f.ReadAt(dir, 0)
 	}
 	dir = s.r.Bcast(0, dir)
-	if err := z.decodeDir(dir); err != nil {
-		panic(err)
+	if err := z.decodeDir(dir); s.tolerate(err) {
+		return nil
 	}
 	return z
 }
@@ -405,6 +416,10 @@ func (s *Sim) rawzReadRestart(d int) {
 		panic(err)
 	}
 	z := s.zOpenDir(f)
+	if z == nil { // tolerant mode, unreadable directory: no state to read
+		f.Close()
+		return
+	}
 	g := s.meta.Top()
 	topSp := obs.Begin(s.r.Proc(), obs.LayerApp, "grid_read").Attr("grid", "0")
 	s.top = &partition{gridID: 0, sub: core.FieldSubarray(g, s.pz, s.py, s.px, s.r.Rank())}

@@ -3,9 +3,16 @@
 // writes, and stale reads. It exists to prove that the repository's
 // end-to-end verification actually detects storage misbehaviour — a
 // verifier that never fails is no verifier.
+//
+// The wrapper deliberately does NOT implement pfs.FallibleFile: injected
+// faults are silent (the device acknowledges the request normally), which
+// is exactly the failure class timeouts cannot see and scrubbing exists
+// for. Timeout/retry faults are modelled at the device layer instead
+// (sim.Server slowdown/fail-after plus pfs.StripeFaultInjector).
 package faultfs
 
 import (
+	"strings"
 	"sync"
 
 	"repro/internal/pfs"
@@ -25,16 +32,44 @@ const (
 	DropWrite
 	// TornWrite stores only the first half of every Nth write.
 	TornWrite
+	// StaleRead serves the previous version of overwritten bytes on every
+	// Nth read: the wrapper mirrors all bytes it writes, remembers the old
+	// contents whenever a range is overwritten (including whole-file
+	// truncation by Create), and overlays those old bytes onto the
+	// selected read's buffer. Reads of ranges that were never overwritten
+	// are served faithfully. Writes are never altered in this mode.
+	StaleRead
 )
 
-// Config selects which writes fail.
+// Config selects which operations fail.
 type Config struct {
 	Mode Mode
-	// EveryN injects the fault into every Nth write (1 = every write).
+	// EveryN injects the fault into every Nth write — or, for StaleRead,
+	// every Nth read (1 = every one).
 	EveryN int64
-	// MinBytes restricts faults to writes of at least this size, so tiny
-	// metadata writes can be spared when targeting data.
+	// MinBytes restricts faults to operations of at least this size, so
+	// tiny metadata writes can be spared when targeting data.
 	MinBytes int64
+	// FileSubstr restricts injection to files whose name contains this
+	// substring (empty = all files).
+	FileSubstr string
+	// MaxInject stops injecting after this many faults (0 = unlimited),
+	// so that a re-dump after detection can succeed deterministically.
+	MaxInject int64
+}
+
+// shadow is a sparse byte image: data holds values, valid marks which
+// offsets have ever been set.
+type shadow struct {
+	data  []byte
+	valid []bool
+}
+
+func (s *shadow) ensure(n int64) {
+	for int64(len(s.data)) < n {
+		s.data = append(s.data, 0)
+		s.valid = append(s.valid, false)
+	}
 }
 
 // FS is the fault-injecting wrapper.
@@ -44,7 +79,13 @@ type FS struct {
 
 	mu       sync.Mutex
 	writes   int64
+	reads    int64
 	injected int64
+	// mirror tracks, per targeted file, every byte written through this
+	// wrapper; stale keeps the previous value of every overwritten byte.
+	// Both are only populated in StaleRead mode.
+	mirror map[string]*shadow
+	stale  map[string]*shadow
 }
 
 // Wrap returns a fault-injecting view of fs.
@@ -52,7 +93,8 @@ func Wrap(fs pfs.FileSystem, cfg Config) *FS {
 	if cfg.EveryN <= 0 {
 		cfg.EveryN = 1
 	}
-	return &FS{inner: fs, cfg: cfg}
+	return &FS{inner: fs, cfg: cfg,
+		mirror: make(map[string]*shadow), stale: make(map[string]*shadow)}
 }
 
 // Injected reports how many faults were injected so far.
@@ -60,6 +102,11 @@ func (f *FS) Injected() int64 {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	return f.injected
+}
+
+// matchFile reports whether name is a fault target.
+func (f *FS) matchFile(name string) bool {
+	return f.cfg.FileSubstr == "" || strings.Contains(name, f.cfg.FileSubstr)
 }
 
 // Name implements pfs.FileSystem.
@@ -85,11 +132,32 @@ func (f *FS) Snapshot() map[string][]byte { return f.inner.Snapshot() }
 // Restore implements pfs.FileSystem.
 func (f *FS) Restore(files map[string][]byte) { f.inner.Restore(files) }
 
-// Create implements pfs.FileSystem.
+// Create implements pfs.FileSystem. In StaleRead mode the truncated file's
+// mirrored bytes become stale: a later read of the recreated file may be
+// served the previous generation's contents.
 func (f *FS) Create(c pfs.Client, name string) (pfs.File, error) {
 	inner, err := f.inner.Create(c, name)
 	if err != nil {
 		return nil, err
+	}
+	if f.cfg.Mode == StaleRead && f.matchFile(name) {
+		f.mu.Lock()
+		if m := f.mirror[name]; m != nil {
+			st := f.stale[name]
+			if st == nil {
+				st = &shadow{}
+				f.stale[name] = st
+			}
+			st.ensure(int64(len(m.data)))
+			for i, ok := range m.valid {
+				if ok {
+					st.data[i] = m.data[i]
+					st.valid[i] = true
+				}
+			}
+		}
+		f.mirror[name] = &shadow{}
+		f.mu.Unlock()
 	}
 	return &faultFile{inner: inner, fs: f}, nil
 }
@@ -114,19 +182,101 @@ func (ff *faultFile) Close(c pfs.Client)      { ff.inner.Close(c) }
 
 func (ff *faultFile) ReadAt(c pfs.Client, buf []byte, off int64) {
 	ff.inner.ReadAt(c, buf, off)
+	ff.maybeServeStale(buf, off)
+}
+
+// maybeServeStale overlays previously overwritten bytes onto every Nth
+// eligible read in StaleRead mode. The read already charged the device
+// normally; only the returned contents lie.
+func (ff *faultFile) maybeServeStale(buf []byte, off int64) {
+	f := ff.fs
+	if f.cfg.Mode != StaleRead {
+		return
+	}
+	name := ff.inner.Name()
+	n := int64(len(buf))
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if n < f.cfg.MinBytes || !f.matchFile(name) {
+		return
+	}
+	f.reads++
+	if f.reads%f.cfg.EveryN != 0 {
+		return
+	}
+	if f.cfg.MaxInject > 0 && f.injected >= f.cfg.MaxInject {
+		return
+	}
+	st := f.stale[name]
+	if st == nil {
+		return
+	}
+	var overlaid int64
+	for i := int64(0); i < n; i++ {
+		p := off + i
+		if p < int64(len(st.valid)) && st.valid[p] {
+			buf[i] = st.data[p]
+			overlaid++
+		}
+	}
+	if overlaid > 0 {
+		f.injected++
+	}
+}
+
+// noteWrite maintains the mirror/stale images for StaleRead mode. It must
+// run for every write that reaches the store, injected or not.
+func (f *FS) noteWrite(name string, data []byte, off int64) {
+	if f.cfg.Mode != StaleRead || !f.matchFile(name) {
+		return
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	m := f.mirror[name]
+	if m == nil {
+		m = &shadow{}
+		f.mirror[name] = m
+	}
+	end := off + int64(len(data))
+	m.ensure(end)
+	var st *shadow
+	for i := off; i < end; i++ {
+		if m.valid[i] {
+			if st == nil {
+				st = f.stale[name]
+				if st == nil {
+					st = &shadow{}
+					f.stale[name] = st
+				}
+				st.ensure(end)
+			}
+			st.data[i] = m.data[i]
+			st.valid[i] = true
+		}
+	}
+	copy(m.data[off:end], data)
+	for i := off; i < end; i++ {
+		m.valid[i] = true
+	}
 }
 
 // shouldInject decides (deterministically, by write ordinal) whether this
-// write fails.
-func (ff *faultFile) shouldInject(n int64) bool {
+// write fails. StaleRead never alters writes.
+func (ff *faultFile) shouldInject(name string, n int64) bool {
 	f := ff.fs
+	if f.cfg.Mode == StaleRead {
+		return false
+	}
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	if n < f.cfg.MinBytes {
+	if n < f.cfg.MinBytes || !f.matchFile(name) {
 		return false
 	}
 	f.writes++
 	if f.writes%f.cfg.EveryN != 0 {
+		return false
+	}
+	if f.cfg.MaxInject > 0 && f.injected >= f.cfg.MaxInject {
 		return false
 	}
 	f.injected++
@@ -143,7 +293,8 @@ func (ff *faultFile) WriteAtDeferred(c pfs.Client, data []byte, off int64) float
 		ff.WriteAt(c, data, off)
 		return c.Proc.Now()
 	}
-	if !ff.shouldInject(int64(len(data))) {
+	if !ff.shouldInject(ff.inner.Name(), int64(len(data))) {
+		ff.fs.noteWrite(ff.inner.Name(), data, off)
 		return dw.WriteAtDeferred(c, data, off)
 	}
 	ff.injectWrite(c, data, off)
@@ -151,7 +302,8 @@ func (ff *faultFile) WriteAtDeferred(c pfs.Client, data []byte, off int64) float
 }
 
 func (ff *faultFile) WriteAt(c pfs.Client, data []byte, off int64) {
-	if !ff.shouldInject(int64(len(data))) {
+	if !ff.shouldInject(ff.inner.Name(), int64(len(data))) {
+		ff.fs.noteWrite(ff.inner.Name(), data, off)
 		ff.inner.WriteAt(c, data, off)
 		return
 	}

@@ -516,6 +516,45 @@ func (f *tracedFile) WriteAtDeferred(c pfs.Client, data []byte, off int64) float
 	return end
 }
 
+// ReadAtDeadline implements pfs.FallibleFile by delegation, recording the
+// attempt with its true byte count only when it succeeded (a timed-out
+// attempt moved no data; its wait still shows as the event duration).
+func (f *tracedFile) ReadAtDeadline(c pfs.Client, buf []byte, off int64, deadline float64) error {
+	ff, ok := f.inner.(pfs.FallibleFile)
+	if !ok {
+		f.ReadAt(c, buf, off)
+		return nil
+	}
+	start := c.Proc.Now()
+	err := ff.ReadAtDeadline(c, buf, off, deadline)
+	n := int64(len(buf))
+	if err != nil {
+		n = 0
+	}
+	f.fs.rec.Record(Event{Op: OpRead, File: f.inner.Name(), Node: c.Node,
+		Offset: off, Bytes: n, Start: start, End: c.Proc.Now()})
+	return err
+}
+
+// WriteAtDeadline implements pfs.FallibleFile by delegation (see
+// ReadAtDeadline).
+func (f *tracedFile) WriteAtDeadline(c pfs.Client, data []byte, off int64, deadline float64) error {
+	ff, ok := f.inner.(pfs.FallibleFile)
+	if !ok {
+		f.WriteAt(c, data, off)
+		return nil
+	}
+	start := c.Proc.Now()
+	err := ff.WriteAtDeadline(c, data, off, deadline)
+	n := int64(len(data))
+	if err != nil {
+		n = 0
+	}
+	f.fs.rec.Record(Event{Op: OpWrite, File: f.inner.Name(), Node: c.Node,
+		Offset: off, Bytes: n, Start: start, End: c.Proc.Now()})
+	return err
+}
+
 func (f *tracedFile) Close(c pfs.Client) {
 	start := c.Proc.Now()
 	f.inner.Close(c)

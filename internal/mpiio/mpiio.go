@@ -45,6 +45,10 @@ type Hints struct {
 	// one-writer-per-region patterns. Setting CBForce always runs the
 	// two-phase algorithm (romio_cb_* = enable).
 	CBForce bool
+	// Retry configures per-request timeout/backoff/retry for the raw
+	// file-system requests this layer issues (see RetryPolicy). The zero
+	// value disables it: every request uses the plain blocking path.
+	Retry RetryPolicy
 }
 
 // DefaultHints matches ROMIO's defaults of the era.
@@ -66,6 +70,9 @@ type File struct {
 	f      pfs.File
 	client pfs.Client
 	hints  Hints
+	// reqs numbers this handle's raw device requests; together with the
+	// rank it identifies a request for deterministic retry jitter.
+	reqs int64
 }
 
 // Mode selects open semantics.
@@ -147,14 +154,14 @@ func (f *File) Close() { f.f.Close(f.client) }
 // WriteAt writes a contiguous buffer at an explicit offset (independent).
 func (f *File) WriteAt(data []byte, off int64) {
 	sp := obs.Begin(f.client.Proc, obs.LayerMPIIO, "write_indep").Bytes(int64(len(data)))
-	f.f.WriteAt(f.client, data, off)
+	f.devWriteAt(data, off)
 	sp.End()
 }
 
 // ReadAt reads a contiguous extent at an explicit offset (independent).
 func (f *File) ReadAt(buf []byte, off int64) {
 	sp := obs.Begin(f.client.Proc, obs.LayerMPIIO, "read_indep").Bytes(int64(len(buf)))
-	f.f.ReadAt(f.client, buf, off)
+	f.devReadAt(buf, off)
 	sp.End()
 }
 
@@ -172,7 +179,7 @@ func (f *File) WriteRuns(runs []mpi.Run, data []byte) {
 	defer sp.End()
 	var p int64
 	for _, run := range runs {
-		f.f.WriteAt(f.client, data[p:p+run.Len], run.Off)
+		f.devWriteAt(data[p:p+run.Len], run.Off)
 		p += run.Len
 	}
 }
@@ -194,7 +201,7 @@ func (f *File) ReadRuns(runs []mpi.Run, buf []byte) {
 		defer sp.End()
 		var p int64
 		for _, run := range runs {
-			f.f.ReadAt(f.client, buf[p:p+run.Len], run.Off)
+			f.devReadAt(buf[p:p+run.Len], run.Off)
 			p += run.Len
 		}
 		return
@@ -217,7 +224,7 @@ func (f *File) ReadRuns(runs []mpi.Run, buf []byte) {
 		if base+n > hi {
 			n = hi - base
 		}
-		f.f.ReadAt(f.client, chunk[:n], base)
+		f.devReadAt(chunk[:n], base)
 		// Extract the overlap of every run with [base, base+n).
 		for i, run := range runs {
 			s := max64(run.Off, base)
@@ -489,7 +496,7 @@ func (f *File) writeCoalesced(pieces []piece) {
 	var start int64 = -1
 	flush := func() {
 		if start >= 0 && len(buf) > 0 {
-			f.f.WriteAt(f.client, buf, start)
+			f.devWriteAt(buf, start)
 		}
 		buf = buf[:0]
 		start = -1
@@ -507,7 +514,7 @@ func (f *File) writeCoalesced(pieces []piece) {
 			if space == 0 {
 				// flush a full chunk and continue at the next offset
 				nextStart := start + int64(len(buf))
-				f.f.WriteAt(f.client, buf, start)
+				f.devWriteAt(buf, start)
 				buf = buf[:0]
 				start = nextStart
 				space = cb
@@ -619,7 +626,7 @@ func (f *File) ReadAtAll(runs []mpi.Run, buf []byte) {
 				extData[i] = make([]byte, ext.Len)
 				for base := int64(0); base < ext.Len; base += f.hints.CBBufferSize {
 					n := min64(f.hints.CBBufferSize, ext.Len-base)
-					f.f.ReadAt(f.client, extData[i][base:base+n], ext.Off+base)
+					f.devReadAt(extData[i][base:base+n], ext.Off+base)
 				}
 				readBytes += ext.Len
 			}

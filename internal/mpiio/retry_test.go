@@ -1,0 +1,159 @@
+package mpiio
+
+import (
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/mpi"
+	"repro/internal/pfs"
+	"repro/internal/sim"
+)
+
+// runFaultPVFS runs body on each rank of a world backed by a PVFS instance
+// on the chiba machine, returning the makespan and any engine error.
+func runFaultPVFS(nprocs int, prep func(inj pfs.StripeFaultInjector), body func(r *mpi.Rank, fs pfs.FileSystem)) (float64, error) {
+	eng := sim.NewEngine()
+	mach := machine.New(machine.ByName("chiba"))
+	fs := pfs.NewPVFS(mach, pfs.DefaultPVFS())
+	if prep != nil {
+		prep(fs)
+	}
+	mpi.NewWorld(eng, mach, nprocs, func(r *mpi.Rank) { body(r, fs) })
+	err := eng.Run()
+	return eng.MaxTime(), err
+}
+
+func retryHints(pol RetryPolicy) Hints {
+	h := DefaultHints()
+	h.Retry = pol
+	return h
+}
+
+func TestRetryHealthyPathIdenticalToPlain(t *testing.T) {
+	// On a healthy file system an enabled retry policy must not change a
+	// single virtual timestamp: the deadline never fires, and the issue
+	// path charges exactly what the blocking path charges.
+	write := func(h Hints) float64 {
+		ms, err := runFaultPVFS(4, nil, func(r *mpi.Rank, fs pfs.FileSystem) {
+			f, err := Open(r, fs, "x", ModeCreate, h)
+			if err != nil {
+				panic(err)
+			}
+			f.WriteAt(pattern(r.Rank(), 64<<10), int64(r.Rank())*(64<<10))
+			f.Close()
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ms
+	}
+	plain := write(DefaultHints())
+	withRetry := write(retryHints(DefaultRetryPolicy()))
+	if plain != withRetry {
+		t.Fatalf("retry policy changed healthy-path timing: %.9f != %.9f", withRetry, plain)
+	}
+}
+
+func TestRetryRecoversFromStraggler(t *testing.T) {
+	// A 10x straggler on data server 0 with a timeout sized for healthy
+	// service: early attempts time out, the growing per-attempt budget
+	// eventually covers the straggler, and the write completes.
+	pol := RetryPolicy{Enabled: true, Timeout: 2e-3, MaxAttempts: 20, Backoff: 1e-3, Multiplier: 2, JitterFrac: 0.25}
+	healthy, err := runFaultPVFS(1, nil, func(r *mpi.Rank, fs pfs.FileSystem) {
+		f, _ := Open(r, fs, "x", ModeCreate, retryHints(pol))
+		f.WriteAt(pattern(0, 1<<20), 0)
+		f.Close()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow, err := runFaultPVFS(1, func(inj pfs.StripeFaultInjector) {
+		inj.DegradeDataServer(0, 10)
+	}, func(r *mpi.Rank, fs pfs.FileSystem) {
+		f, _ := Open(r, fs, "x", ModeCreate, retryHints(pol))
+		f.WriteAt(pattern(0, 1<<20), 0)
+		f.Close()
+	})
+	if err != nil {
+		t.Fatalf("retry did not recover from a live straggler: %v", err)
+	}
+	if slow <= healthy {
+		t.Fatalf("straggler run %.6fs not slower than healthy %.6fs", slow, healthy)
+	}
+}
+
+func TestRetryDeterminism(t *testing.T) {
+	pol := RetryPolicy{Enabled: true, Timeout: 2e-3, MaxAttempts: 20, Backoff: 1e-3, Multiplier: 2, JitterFrac: 0.25}
+	run := func() float64 {
+		ms, err := runFaultPVFS(2, func(inj pfs.StripeFaultInjector) {
+			inj.DegradeDataServer(0, 10)
+		}, func(r *mpi.Rank, fs pfs.FileSystem) {
+			f, _ := Open(r, fs, "x", ModeCreate, retryHints(pol))
+			f.WriteAt(pattern(r.Rank(), 512<<10), int64(r.Rank())*(512<<10))
+			f.Close()
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ms
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("retry runs diverged: %.12f != %.12f", a, b)
+	}
+}
+
+func TestDeadServerExhaustsRetriesWithIOError(t *testing.T) {
+	pol := RetryPolicy{Enabled: true, Timeout: 1e-3, MaxAttempts: 3, Backoff: 1e-3, Multiplier: 2}
+	_, err := runFaultPVFS(1, func(inj pfs.StripeFaultInjector) {
+		inj.FailDataServerAt(0, 0)
+	}, func(r *mpi.Rank, fs pfs.FileSystem) {
+		f, _ := Open(r, fs, "x", ModeCreate, retryHints(pol))
+		f.WriteAt(pattern(0, 256<<10), 0)
+		f.Close()
+	})
+	if err == nil {
+		t.Fatal("write to a dead server succeeded")
+	}
+	ioe, ok := ExtractIOError(err)
+	if !ok {
+		t.Fatalf("error is not an IOError: %v", err)
+	}
+	if ioe.Op != "write" || ioe.File != "x" || ioe.Attempts != 3 {
+		t.Fatalf("IOError fields wrong: %+v", ioe)
+	}
+}
+
+func TestJitterDeterministicAndBounded(t *testing.T) {
+	seen := map[float64]bool{}
+	for rank := 0; rank < 3; rank++ {
+		for req := int64(0); req < 3; req++ {
+			for attempt := 1; attempt <= 3; attempt++ {
+				j := jitter01(rank, req, attempt)
+				if j < 0 || j >= 1 {
+					t.Fatalf("jitter01(%d,%d,%d) = %g out of [0,1)", rank, req, attempt, j)
+				}
+				if j != jitter01(rank, req, attempt) {
+					t.Fatal("jitter01 not deterministic")
+				}
+				seen[j] = true
+			}
+		}
+	}
+	if len(seen) < 20 {
+		t.Fatalf("jitter values collide too much: %d distinct of 27", len(seen))
+	}
+}
+
+func TestExtractIOErrorUnwrapsPanicError(t *testing.T) {
+	ioe := &IOError{Op: "read", File: "f", Rank: 1, Attempts: 2}
+	pe := &sim.PanicError{ProcName: "rank1", Value: ioe}
+	if got, ok := ExtractIOError(pe); !ok || got != ioe {
+		t.Fatalf("ExtractIOError(PanicError) = %v", got)
+	}
+	if got, ok := ExtractIOError(ioe); !ok || got != ioe {
+		t.Fatal("ExtractIOError(plain) failed")
+	}
+	if got, ok := ExtractIOError(nil); ok || got != nil {
+		t.Fatal("ExtractIOError(nil) != nil")
+	}
+}

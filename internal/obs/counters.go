@@ -61,6 +61,13 @@ type FileCounters struct {
 	DeferredWrites  int64
 	WriteBehindTime float64
 
+	// Fault-tolerance accounting: Timeouts counts deadline-aware operations
+	// that returned a *pfs.DeviceError (the wait until the deadline is still
+	// charged to ReadTime/WriteTime); Retries counts MPI-IO retry attempts
+	// reported through AddRetry.
+	Timeouts int64
+	Retries  int64
+
 	haveRead     bool
 	lastReadEnd  int64
 	haveWrite    bool
@@ -78,6 +85,15 @@ func (t *Tracer) fileCounters(rank int, file string) *FileCounters {
 		t.ckeys = append(t.ckeys, k)
 	}
 	return fc
+}
+
+// AddRetry counts one I/O retry attempt on file for p's rank. It is called
+// by the MPI-IO layer's retry loop; like every obs hook it is a no-op when
+// p carries no tracer and never advances virtual time.
+func AddRetry(p *sim.Proc, file string) {
+	if h, ok := p.Trace().(*procTrace); ok {
+		h.t.fileCounters(h.rank, file).Retries++
+	}
 }
 
 // Counters returns every per-rank per-file counter record in first-touch
@@ -269,6 +285,90 @@ func (f *obsFile) WriteAtDeferred(c pfs.Client, data []byte, off int64) float64 
 		f.fs.tr.recordDur("write", c.Proc.Now()-start)
 	}
 	return end
+}
+
+// ReadAtDeadline implements pfs.FallibleFile by delegation, so the MPI-IO
+// retry machinery still finds the deadline-aware path through the
+// observability wrapper. A timed-out attempt charges its wait to ReadTime
+// and bumps the Timeouts counter; only successful attempts count as Reads.
+func (f *obsFile) ReadAtDeadline(c pfs.Client, buf []byte, off int64, deadline float64) error {
+	ff, ok := f.inner.(pfs.FallibleFile)
+	if !ok {
+		f.ReadAt(c, buf, off)
+		return nil
+	}
+	n := int64(len(buf))
+	sp := Begin(c.Proc, LayerPFS, "read").Bytes(n)
+	start := c.Proc.Now()
+	err := ff.ReadAtDeadline(c, buf, off, deadline)
+	if err != nil {
+		sp.Attr("timeout", "1")
+	}
+	sp.End()
+	if r := rankOf(c.Proc); r >= 0 {
+		fc := f.fs.tr.fileCounters(r, f.inner.Name())
+		fc.ReadTime += c.Proc.Now() - start
+		if err != nil {
+			fc.Timeouts++
+			return err
+		}
+		fc.Reads++
+		fc.BytesRead += n
+		fc.SizeHist[SizeBucket(n)]++
+		if fc.haveRead {
+			if off == fc.lastReadEnd {
+				fc.ConsecReads++
+				fc.SeqReads++
+			} else if off > fc.lastReadEnd {
+				fc.SeqReads++
+			}
+		}
+		fc.haveRead = true
+		fc.lastReadEnd = off + n
+		f.fs.tr.recordDur("read", c.Proc.Now()-start)
+	}
+	return err
+}
+
+// WriteAtDeadline implements pfs.FallibleFile by delegation (see
+// ReadAtDeadline).
+func (f *obsFile) WriteAtDeadline(c pfs.Client, data []byte, off int64, deadline float64) error {
+	ff, ok := f.inner.(pfs.FallibleFile)
+	if !ok {
+		f.WriteAt(c, data, off)
+		return nil
+	}
+	n := int64(len(data))
+	sp := Begin(c.Proc, LayerPFS, "write").Bytes(n)
+	start := c.Proc.Now()
+	err := ff.WriteAtDeadline(c, data, off, deadline)
+	if err != nil {
+		sp.Attr("timeout", "1")
+	}
+	sp.End()
+	if r := rankOf(c.Proc); r >= 0 {
+		fc := f.fs.tr.fileCounters(r, f.inner.Name())
+		fc.WriteTime += c.Proc.Now() - start
+		if err != nil {
+			fc.Timeouts++
+			return err
+		}
+		fc.Writes++
+		fc.BytesWritten += n
+		fc.SizeHist[SizeBucket(n)]++
+		if fc.haveWrite {
+			if off == fc.lastWriteEnd {
+				fc.ConsecWrites++
+				fc.SeqWrites++
+			} else if off > fc.lastWriteEnd {
+				fc.SeqWrites++
+			}
+		}
+		fc.haveWrite = true
+		fc.lastWriteEnd = off + n
+		f.fs.tr.recordDur("write", c.Proc.Now()-start)
+	}
+	return err
 }
 
 func (f *obsFile) Close(c pfs.Client) {

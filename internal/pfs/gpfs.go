@@ -223,11 +223,23 @@ func (f *gpfsFile) WriteAt(c Client, data []byte, off int64) {
 // only the data transfer to the I/O servers and the disk work are deferred
 // to the returned completion time.
 func (f *gpfsFile) WriteAtDeferred(c Client, data []byte, off int64) float64 {
-	fs := f.fs
 	n := int64(len(data))
 	if n == 0 {
 		return c.Proc.Now()
 	}
+	end := f.writeIssue(c, n, off)
+	f.store.WriteAt(data, off)
+	f.fs.stats.write(n)
+	return end
+}
+
+// writeIssue charges the synchronous lock traffic on the caller's clock and
+// the data transfer plus disk work on the servers, returning the slowest
+// server's acknowledged completion. It stores no bytes and touches no
+// stats — the deadline path abandons requests whose completion lies past
+// the budget while the devices stay charged.
+func (f *gpfsFile) writeIssue(c Client, n, off int64) float64 {
+	fs := f.fs
 	c.Proc.Advance(fs.cfg.PerCall)
 	fs.nodeVSD(c.Node).ServeAndWait(c.Proc, fs.cfg.VSDPerReq)
 	f.acquireTokens(c, off, n, true)
@@ -241,17 +253,42 @@ func (f *gpfsFile) WriteAtDeferred(c Client, data []byte, off int64) float64 {
 			end = e
 		}
 	}
-	f.store.WriteAt(data, off)
-	fs.stats.write(n)
 	return end
 }
 
+// WriteAtDeadline implements FallibleFile.
+func (f *gpfsFile) WriteAtDeadline(c Client, data []byte, off int64, deadline float64) error {
+	n := int64(len(data))
+	if n == 0 {
+		return nil
+	}
+	end := f.writeIssue(c, n, off)
+	if end > deadline {
+		c.Proc.AdvanceTo(deadline)
+		return &DeviceError{FS: f.fs.Name(), File: f.name, Op: "write", Deadline: deadline, Completion: end}
+	}
+	f.store.WriteAt(data, off)
+	f.fs.stats.write(n)
+	c.Proc.AdvanceTo(end)
+	return nil
+}
+
 func (f *gpfsFile) ReadAt(c Client, buf []byte, off int64) {
-	fs := f.fs
 	n := int64(len(buf))
 	if n == 0 {
 		return
 	}
+	end := f.readIssue(c, n, off)
+	c.Proc.AdvanceTo(end)
+	f.store.ReadAt(buf, off)
+	f.fs.stats.read(n)
+}
+
+// readIssue is writeIssue's read counterpart: lock traffic synchronously,
+// per-stripe request/data transfers and disk accesses charged, returning
+// the last data arrival.
+func (f *gpfsFile) readIssue(c Client, n, off int64) float64 {
+	fs := f.fs
 	c.Proc.Advance(fs.cfg.PerCall)
 	fs.nodeVSD(c.Node).ServeAndWait(c.Proc, fs.cfg.VSDPerReq)
 	f.acquireTokens(c, off, n, false)
@@ -265,9 +302,24 @@ func (f *gpfsFile) ReadAt(c Client, buf []byte, off int64) {
 			end = dataArr
 		}
 	}
+	return end
+}
+
+// ReadAtDeadline implements FallibleFile.
+func (f *gpfsFile) ReadAtDeadline(c Client, buf []byte, off int64, deadline float64) error {
+	n := int64(len(buf))
+	if n == 0 {
+		return nil
+	}
+	end := f.readIssue(c, n, off)
+	if end > deadline {
+		c.Proc.AdvanceTo(deadline)
+		return &DeviceError{FS: f.fs.Name(), File: f.name, Op: "read", Deadline: deadline, Completion: end}
+	}
 	c.Proc.AdvanceTo(end)
 	f.store.ReadAt(buf, off)
-	fs.stats.read(n)
+	f.fs.stats.read(n)
+	return nil
 }
 
 // Snapshot implements FileSystem (out-of-band staging).

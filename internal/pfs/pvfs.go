@@ -181,11 +181,23 @@ func (f *pvfsFile) WriteAt(c Client, data []byte, off int64) {
 // disks see the same arrivals as a blocking write), and only the wait for
 // the slowest daemon's ack is deferred to the returned completion time.
 func (f *pvfsFile) WriteAtDeferred(c Client, data []byte, off int64) float64 {
-	fs := f.fs
 	n := int64(len(data))
 	if n == 0 {
 		return c.Proc.Now()
 	}
+	end := f.writeIssue(c, n, off)
+	f.store.WriteAt(data, off)
+	f.fs.stats.write(n)
+	return end
+}
+
+// writeIssue charges the client library, the wire and every involved iod's
+// CPU and disk for a write of n bytes at off, returning the completion time
+// of the slowest daemon's ack. It does not store bytes or touch stats —
+// the split lets the deadline path abandon a request whose completion lies
+// past its budget while the devices stay charged (they did the work).
+func (f *pvfsFile) writeIssue(c Client, n, off int64) float64 {
+	fs := f.fs
 	c.Proc.Advance(fs.cfg.PerCall)
 	end := c.Proc.Now()
 	sp := f.params()
@@ -211,17 +223,42 @@ func (f *pvfsFile) WriteAtDeferred(c Client, data []byte, off int64) float64 {
 			end = e
 		}
 	}
-	f.store.WriteAt(data, off)
-	fs.stats.write(n)
 	return end
 }
 
+// WriteAtDeadline implements FallibleFile.
+func (f *pvfsFile) WriteAtDeadline(c Client, data []byte, off int64, deadline float64) error {
+	n := int64(len(data))
+	if n == 0 {
+		return nil
+	}
+	end := f.writeIssue(c, n, off)
+	if end > deadline {
+		c.Proc.AdvanceTo(deadline)
+		return &DeviceError{FS: f.fs.Name(), File: f.name, Op: "write", Deadline: deadline, Completion: end}
+	}
+	f.store.WriteAt(data, off)
+	f.fs.stats.write(n)
+	c.Proc.AdvanceTo(end)
+	return nil
+}
+
 func (f *pvfsFile) ReadAt(c Client, buf []byte, off int64) {
-	fs := f.fs
 	n := int64(len(buf))
 	if n == 0 {
 		return
 	}
+	end := f.readIssue(c, n, off)
+	c.Proc.AdvanceTo(end)
+	f.store.ReadAt(buf, off)
+	f.fs.stats.read(n)
+}
+
+// readIssue charges every resource for a read of n bytes at off and
+// returns the arrival time of the last data message, without transferring
+// bytes or advancing the caller (the counterpart of writeIssue).
+func (f *pvfsFile) readIssue(c Client, n, off int64) float64 {
+	fs := f.fs
 	c.Proc.Advance(fs.cfg.PerCall)
 	end := c.Proc.Now()
 	sp := f.params()
@@ -246,9 +283,24 @@ func (f *pvfsFile) ReadAt(c Client, buf []byte, off int64) {
 			end = dataArr
 		}
 	}
+	return end
+}
+
+// ReadAtDeadline implements FallibleFile.
+func (f *pvfsFile) ReadAtDeadline(c Client, buf []byte, off int64, deadline float64) error {
+	n := int64(len(buf))
+	if n == 0 {
+		return nil
+	}
+	end := f.readIssue(c, n, off)
+	if end > deadline {
+		c.Proc.AdvanceTo(deadline)
+		return &DeviceError{FS: f.fs.Name(), File: f.name, Op: "read", Deadline: deadline, Completion: end}
+	}
 	c.Proc.AdvanceTo(end)
 	f.store.ReadAt(buf, off)
-	fs.stats.read(n)
+	f.fs.stats.read(n)
+	return nil
 }
 
 // Snapshot implements FileSystem (out-of-band staging).

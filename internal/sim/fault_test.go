@@ -1,0 +1,71 @@
+package sim
+
+import (
+	"math"
+	"testing"
+)
+
+func TestServerSlowdownScalesService(t *testing.T) {
+	s := NewServer("disk")
+	s.SetSlowdown(10)
+	if got := s.Slowdown(); got != 10 {
+		t.Fatalf("Slowdown() = %g, want 10", got)
+	}
+	start, end := s.Serve(0, 2)
+	if start != 0 || end != 20 {
+		t.Fatalf("degraded request: got start=%g end=%g, want 0/20", start, end)
+	}
+	// Restoring health restores the original service time.
+	s.SetSlowdown(1)
+	start, end = s.Serve(30, 2)
+	if start != 30 || end != 32 {
+		t.Fatalf("healthy request: got start=%g end=%g, want 30/32", start, end)
+	}
+}
+
+func TestServerSlowdownRejectsNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("SetSlowdown(0) did not panic")
+		}
+	}()
+	NewServer("disk").SetSlowdown(0)
+}
+
+func TestServerFailAfterNeverCompletes(t *testing.T) {
+	s := NewServer("disk")
+	s.SetFailAfter(5)
+	if got := s.FailAt(); got != 5 {
+		t.Fatalf("FailAt() = %g, want 5", got)
+	}
+	// Before the failure time the server works normally.
+	start, end := s.Serve(0, 2)
+	if start != 0 || end != 2 {
+		t.Fatalf("pre-failure request: got start=%g end=%g", start, end)
+	}
+	// A request whose service would start at/after the failure time never
+	// completes, and the server stays dead for everything after it.
+	start, end = s.Serve(6, 1)
+	if start != 6 || !math.IsInf(end, 1) {
+		t.Fatalf("dead request: got start=%g end=%g, want 6/+Inf", start, end)
+	}
+	start, end = s.Serve(7, 1)
+	if !math.IsInf(start, 1) || !math.IsInf(end, 1) {
+		t.Fatalf("queued-behind-dead request: got start=%g end=%g, want +Inf/+Inf", start, end)
+	}
+	// Wait statistics must not absorb infinities.
+	total, max, _ := s.QueueWait()
+	if math.IsInf(total, 1) || math.IsInf(max, 1) {
+		t.Fatalf("wait stats contaminated by Inf: total=%g max=%g", total, max)
+	}
+}
+
+func TestServerDefaultHealthy(t *testing.T) {
+	s := NewServer("disk")
+	if s.Slowdown() != 1 {
+		t.Fatalf("default Slowdown() = %g, want 1", s.Slowdown())
+	}
+	if !math.IsInf(s.FailAt(), 1) {
+		t.Fatalf("default FailAt() = %g, want +Inf", s.FailAt())
+	}
+}

@@ -1,6 +1,9 @@
 package sim
 
-import "fmt"
+import (
+	"fmt"
+	"math"
+)
 
 // ServeObserver receives a callback for every request a Server processes.
 // Package obs implements it to build per-server timelines and queue-depth
@@ -17,6 +20,12 @@ type ServeObserver interface {
 // The engine's scheduling invariant guarantees requests arrive in
 // nondecreasing virtual time, so a single freeAt watermark is an exact FIFO
 // queue model.
+//
+// A server can be degraded (SetSlowdown scales every service time — a
+// straggler) or killed (SetFailAfter: requests starting at or after the
+// failure time return end = +Inf and never complete). Both are
+// deterministic: they change the virtual-time arithmetic, not the
+// scheduling.
 type Server struct {
 	name   string
 	freeAt float64
@@ -31,12 +40,18 @@ type Server struct {
 	waitMax float64
 	delayed int64
 
+	// fault injection: slowdown scales every service time (0 = healthy,
+	// i.e. factor 1), failAt is the virtual time at or after which the
+	// server stops completing requests (+Inf = never fails).
+	slowdown float64
+	failAt   float64
+
 	obs ServeObserver
 }
 
 // NewServer returns an idle server. name appears in diagnostics.
 func NewServer(name string) *Server {
-	return &Server{name: name}
+	return &Server{name: name, failAt: math.Inf(1)}
 }
 
 // Name returns the server's diagnostic name.
@@ -46,6 +61,37 @@ func (s *Server) Name() string { return s.name }
 // detach. Observation is bookkeeping only and never changes virtual time.
 func (s *Server) SetObserver(o ServeObserver) { s.obs = o }
 
+// SetSlowdown marks the server degraded: every subsequent service time is
+// multiplied by factor (a straggler). factor 1 restores a healthy server;
+// factors below 1 model an unusually fast replacement. Non-positive
+// factors panic.
+func (s *Server) SetSlowdown(factor float64) {
+	if factor <= 0 {
+		panic(fmt.Sprintf("sim: non-positive slowdown %g on server %q", factor, s.name))
+	}
+	s.slowdown = factor
+}
+
+// Slowdown returns the current service-time multiplier (1 when healthy).
+func (s *Server) Slowdown() float64 {
+	if s.slowdown == 0 {
+		return 1
+	}
+	return s.slowdown
+}
+
+// SetFailAfter kills the server at virtual time t: any request whose
+// service would start at or after t never completes — Serve returns
+// end = +Inf and the server stays dead (freeAt becomes +Inf, so every later
+// request inherits the failure). Requests already started before t finish
+// normally, like a controller losing power with the last transfer on the
+// wire. Pass math.Inf(1) to restore a server that has not yet failed.
+func (s *Server) SetFailAfter(t float64) { s.failAt = t }
+
+// FailAt returns the configured failure time (+Inf when the server is
+// healthy).
+func (s *Server) FailAt() float64 { return s.failAt }
+
 // Serve enqueues a request arriving at virtual time `at` that needs
 // `service` seconds of exclusive use. It returns the times at which service
 // starts and completes. Serve does not advance any process clock — callers
@@ -54,16 +100,26 @@ func (s *Server) Serve(at, service float64) (start, end float64) {
 	if service < 0 {
 		panic(fmt.Sprintf("sim: negative service time %g on server %q", service, s.name))
 	}
+	if s.slowdown > 0 {
+		service *= s.slowdown
+	}
 	start = at
 	if s.freeAt > start {
 		start = s.freeAt
 	}
-	if wait := start - at; wait > 0 {
+	if wait := start - at; wait > 0 && !math.IsInf(wait, 1) {
 		s.waitSum += wait
 		s.delayed++
 		if wait > s.waitMax {
 			s.waitMax = wait
 		}
+	}
+	if start >= s.failAt {
+		// Dead server: the request is accepted but never completes. The
+		// observer is not notified — a dead device reports nothing.
+		s.requests++
+		s.freeAt = math.Inf(1)
+		return start, math.Inf(1)
 	}
 	end = start + service
 	s.freeAt = end
