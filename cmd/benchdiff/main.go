@@ -1,18 +1,19 @@
 // Command benchdiff is the repository's deterministic benchmark
 // regression gate. The simulation is virtual-time: identical code must
 // produce bit-identical results on every machine, so the committed
-// baselines (BENCH_baseline.json, BENCH_faults.json) are compared with
-// EXACT equality — any drift, however small, means the model's timing
-// changed and must be either fixed or consciously re-baselined.
+// baselines (BENCH_baseline.json, BENCH_faults.json, BENCH_reads.json)
+// are compared with EXACT equality — any drift, however small, means the
+// model's timing changed and must be either fixed or consciously
+// re-baselined.
 //
 // Usage:
 //
 //	benchdiff              compare a fresh run against the baselines
-//	benchdiff -update      re-run and overwrite the baselines
+//	benchdiff -update      re-run and overwrite all three baselines
 //
-// The benchmark set: Table 1 volumes (all problems), the codec and
-// overlap sweeps at AMR128/np=8, and the fault sweep (stragglers and
-// corruption recovery) at AMR64/np=8.
+// The benchmark set: Table 1 volumes (all problems), the codec, overlap
+// and restart-read sweeps at AMR128/np=8, and the fault sweep (stragglers
+// and corruption recovery) at AMR64/np=8.
 package main
 
 import (
@@ -40,6 +41,12 @@ type Faults struct {
 	Recovery   []experiments.RecoveryRow
 }
 
+// Reads is the serialized restart-read sweep, in its own file so read-path
+// changes re-baseline separately.
+type Reads struct {
+	Reads []experiments.ReadRow
+}
+
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
@@ -50,6 +57,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	update := fl.Bool("update", false, "overwrite the baselines with a fresh run instead of comparing")
 	basePath := fl.String("baseline", "BENCH_baseline.json", "main benchmark baseline file")
 	faultPath := fl.String("faults", "BENCH_faults.json", "fault-sweep baseline file")
+	readPath := fl.String("reads", "BENCH_reads.json", "restart-read sweep baseline file")
 	if err := fl.Parse(args); err != nil {
 		return 2
 	}
@@ -74,6 +82,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "error:", err)
 		return 1
 	}
+	fmt.Fprintln(stderr, "running read sweep (AMR128, np=8)...")
+	reads, err := experiments.ReadSweep(o)
+	if err != nil {
+		fmt.Fprintln(stderr, "error:", err)
+		return 1
+	}
 	fmt.Fprintln(stderr, "running fault sweep (AMR64, np=8)...")
 	stragglers, recovery, err := experiments.FaultSweep(o)
 	if err != nil {
@@ -82,6 +96,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	fresh := Baseline{Table1: table1, Codecs: codecs, Overlap: overlap}
 	freshFaults := Faults{Stragglers: stragglers, Recovery: recovery}
+	freshReads := Reads{Reads: reads}
 
 	if *update {
 		if err := writeJSON(*basePath, fresh); err != nil {
@@ -92,7 +107,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintln(stderr, "error:", err)
 			return 1
 		}
-		fmt.Fprintf(stdout, "baselines updated: %s, %s\n", *basePath, *faultPath)
+		if err := writeJSON(*readPath, freshReads); err != nil {
+			fmt.Fprintln(stderr, "error:", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "baselines updated: %s, %s, %s\n", *basePath, *faultPath, *readPath)
 		return 0
 	}
 
@@ -106,15 +125,21 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "error:", err)
 		return 1
 	}
+	var baseReads Reads
+	if err := readJSON(*readPath, &baseReads); err != nil {
+		fmt.Fprintln(stderr, "error:", err)
+		return 1
+	}
 	var drift []string
 	drift = append(drift, CompareRows("table1", base.Table1, fresh.Table1)...)
 	drift = append(drift, CompareRows("codecs", base.Codecs, fresh.Codecs)...)
 	drift = append(drift, CompareRows("overlap", base.Overlap, fresh.Overlap)...)
 	drift = append(drift, CompareRows("faults/stragglers", baseFaults.Stragglers, freshFaults.Stragglers)...)
 	drift = append(drift, CompareRows("faults/recovery", baseFaults.Recovery, freshFaults.Recovery)...)
+	drift = append(drift, CompareRows("reads", baseReads.Reads, freshReads.Reads)...)
 	if len(drift) > 0 {
-		fmt.Fprintf(stdout, "BENCHMARK DRIFT: %d difference(s) against %s / %s\n\n",
-			len(drift), *basePath, *faultPath)
+		fmt.Fprintf(stdout, "BENCHMARK DRIFT: %d difference(s) against %s / %s / %s\n\n",
+			len(drift), *basePath, *faultPath, *readPath)
 		for _, d := range drift {
 			fmt.Fprintln(stdout, d)
 		}

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	iobench [-exp table1|fig6|fig7|fig8|fig9|fig10|codecs|overlap|faults|all]
+//	iobench [-exp table1|fig6|fig7|fig8|fig9|fig10|codecs|overlap|reads|faults|all]
 //	        [-quick] [-codec none|rle|delta|lzss] [-async]
 package main
 
@@ -23,12 +23,12 @@ func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-var validExps = []string{"table1", "fig6", "fig7", "fig8", "fig9", "fig10", "codecs", "overlap", "faults", "all"}
+var validExps = []string{"table1", "fig6", "fig7", "fig8", "fig9", "fig10", "codecs", "overlap", "reads", "faults", "all"}
 
 func run(args []string, stdout, stderr io.Writer) int {
 	fl := flag.NewFlagSet("iobench", flag.ContinueOnError)
 	fl.SetOutput(stderr)
-	exp := fl.String("exp", "all", "experiment to run: table1, fig6..fig10, codecs, overlap, faults, or all")
+	exp := fl.String("exp", "all", "experiment to run: table1, fig6..fig10, codecs, overlap, reads, faults, or all")
 	quick := fl.Bool("quick", false, "shrink problems for a fast smoke run")
 	chart := fl.Bool("chart", false, "also render each figure as ASCII bar charts")
 	tracedir := fl.String("tracedir", "", "write per-case Perfetto timelines and counter reports into this directory")
@@ -91,6 +91,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return 1
 		}
 		experiments.PrintCodecSweep(stdout, rows)
+		fmt.Fprintln(stdout)
+	}
+	if *exp == "reads" || *exp == "all" {
+		fmt.Fprintln(stdout, "Read sweep: parallel restart read path vs the HDF4 baseline (Chiba City, AMR128, np=8)")
+		rows, err := experiments.ReadSweep(o)
+		if err != nil {
+			fmt.Fprintln(stderr, "error:", err)
+			return 1
+		}
+		experiments.PrintReadSweep(stdout, rows)
 		fmt.Fprintln(stdout)
 	}
 	if *exp == "faults" || *exp == "all" {

@@ -1,0 +1,193 @@
+// Read-ahead restart pipeline (Config.AsyncIO): restart reads are issued
+// through the nonblocking/split-collective MPI-IO read interfaces and
+// settled just before their buffers are consumed, so the next batch's
+// device time drains underneath the current batch's decompression, scatter
+// and redistribution work. Restart state is bit-identical to the blocking
+// path — deferral changes only who waits for the devices.
+package enzo
+
+import (
+	"repro/internal/hdf5"
+	"repro/internal/mpi"
+	"repro/internal/mpiio"
+)
+
+// asyncReads reports whether this restart uses the read-ahead pipeline.
+// HDF4 stays the synchronous baseline; tolerant read-backs and runs with
+// the retry policy armed stay blocking too — deferred reads carry no
+// deadline, so only the blocking path can turn a dead data server into a
+// typed *mpiio.IOError instead of a never-completing request.
+func (s *Sim) asyncReads() bool {
+	return s.cfg.AsyncIO && s.backend != BackendHDF4 &&
+		!s.tolerant && !s.hints.Retry.Enabled
+}
+
+// pendingRead tracks one restart's deferred reads: the split of elapsed
+// device time into exposed wait and hidden overlap, plus the latest
+// deferred completion as a drain backstop.
+type pendingRead struct {
+	exposed float64 // device wait the rank actually paid at settle points
+	hidden  float64 // device time that completed under other pipeline work
+	maxEnd  float64 // latest deferred completion issued by this rank
+}
+
+// readRestart runs the backend restart reader; with the read-ahead
+// pipeline active it tracks every deferred read and folds the
+// exposed/hidden split into the result (max across ranks, mirroring the
+// write-behind accounting). It is collective — every rank calls it the
+// same number of times, including during scrubs and generation fallbacks.
+func (s *Sim) readRestart(d int) {
+	if !s.asyncReads() {
+		s.readRestartImpl(d)
+		return
+	}
+	s.rpend = &pendingRead{maxEnd: s.r.Now()}
+	s.readRestartImpl(d)
+	rp := s.rpend
+	s.rpend = nil
+	// Drain backstop: no deferred read may outlive the restart phase, even
+	// if a path skipped its settle.
+	if now := s.r.Now(); rp.maxEnd > now {
+		rp.exposed += rp.maxEnd - now
+		s.r.Proc().AdvanceTo(rp.maxEnd)
+	}
+	exposedMax := s.r.AllreduceFloat64(rp.exposed, mpi.OpMax)
+	hiddenMax := s.r.AllreduceFloat64(rp.hidden, mpi.OpMax)
+	if s.r.Rank() == 0 {
+		s.res.ExposedRead += exposedMax
+		s.res.HiddenRead += hiddenMax
+	}
+}
+
+// rDefer registers a deferred read issued at issueT completing at end and
+// returns its settle: called just before the buffer is consumed, it splits
+// the elapsed device time into exposed wait and hidden overlap and runs
+// fin (whose AdvanceTo moves the clock).
+func (s *Sim) rDefer(issueT, end float64, fin func()) func() {
+	rp := s.rpend
+	if end > rp.maxEnd {
+		rp.maxEnd = end
+	}
+	return func() {
+		wait := end - s.r.Now()
+		if wait < 0 {
+			wait = 0
+		}
+		if hid := (end - issueT) - wait; hid > 0 {
+			rp.hidden += hid
+		}
+		rp.exposed += wait
+		fin()
+	}
+}
+
+// The restart readers (rawio/rawzio/hdf5io) route every data read through
+// the helpers below: blocking when no restart is pending (the returned
+// settle is a no-op), read-ahead while one is (the buffer is valid only
+// after settle).
+
+func (s *Sim) rReadAt(f *mpiio.File, buf []byte, off int64) func() {
+	if s.rpend == nil {
+		f.ReadAt(buf, off)
+		return func() {}
+	}
+	t0 := s.r.Now()
+	p := f.IreadAt(buf, off)
+	return s.rDefer(t0, p.Completion(), p.Wait)
+}
+
+// rReadAtTol is rReadAt under tolerantIO: in a tolerant read-back an
+// exhausted-retry failure leaves the buffer zeroed and the rank damaged
+// instead of crashing the run.
+func (s *Sim) rReadAtTol(f *mpiio.File, buf []byte, off int64) func() {
+	settle := func() {}
+	s.tolerantIO(func() { settle = s.rReadAt(f, buf, off) })
+	return settle
+}
+
+func (s *Sim) rReadAtAll(f *mpiio.File, runs []mpi.Run, buf []byte) func() {
+	if s.rpend == nil {
+		f.ReadAtAll(runs, buf)
+		return func() {}
+	}
+	t0 := s.r.Now()
+	sr := f.ReadAtAllBegin(runs, buf)
+	return s.rDefer(t0, sr.Completion(), sr.End)
+}
+
+func (s *Sim) rH5Slab(ds *hdf5.Dataset, sel mpi.Subarray, buf []byte) func() {
+	if s.rpend == nil {
+		ds.ReadHyperslab(sel, buf)
+		return func() {}
+	}
+	t0 := s.r.Now()
+	sr := ds.ReadHyperslabBegin(sel, buf)
+	return s.rDefer(t0, sr.Completion(), sr.End)
+}
+
+func (s *Sim) rH5SlabIndep(ds *hdf5.Dataset, sel mpi.Subarray, buf []byte) func() {
+	if s.rpend == nil {
+		ds.ReadHyperslabIndependent(sel, buf)
+		return func() {}
+	}
+	t0 := s.r.Now()
+	sr := ds.ReadHyperslabIndependentAsync(sel, buf)
+	return s.rDefer(t0, sr.Completion(), sr.End)
+}
+
+// rH5SlabIndepTol is rH5SlabIndep under tolerantIO. A nil dataset (the
+// container failed a tolerant open) leaves the buffer zero-filled.
+func (s *Sim) rH5SlabIndepTol(ds *hdf5.Dataset, sel mpi.Subarray, buf []byte) func() {
+	settle := func() {}
+	if ds == nil {
+		return settle
+	}
+	s.tolerantIO(func() { settle = s.rH5SlabIndep(ds, sel, buf) })
+	return settle
+}
+
+// rH5ZRead issues a compressed-segment read (one slot, or every slot when
+// slot < 0); the returned settle yields the decoded bytes, or nil when a
+// tolerant read-back absorbed a failure.
+func (s *Sim) rH5ZRead(ds *hdf5.Dataset, slot int) func() []byte {
+	if s.rpend == nil {
+		var raw []byte
+		s.tolerantIO(func() {
+			r, err := readCompressed(ds, slot)
+			if !s.tolerate(err) {
+				raw = r
+			}
+		})
+		return func() []byte { return raw }
+	}
+	t0 := s.r.Now()
+	var sr *hdf5.SegRead
+	var err error
+	if slot < 0 {
+		sr, err = ds.ReadCompressedAllAsync()
+	} else {
+		sr, err = ds.ReadCompressedSegAsync(slot)
+	}
+	if err != nil {
+		panic(err) // read-ahead never runs tolerant (see asyncReads)
+	}
+	var raw []byte
+	settle := s.rDefer(t0, sr.Completion(), func() {
+		r, err := sr.Wait()
+		if err != nil {
+			panic(err)
+		}
+		raw = r
+	})
+	return func() []byte {
+		settle()
+		return raw
+	}
+}
+
+func readCompressed(ds *hdf5.Dataset, slot int) ([]byte, error) {
+	if slot < 0 {
+		return ds.ReadCompressedAll()
+	}
+	return ds.ReadCompressedSeg(slot)
+}

@@ -220,6 +220,14 @@ type Result struct {
 	ExposedWrite float64
 	HiddenWrite  float64
 
+	// Async restart-read accounting (AsyncIO runs only; both zero
+	// otherwise). ExposedRead is restart wall-time the ranks spent waiting
+	// for deferred reads to settle (max across ranks, like the write
+	// split); HiddenRead is device read time that completed underneath the
+	// pipeline's decode/scatter/redistribution work.
+	ExposedRead float64
+	HiddenRead  float64
+
 	// Fault-tolerance accounting (ScrubOnDump runs only; all zero
 	// otherwise). ScrubFailures counts generations that failed a read-back
 	// scrub (including after re-dumps); Redumps counts re-dump attempts;
@@ -309,6 +317,10 @@ type Sim struct {
 	// interfaces (see async.go); nil keeps every write blocking.
 	pend *pendingDump
 
+	// rpend, when non-nil, redirects restart reads through the read-ahead
+	// interfaces (see asyncread.go); nil keeps every read blocking.
+	rpend *pendingRead
+
 	// tolerant turns read-path integrity failures (codec CRC mismatches,
 	// unreadable directories) into a damaged flag instead of a panic, so a
 	// scrub or fallback restart can reject the generation and move on;
@@ -370,6 +382,37 @@ func (s *Sim) tolerate(err error) bool {
 		return true
 	}
 	panic(err)
+}
+
+// tolerantIO runs fn, absorbing an exhausted-retry *mpiio.IOError panic
+// when tolerant mode is on: the rank marks its state damaged and reports
+// false instead of crashing the engine, so a scrub or generation-fallback
+// restart can reject the generation and move on — a dead data server
+// during a tolerant read-back behaves like any other integrity failure.
+// MPI-IO calls have no error return (matching the real API), so the typed
+// error arrives as a panic; outside tolerant mode it propagates unchanged.
+func (s *Sim) tolerantIO(fn func()) (ok bool) {
+	if !s.tolerant {
+		fn()
+		return true
+	}
+	ok = true
+	mark := obs.Mark(s.r.Proc())
+	defer func() {
+		if r := recover(); r != nil {
+			if _, isIO := r.(*mpiio.IOError); isIO {
+				// The panic skipped the End of every span opened under fn;
+				// unwind so tracing survives the absorbed failure.
+				obs.Unwind(s.r.Proc(), mark)
+				s.damaged = true
+				ok = false
+				return
+			}
+			panic(r)
+		}
+	}()
+	fn()
+	return ok
 }
 
 // client returns this rank's file-system client identity.
@@ -668,7 +711,10 @@ func (s *Sim) writeDump(d int) {
 	}
 }
 
-func (s *Sim) readRestart(d int) {
+// readRestartImpl dispatches to the backend restart reader; callers go
+// through readRestart (asyncread.go), which adds the read-ahead pipeline
+// bookkeeping when Config.AsyncIO applies.
+func (s *Sim) readRestartImpl(d int) {
 	switch s.backend {
 	case BackendHDF4:
 		s.hdf4ReadRestart(d)

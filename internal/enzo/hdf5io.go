@@ -259,33 +259,74 @@ func (s *Sim) h5WriteDump(d int) {
 	s.dH5Close(hf)
 }
 
+// h5DS opens a dataset, or returns nil when the container itself failed a
+// tolerant open (hf == nil) — readers treat a nil dataset as "leave the
+// zero-filled buffer in place".
+func (s *Sim) h5DS(hf *hdf5.File, name string) *hdf5.Dataset {
+	if hf == nil {
+		return nil
+	}
+	ds, err := hf.OpenDataset(name)
+	if err != nil {
+		panic(err)
+	}
+	return ds
+}
+
 func (s *Sim) h5ReadRestart(d int) {
 	hf, err := hdf5.OpenRead(s.r, s.fs, dumpH5File(d), s.h5cfg(dumpH5File(d)), s.hints)
 	if err != nil {
-		panic(err)
+		if !s.tolerant {
+			panic(err)
+		}
+		// The metadata index was unreadable — on every rank, since OpenRead
+		// broadcasts its failure. The generation is damaged wholesale; the
+		// loops below degrade to zero-filled buffers (nil datasets) but the
+		// collective particle redistribution still runs so the tolerant walk
+		// stays in step across ranks.
+		s.damaged = true
+		hf = nil
 	}
 	g := s.meta.Top()
 	topSp := obs.Begin(s.r.Proc(), obs.LayerApp, "grid_read").Attr("grid", "0")
 	s.top = &partition{gridID: 0, sub: s.fieldSel(g)}
 	s.top.fields = make([][]byte, len(amr.FieldNames))
+	// Every field's transfer is issued before any settles, so under the
+	// read-ahead pipeline one dataset's devices drain while the next one's
+	// request exchange (or segment decode) runs. Tolerant read-backs use
+	// independent reads instead of the collective: one rank's exhausted
+	// retries must not desynchronize a two-phase exchange.
+	topSettle := make([]func(), len(amr.FieldNames))
 	for fi, name := range amr.FieldNames {
-		ds, err := hf.OpenDataset(dsName(g.ID, name))
-		if err != nil {
-			panic(err)
-		}
-		if ds.Compressed() {
+		ds := s.h5DS(hf, dsName(g.ID, name))
+		if ds != nil && ds.Compressed() {
 			// Restart uses the dump decomposition: this rank's segment is
 			// exactly its partition.
-			raw, err := ds.ReadCompressedSeg(s.r.Rank())
-			if s.tolerate(err) {
-				raw = make([]byte, s.top.sub.Bytes())
+			get := s.rH5ZRead(ds, s.r.Rank())
+			fi := fi
+			topSettle[fi] = func() {
+				raw := get()
+				if raw == nil {
+					raw = make([]byte, s.top.sub.Bytes())
+				}
+				s.top.fields[fi] = raw
 			}
-			s.top.fields[fi] = raw
 			continue
 		}
 		buf := make([]byte, s.top.sub.Bytes())
-		ds.ReadHyperslab(s.top.sub, buf)
 		s.top.fields[fi] = buf
+		switch {
+		case ds == nil:
+			topSettle[fi] = func() {}
+		case s.tolerant:
+			s.tolerantIO(func() { ds.ReadHyperslabIndependent(s.top.sub, buf) })
+			topSettle[fi] = func() {}
+		default:
+			topSettle[fi] = s.rH5Slab(ds, s.top.sub, buf)
+		}
+	}
+	for _, settle := range topSettle {
+		settle()
 	}
 	if g.NParticles > 0 {
 		lo, hi := core.BlockRange(g.NParticles, s.r.Size(), s.r.Rank())
@@ -293,16 +334,17 @@ func (s *Sim) h5ReadRestart(d int) {
 			lo, hi = s.localPartRows[0], s.localPartRows[1]
 		}
 		cols := make([][]byte, len(amr.ParticleArrays))
+		colSettle := make([]func(), len(amr.ParticleArrays))
 		for k, pa := range amr.ParticleArrays {
-			ds, err := hf.OpenDataset(dsName(g.ID, pa.Name))
-			if err != nil {
-				panic(err)
-			}
+			ds := s.h5DS(hf, dsName(g.ID, pa.Name))
 			sel := mpi.Subarray{Sizes: []int{int(g.NParticles)}, Subsizes: []int{int(hi - lo)},
 				Starts: []int{int(lo)}, ElemSize: pa.ElemSize}
 			buf := make([]byte, sel.Bytes())
-			ds.ReadHyperslabIndependent(sel, buf)
+			colSettle[k] = s.rH5SlabIndepTol(ds, sel, buf)
 			cols[k] = buf
+		}
+		for _, settle := range colSettle {
+			settle()
 		}
 		rows := rowsFromColumns(cols)
 		s.r.CopyCost(int64(len(rows)))
@@ -311,11 +353,16 @@ func (s *Sim) h5ReadRestart(d int) {
 		s.top.particles = amr.NewParticleSet(0)
 	}
 	topSp.End()
+	// Subgrids: every dataset read of a grid is issued together and the
+	// grids are double-buffered — the next grid's transfers are on the
+	// devices while the current one settles and decodes.
 	owners := s.restartOwners()
+	var finishPrev func()
 	for _, gm := range s.meta.Subgrids() {
 		if owners[gm.ID] != s.r.Rank() {
 			continue
 		}
+		gm := gm
 		sp := obs.Begin(s.r.Proc(), obs.LayerApp, "grid_read").Attr("grid", fmt.Sprint(gm.ID))
 		grid := &amr.Grid{
 			ID: gm.ID, Level: gm.Level, Parent: gm.Parent, Dims: gm.Dims,
@@ -323,44 +370,56 @@ func (s *Sim) h5ReadRestart(d int) {
 		}
 		grid.Fields = make([][]byte, len(amr.FieldNames))
 		gdims := []int{gm.Dims[0], gm.Dims[1], gm.Dims[2]}
+		var fins []func()
 		for fi, name := range amr.FieldNames {
-			ds, err := hf.OpenDataset(dsName(gm.ID, name))
-			if err != nil {
-				panic(err)
-			}
-			if ds.Compressed() {
+			ds := s.h5DS(hf, dsName(gm.ID, name))
+			if ds != nil && ds.Compressed() {
 				// The dump owner wrote the whole array as its one segment;
 				// concatenating the non-empty slots recovers it without
 				// knowing who the owner was.
-				raw, err := ds.ReadCompressedAll()
-				if s.tolerate(err) {
-					raw = make([]byte, int64(gm.Cells())*amr.FieldElemSize)
-				}
-				grid.Fields[fi] = raw
+				get := s.rH5ZRead(ds, -1)
+				fi := fi
+				fins = append(fins, func() {
+					raw := get()
+					if raw == nil {
+						raw = make([]byte, int64(gm.Cells())*amr.FieldElemSize)
+					}
+					grid.Fields[fi] = raw
+				})
 				continue
 			}
 			buf := make([]byte, int64(gm.Cells())*amr.FieldElemSize)
-			ds.ReadHyperslabIndependent(fullSel(gdims, amr.FieldElemSize), buf)
 			grid.Fields[fi] = buf
+			fins = append(fins, s.rH5SlabIndepTol(ds, fullSel(gdims, amr.FieldElemSize), buf))
 		}
 		if gm.NParticles > 0 {
 			pdims := []int{int(gm.NParticles)}
 			ps := amr.ParticleSet{N: int(gm.NParticles), Arrays: make([][]byte, len(amr.ParticleArrays))}
 			for k, pa := range amr.ParticleArrays {
-				ds, err := hf.OpenDataset(dsName(gm.ID, pa.Name))
-				if err != nil {
-					panic(err)
-				}
+				ds := s.h5DS(hf, dsName(gm.ID, pa.Name))
 				buf := make([]byte, gm.NParticles*int64(pa.ElemSize))
-				ds.ReadHyperslabIndependent(fullSel(pdims, pa.ElemSize), buf)
 				ps.Arrays[k] = buf
+				fins = append(fins, s.rH5SlabIndepTol(ds, fullSel(pdims, pa.ElemSize), buf))
 			}
 			grid.Particles = ps
 		} else {
 			grid.Particles = amr.NewParticleSet(0)
 		}
 		sp.End()
-		s.owned[gm.ID] = grid
+		if finishPrev != nil {
+			finishPrev()
+		}
+		finishPrev = func() {
+			for _, fin := range fins {
+				fin()
+			}
+			s.owned[gm.ID] = grid
+		}
 	}
-	hf.Close()
+	if finishPrev != nil {
+		finishPrev()
+	}
+	if hf != nil {
+		hf.Close()
+	}
 }

@@ -207,21 +207,75 @@ func (s *Sim) rawWriteDump(d int) {
 	s.dClose(f)
 }
 
+// gridExtent is the contiguous shared-file region holding every array of
+// one grid — the layout places a grid's arrays back to back, so a restart
+// reader can fetch the whole grid with one request.
+func (s *Sim) gridExtent(gm core.GridMeta) (lo, hi int64) {
+	for i, a := range gm.Arrays() {
+		off, length := s.layout.ArrayOffset(gm.ID, a.Name)
+		if i == 0 || off < lo {
+			lo = off
+		}
+		if i == 0 || off+length > hi {
+			hi = off + length
+		}
+	}
+	return lo, hi
+}
+
+// rawSliceGrid assembles a grid from its coalesced [lo,·) extent read.
+func (s *Sim) rawSliceGrid(gm core.GridMeta, buf []byte, lo int64) *amr.Grid {
+	grid := &amr.Grid{
+		ID: gm.ID, Level: gm.Level, Parent: gm.Parent, Dims: gm.Dims,
+		LeftEdge: gm.LeftEdge, RightEdge: gm.RightEdge,
+	}
+	grid.Fields = make([][]byte, len(amr.FieldNames))
+	for fi, name := range amr.FieldNames {
+		off, length := s.layout.ArrayOffset(gm.ID, name)
+		grid.Fields[fi] = buf[off-lo : off-lo+length]
+	}
+	if gm.NParticles > 0 {
+		ps := amr.ParticleSet{N: int(gm.NParticles), Arrays: make([][]byte, len(amr.ParticleArrays))}
+		for k, pa := range amr.ParticleArrays {
+			off, length := s.layout.ArrayOffset(gm.ID, pa.Name)
+			ps.Arrays[k] = buf[off-lo : off-lo+length]
+		}
+		grid.Particles = ps
+	} else {
+		grid.Particles = amr.NewParticleSet(0)
+	}
+	return grid
+}
+
 func (s *Sim) rawReadRestart(d int) {
 	f, err := mpiio.Open(s.r, s.fs, dumpRawFile(d), mpiio.ModeRead, s.hints)
 	if err != nil {
 		panic(err)
 	}
 	// Top grid: collective field reads, block-wise particle reads with
-	// redistribution.
+	// redistribution. All fields are issued before any settles, so the
+	// read-ahead pipeline drains one field's devices under the next one's
+	// request exchange. Tolerant read-backs use independent sieved reads
+	// instead of the collective: one rank's exhausted retries must not
+	// desynchronize a two-phase exchange.
 	g := s.meta.Top()
 	topSp := obs.Begin(s.r.Proc(), obs.LayerApp, "grid_read").Attr("grid", "0")
 	s.top = &partition{gridID: 0, sub: core.FieldSubarray(g, s.pz, s.py, s.px, s.r.Rank())}
 	s.top.fields = make([][]byte, len(amr.FieldNames))
+	fieldSettle := make([]func(), len(amr.FieldNames))
 	for fi, name := range amr.FieldNames {
 		buf := make([]byte, s.top.sub.Bytes())
-		f.ReadAtAll(s.fieldRuns(g, name, s.top.sub), buf)
+		runs := s.fieldRuns(g, name, s.top.sub)
+		if s.tolerant {
+			s.tolerantIO(func() { f.ReadRuns(runs, buf) })
+			fieldSettle[fi] = func() {}
+		} else {
+			fieldSettle[fi] = s.rReadAtAll(f, runs, buf)
+		}
 		s.top.fields[fi] = buf
+	}
+	for _, settle := range fieldSettle {
+		settle()
 	}
 	if g.NParticles > 0 {
 		lo, hi := core.BlockRange(g.NParticles, s.r.Size(), s.r.Rank())
@@ -229,11 +283,15 @@ func (s *Sim) rawReadRestart(d int) {
 			lo, hi = s.localPartRows[0], s.localPartRows[1]
 		}
 		cols := make([][]byte, len(amr.ParticleArrays))
+		colSettle := make([]func(), len(amr.ParticleArrays))
 		for k, pa := range amr.ParticleArrays {
 			base, _ := s.layout.ArrayOffset(g.ID, pa.Name)
 			buf := make([]byte, (hi-lo)*int64(pa.ElemSize))
-			f.ReadAt(buf, base+lo*int64(pa.ElemSize))
+			colSettle[k] = s.rReadAtTol(f, buf, base+lo*int64(pa.ElemSize))
 			cols[k] = buf
+		}
+		for _, settle := range colSettle {
+			settle()
 		}
 		rows := rowsFromColumns(cols)
 		s.r.CopyCost(int64(len(rows)))
@@ -242,39 +300,33 @@ func (s *Sim) rawReadRestart(d int) {
 		s.top.particles = amr.NewParticleSet(0)
 	}
 	topSp.End()
-	// Subgrids: round-robin whole-grid independent reads (data sieving
-	// does not matter here — the accesses are contiguous by design).
+	// Subgrids: round-robin whole-grid reads. Each grid's arrays are
+	// adjacent in the shared file, so the per-array loop of independent
+	// reads coalesces into one contiguous request per grid, double-buffered
+	// — the next grid's read is on the devices before the current one is
+	// unpacked.
 	owners := s.restartOwners()
+	var finishPrev func()
 	for _, gm := range s.meta.Subgrids() {
 		if owners[gm.ID] != s.r.Rank() {
 			continue
 		}
+		gm := gm
 		sp := obs.Begin(s.r.Proc(), obs.LayerApp, "grid_read").Attr("grid", fmt.Sprint(gm.ID))
-		grid := &amr.Grid{
-			ID: gm.ID, Level: gm.Level, Parent: gm.Parent, Dims: gm.Dims,
-			LeftEdge: gm.LeftEdge, RightEdge: gm.RightEdge,
-		}
-		grid.Fields = make([][]byte, len(amr.FieldNames))
-		for fi, name := range amr.FieldNames {
-			off, length := s.layout.ArrayOffset(gm.ID, name)
-			buf := make([]byte, length)
-			f.ReadAt(buf, off)
-			grid.Fields[fi] = buf
-		}
-		if gm.NParticles > 0 {
-			ps := amr.ParticleSet{N: int(gm.NParticles), Arrays: make([][]byte, len(amr.ParticleArrays))}
-			for k, pa := range amr.ParticleArrays {
-				off, length := s.layout.ArrayOffset(gm.ID, pa.Name)
-				buf := make([]byte, length)
-				f.ReadAt(buf, off)
-				ps.Arrays[k] = buf
-			}
-			grid.Particles = ps
-		} else {
-			grid.Particles = amr.NewParticleSet(0)
-		}
+		lo, hi := s.gridExtent(gm)
+		buf := make([]byte, hi-lo)
+		settle := s.rReadAtTol(f, buf, lo)
 		sp.End()
-		s.owned[gm.ID] = grid
+		if finishPrev != nil {
+			finishPrev()
+		}
+		finishPrev = func() {
+			settle()
+			s.owned[gm.ID] = s.rawSliceGrid(gm, buf, lo)
+		}
+	}
+	if finishPrev != nil {
+		finishPrev()
 	}
 	f.Close()
 }

@@ -88,6 +88,24 @@ func (z *zLayout) arraySeg(gridID int, name string) (off, length int64) {
 	return z.offs[i], z.lens[i]
 }
 
+// gridExtent is the contiguous file region covering every slot of one grid:
+// slots are enumerated grid by grid, so a grid's segments are adjacent and
+// a restart reader can fetch the whole grid with one request.
+func (z *zLayout) gridExtent(gm core.GridMeta) (lo, hi int64) {
+	arrays := gm.Arrays()
+	first := z.slot[zkey(gm.ID, arrays[0].Name)]
+	count := 0
+	for _, a := range arrays {
+		if a.Pattern == core.PatternRegular {
+			count += z.np
+		} else {
+			count++
+		}
+	}
+	last := first + count - 1
+	return z.offs[first], z.offs[last] + z.lens[last]
+}
+
 func (z *zLayout) encodeDir() []byte {
 	dir := make([]byte, z.dirSize)
 	copy(dir, zMagic)
@@ -155,7 +173,10 @@ func (s *Sim) zOpenDir(f *mpiio.File) *zLayout {
 	var dir []byte
 	if s.r.Rank() == 0 {
 		dir = make([]byte, z.dirSize)
-		f.ReadAt(dir, 0)
+		// A dead data server must not crash a tolerant read-back: an
+		// exhausted-retry failure leaves the buffer zeroed, the magic check
+		// fails in decodeDir and every rank agrees on the nil layout.
+		s.tolerantIO(func() { f.ReadAt(dir, 0) })
 	}
 	dir = s.r.Bcast(0, dir)
 	if err := z.decodeDir(dir); s.tolerate(err) {
@@ -255,15 +276,63 @@ func (s *Sim) rawzReadGridPartitioned(f *mpiio.File, fname string, z *zLayout, g
 
 // zReadSeg reads and unpacks one rank's segment of a regular array.
 func (s *Sim) zReadSeg(f *mpiio.File, fname string, z *zLayout, gridID int, name string, rk int) []byte {
+	return s.zReadSegStart(f, fname, z, gridID, name, rk)()
+}
+
+// zReadSegStart issues the read of one rank's segment (deferred under the
+// read-ahead pipeline, tolerant of exhausted retries during a read-back);
+// the returned settle decodes it.
+func (s *Sim) zReadSegStart(f *mpiio.File, fname string, z *zLayout, gridID int, name string, rk int) func() []byte {
 	off, n := z.fieldSeg(gridID, name, rk)
 	if n == 0 {
-		return nil
+		return func() []byte { return nil }
 	}
 	blob := make([]byte, n)
-	f.ReadAt(blob, off)
-	raw := s.expand(blob)
-	s.recordCodecBytes(fname, false, int64(len(raw)), n)
-	return raw
+	settle := s.rReadAtTol(f, blob, off)
+	return func() []byte {
+		settle()
+		raw := s.expand(blob)
+		s.recordCodecBytes(fname, false, int64(len(raw)), n)
+		return raw
+	}
+}
+
+// zSliceGrid assembles a grid from its coalesced [lo,·) extent read: the
+// regular arrays' per-rank segments are expanded in slot order, particle
+// arrays are raw slices.
+func (s *Sim) zSliceGrid(gm core.GridMeta, z *zLayout, fname string, buf []byte, lo int64) *amr.Grid {
+	grid := &amr.Grid{
+		ID: gm.ID, Level: gm.Level, Parent: gm.Parent, Dims: gm.Dims,
+		LeftEdge: gm.LeftEdge, RightEdge: gm.RightEdge,
+	}
+	grid.Fields = make([][]byte, len(amr.FieldNames))
+	for fi, name := range amr.FieldNames {
+		// The dump owner's slot is the grid's single non-empty segment;
+		// concatenating the non-empty slots in rank order recovers the
+		// whole array without knowing who owned it.
+		var full []byte
+		for rk := 0; rk < z.np; rk++ {
+			off, n := z.fieldSeg(gm.ID, name, rk)
+			if n == 0 {
+				continue
+			}
+			raw := s.expand(buf[off-lo : off-lo+n])
+			s.recordCodecBytes(fname, false, int64(len(raw)), n)
+			full = append(full, raw...)
+		}
+		grid.Fields[fi] = full
+	}
+	if gm.NParticles > 0 {
+		ps := amr.ParticleSet{N: int(gm.NParticles), Arrays: make([][]byte, len(amr.ParticleArrays))}
+		for k, pa := range amr.ParticleArrays {
+			off, n := z.arraySeg(gm.ID, pa.Name)
+			ps.Arrays[k] = buf[off-lo : off-lo+n]
+		}
+		grid.Particles = ps
+	} else {
+		grid.Particles = amr.NewParticleSet(0)
+	}
+	return grid
 }
 
 func (s *Sim) rawzReadInitial() {
@@ -424,10 +493,16 @@ func (s *Sim) rawzReadRestart(d int) {
 	topSp := obs.Begin(s.r.Proc(), obs.LayerApp, "grid_read").Attr("grid", "0")
 	s.top = &partition{gridID: 0, sub: core.FieldSubarray(g, s.pz, s.py, s.px, s.r.Rank())}
 	s.top.fields = make([][]byte, len(amr.FieldNames))
+	// Restart uses the dump decomposition, so each rank's own segment is
+	// exactly its partition. All blob reads are issued before any decode,
+	// so under the read-ahead pipeline the next field's transfer drains
+	// while the previous one decompresses.
+	fieldSettle := make([]func() []byte, len(amr.FieldNames))
 	for fi, name := range amr.FieldNames {
-		// Restart uses the dump decomposition, so each rank's own segment
-		// is exactly its partition.
-		s.top.fields[fi] = s.zReadSeg(f, dumpRawFile(d), z, g.ID, name, s.r.Rank())
+		fieldSettle[fi] = s.zReadSegStart(f, dumpRawFile(d), z, g.ID, name, s.r.Rank())
+	}
+	for fi := range amr.FieldNames {
+		s.top.fields[fi] = fieldSettle[fi]()
 	}
 	if g.NParticles > 0 {
 		lo, hi := core.BlockRange(g.NParticles, s.r.Size(), s.r.Rank())
@@ -435,11 +510,15 @@ func (s *Sim) rawzReadRestart(d int) {
 			lo, hi = s.localPartRows[0], s.localPartRows[1]
 		}
 		cols := make([][]byte, len(amr.ParticleArrays))
+		colSettle := make([]func(), len(amr.ParticleArrays))
 		for k, pa := range amr.ParticleArrays {
 			base, _ := z.arraySeg(g.ID, pa.Name)
 			buf := make([]byte, (hi-lo)*int64(pa.ElemSize))
-			f.ReadAt(buf, base+lo*int64(pa.ElemSize))
+			colSettle[k] = s.rReadAtTol(f, buf, base+lo*int64(pa.ElemSize))
 			cols[k] = buf
+		}
+		for _, settle := range colSettle {
+			settle()
 		}
 		rows := rowsFromColumns(cols)
 		s.r.CopyCost(int64(len(rows)))
@@ -448,41 +527,35 @@ func (s *Sim) rawzReadRestart(d int) {
 		s.top.particles = amr.NewParticleSet(0)
 	}
 	topSp.End()
+	// Subgrids: a grid's slots are adjacent in the file, so the per-segment
+	// read loop coalesces into one contiguous request per grid,
+	// double-buffered — the next grid's transfer is on the devices while
+	// the current one's segments decompress.
 	owners := s.restartOwners()
+	var finishPrev func()
 	for _, gm := range s.meta.Subgrids() {
 		if owners[gm.ID] != s.r.Rank() {
 			continue
 		}
+		gm := gm
 		sp := obs.Begin(s.r.Proc(), obs.LayerApp, "grid_read").Attr("grid", fmt.Sprint(gm.ID))
-		grid := &amr.Grid{
-			ID: gm.ID, Level: gm.Level, Parent: gm.Parent, Dims: gm.Dims,
-			LeftEdge: gm.LeftEdge, RightEdge: gm.RightEdge,
-		}
-		grid.Fields = make([][]byte, len(amr.FieldNames))
-		for fi, name := range amr.FieldNames {
-			// The dump owner's slot is the grid's single non-empty segment;
-			// concatenating the non-empty slots in rank order recovers the
-			// whole array without knowing who owned it.
-			var full []byte
-			for rk := 0; rk < z.np; rk++ {
-				full = append(full, s.zReadSeg(f, dumpRawFile(d), z, gm.ID, name, rk)...)
-			}
-			grid.Fields[fi] = full
-		}
-		if gm.NParticles > 0 {
-			ps := amr.ParticleSet{N: int(gm.NParticles), Arrays: make([][]byte, len(amr.ParticleArrays))}
-			for k, pa := range amr.ParticleArrays {
-				off, length := z.arraySeg(gm.ID, pa.Name)
-				buf := make([]byte, length)
-				f.ReadAt(buf, off)
-				ps.Arrays[k] = buf
-			}
-			grid.Particles = ps
-		} else {
-			grid.Particles = amr.NewParticleSet(0)
+		lo, hi := z.gridExtent(gm)
+		buf := make([]byte, hi-lo)
+		settle := func() {}
+		if hi > lo {
+			settle = s.rReadAtTol(f, buf, lo)
 		}
 		sp.End()
-		s.owned[gm.ID] = grid
+		if finishPrev != nil {
+			finishPrev()
+		}
+		finishPrev = func() {
+			settle()
+			s.owned[gm.ID] = s.zSliceGrid(gm, z, dumpRawFile(d), buf, lo)
+		}
+	}
+	if finishPrev != nil {
+		finishPrev()
 	}
 	f.Close()
 }

@@ -7,6 +7,7 @@ import (
 	"sort"
 
 	"repro/internal/mpi"
+	"repro/internal/mpiio"
 	"repro/internal/obs"
 )
 
@@ -144,11 +145,22 @@ func (s *Sim) manifestCheck(d int) bool {
 	now := s.snapshot()
 	var raw []byte
 	if s.r.Rank() == 0 {
-		if f, err := s.fs.Open(s.client(), manifestFile(d)); err == nil {
-			raw = make([]byte, f.Size(s.client()))
-			f.ReadAt(s.client(), raw, 0)
-			f.Close(s.client())
-		}
+		// The manifest read goes through MPI-IO so the retry policy's
+		// deadlines apply, and absorbs an exhausted-retry failure like any
+		// other read-back error: a manifest on a dead data server makes the
+		// generation unverifiable (nil manifest → dirty), it must not hang
+		// the restart at virtual +Inf.
+		saved := s.tolerant
+		s.tolerant = true
+		s.tolerantIO(func() {
+			if f, err := mpiio.OpenIndependent(s.r, s.fs, manifestFile(d), mpiio.ModeRead, s.hints); err == nil {
+				buf := make([]byte, f.Size())
+				f.ReadAt(buf, 0)
+				f.Close()
+				raw = buf
+			}
+		})
+		s.tolerant = saved
 	}
 	raw = s.r.Bcast(0, raw)
 	m := decodeManifest(raw, s.r.Size())

@@ -1,0 +1,63 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestReadSweepQuick runs the restart-read sweep at reduced scale: every
+// row must verify, the optimized MPI-IO restart must beat the HDF4
+// baseline's read-back on PVFS (the paper's crossover), and the pipelined
+// runs must report hidden read time somewhere in the sweep.
+func TestReadSweepQuick(t *testing.T) {
+	rows, err := ReadSweep(Options{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("expected 2 fs x 3 backends = 6 rows, got %d", len(rows))
+	}
+	find := func(fs, backend string) ReadRow {
+		for _, r := range rows {
+			if r.FS == fs && r.Backend == backend {
+				return r
+			}
+		}
+		t.Fatalf("sweep missing %s/%s row", fs, backend)
+		return ReadRow{}
+	}
+	anyHidden := false
+	for _, r := range rows {
+		if !r.Verified {
+			t.Fatalf("%s/%s: not verified", r.FS, r.Backend)
+		}
+		if r.Backend == "hdf4" && (r.ExposedSec != 0 || r.HiddenSec != 0) {
+			t.Fatalf("hdf4 row records read-ahead accounting: exposed=%.3f hidden=%.3f",
+				r.ExposedSec, r.HiddenSec)
+		}
+		if r.HiddenSec > 0 {
+			anyHidden = true
+		}
+	}
+	hdf4, mpiio := find("pvfs", "hdf4"), find("pvfs", "mpiio")
+	best := mpiio.RestartSec
+	if mpiio.PipelinedSec < best {
+		best = mpiio.PipelinedSec
+	}
+	if best >= hdf4.RestartSec {
+		t.Fatalf("optimized restart %.3fs did not beat the hdf4 baseline %.3fs on pvfs",
+			best, hdf4.RestartSec)
+	}
+	if !anyHidden {
+		t.Fatal("no pipelined run hid any read time")
+	}
+	var buf bytes.Buffer
+	PrintReadSweep(&buf, rows)
+	out := buf.String()
+	for _, want := range []string{"pvfs", "local", "mpiio", "hdf5", "vs hdf4"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("sweep table missing %q:\n%s", want, out)
+		}
+	}
+}

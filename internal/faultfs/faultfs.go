@@ -283,6 +283,19 @@ func (ff *faultFile) shouldInject(name string, n int64) bool {
 	return true
 }
 
+// ReadAtDeferred implements pfs.DeferredReader by delegation; the stale-read
+// overlay applies at issue, when the bytes land in buf.
+func (ff *faultFile) ReadAtDeferred(c pfs.Client, buf []byte, off int64) float64 {
+	dr, ok := ff.inner.(pfs.DeferredReader)
+	if !ok {
+		ff.ReadAt(c, buf, off)
+		return c.Proc.Now()
+	}
+	end := dr.ReadAtDeferred(c, buf, off)
+	ff.maybeServeStale(buf, off)
+	return end
+}
+
 // WriteAtDeferred implements pfs.DeferredWriter by delegation so fault
 // injection stays transparent to write-behind callers; injected writes fall
 // back to the synchronous path (fault handling is not worth modelling

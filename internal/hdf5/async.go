@@ -48,6 +48,143 @@ func (d *Dataset) WriteHyperslabIndependentAsync(sel mpi.Subarray, data []byte) 
 	return d.h.mf.IwriteRuns(runs, data)
 }
 
+// SlabRead is the handle of a read-behind dataset read started by
+// ReadHyperslabBegin or ReadHyperslabIndependentAsync. Completion returns
+// the virtual time the deferred device work finishes; End settles the
+// caller's clock against it and then charges the selection-scatter cost
+// (causally downstream of the data arriving). End is idempotent.
+type SlabRead struct {
+	d      *Dataset
+	runs   []mpi.Run
+	end    float64
+	settle func()
+	done   bool
+}
+
+// Completion returns the virtual completion time of the deferred reads.
+func (s *SlabRead) Completion() float64 { return s.end }
+
+// End settles the read; the buffer passed to Begin is valid afterwards.
+func (s *SlabRead) End() {
+	if s.done {
+		return
+	}
+	s.done = true
+	s.settle()
+	s.d.packCost(s.runs)
+}
+
+// ReadHyperslabBegin starts a split-collective hyperslab read: the request
+// exchange runs now, the aggregator I/O phase is deferred to the returned
+// handle's End. Every rank must call it (possibly with an empty selection)
+// and later End it, in the same order across ranks.
+func (d *Dataset) ReadHyperslabBegin(sel mpi.Subarray, buf []byte) *SlabRead {
+	defer obs.Begin(d.h.r.Proc(), obs.LayerHDF, "data_read").Bytes(int64(len(buf))).Attr("deferred", "1").End()
+	runs := d.slabRuns(sel)
+	sr := d.h.mf.ReadAtAllBegin(runs, buf)
+	return &SlabRead{d: d, runs: runs, end: sr.Completion(), settle: sr.End}
+}
+
+// ReadHyperslabIndependentAsync starts a nonblocking independent hyperslab
+// read; settle it with the returned handle's End.
+func (d *Dataset) ReadHyperslabIndependentAsync(sel mpi.Subarray, buf []byte) *SlabRead {
+	defer obs.Begin(d.h.r.Proc(), obs.LayerHDF, "data_read_indep").Bytes(int64(len(buf))).Attr("deferred", "1").End()
+	runs := d.slabRuns(sel)
+	p := d.h.mf.IreadRuns(runs, buf)
+	return &SlabRead{d: d, runs: runs, end: p.Completion(), settle: p.Wait}
+}
+
+// SegRead is the handle of a read-behind compressed-segment read started by
+// ReadCompressedSegAsync or ReadCompressedAllAsync: the blob transfers are
+// charged at issue, Wait settles the caller's clock and then unpacks the
+// container — the codec CPU runs after the data has arrived, exactly as in
+// the blocking path.
+type SegRead struct {
+	d     *Dataset
+	end   float64
+	blobs [][]byte
+	slots []int
+	out   []byte
+	err   error
+	done  bool
+}
+
+// Completion returns the virtual completion time of the deferred reads.
+func (s *SegRead) Completion() float64 { return s.end }
+
+// Wait settles the read and unpacks: it returns the concatenated decoded
+// bytes of the requested segments, or the first checksum/container error.
+func (s *SegRead) Wait() ([]byte, error) {
+	if s.done {
+		return s.out, s.err
+	}
+	s.done = true
+	s.d.h.mf.NewPending(s.end).Wait()
+	sp := obs.Begin(s.d.h.r.Proc(), obs.LayerHDF, "data_read_z")
+	defer sp.End()
+	for i, blob := range s.blobs {
+		raw, err := compress.Expand(s.d.h.r.Proc(), s.d.h.cfg.Cost, blob)
+		if err != nil {
+			s.err = fmt.Errorf("hdf5: dataset %q segment %d: %w", s.d.info.Name, s.slots[i], err)
+			return nil, s.err
+		}
+		if s.d.h.cfg.OnCodec != nil {
+			s.d.h.cfg.OnCodec(false, int64(len(raw)), int64(len(blob)))
+		}
+		s.out = append(s.out, raw...)
+	}
+	sp.Bytes(int64(len(s.out)))
+	return s.out, s.err
+}
+
+// segReadAsync issues read-behind blob reads for the given slots (empty
+// segments are skipped).
+func (d *Dataset) segReadAsync(slots []int) (*SegRead, error) {
+	offs, lens, err := d.readZDir()
+	if err != nil {
+		return nil, err
+	}
+	s := &SegRead{d: d, end: d.h.r.Now()}
+	for _, slot := range slots {
+		if lens[slot] == 0 {
+			continue
+		}
+		blob := make([]byte, lens[slot])
+		if e := d.h.mf.IreadAt(blob, offs[slot]).Completion(); e > s.end {
+			s.end = e
+		}
+		s.blobs = append(s.blobs, blob)
+		s.slots = append(s.slots, slot)
+	}
+	return s, nil
+}
+
+// ReadCompressedSegAsync is ReadCompressedSeg with the blob transfer issued
+// read-behind; the decode runs when the returned handle's Wait settles.
+func (d *Dataset) ReadCompressedSegAsync(slot int) (*SegRead, error) {
+	if !d.Compressed() {
+		return nil, fmt.Errorf("hdf5: dataset %q is not compressed", d.info.Name)
+	}
+	if slot < 0 || slot >= d.info.Segs {
+		return nil, fmt.Errorf("hdf5: dataset %q has no segment %d", d.info.Name, slot)
+	}
+	return d.segReadAsync([]int{slot})
+}
+
+// ReadCompressedAllAsync is ReadCompressedAll issued read-behind: every
+// non-empty segment's blob transfer is charged now, and Wait decodes them
+// in slot order.
+func (d *Dataset) ReadCompressedAllAsync() (*SegRead, error) {
+	if !d.Compressed() {
+		return nil, fmt.Errorf("hdf5: dataset %q is not compressed", d.info.Name)
+	}
+	slots := make([]int, d.info.Segs)
+	for i := range slots {
+		slots[i] = i
+	}
+	return d.segReadAsync(slots)
+}
+
 // WriteCompressedAsync is WriteCompressed with the segment and directory
 // writes issued write-behind. The compression CPU and the segment-length
 // allgather still run at issue (they need the rank on the CPU and keep the

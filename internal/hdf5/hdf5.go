@@ -174,6 +174,13 @@ func Create(r *mpi.Rank, fs pfs.FileSystem, name string, cfg Config, hints mpiio
 
 // OpenRead collectively opens an existing container. Rank 0 scans the
 // object-header chain and broadcasts the index.
+//
+// The scan's failure modes — a corrupt record, or an *mpiio.IOError panic
+// from an exhausted retry policy — are broadcast too: rank 0 sends an empty
+// index and every rank returns the same error, so an unreadable container
+// never leaves the other ranks parked in the index broadcast. A valid index
+// is never empty (it always carries the 8-byte eof), so zero length is an
+// unambiguous failure marker.
 func OpenRead(r *mpi.Rank, fs pfs.FileSystem, name string, cfg Config, hints mpiio.Hints) (*File, error) {
 	defer obs.Begin(r.Proc(), obs.LayerHDF, "md_open").Attr("file", name).End()
 	mf, err := mpiio.Open(r, fs, name, mpiio.ModeRead, hints)
@@ -183,54 +190,86 @@ func OpenRead(r *mpi.Rank, fs pfs.FileSystem, name string, cfg Config, hints mpi
 	h := &File{r: r, mf: mf, cfg: cfg, index: make(map[string]*datasetInfo)}
 	var enc []byte
 	if r.Rank() == 0 {
-		sb := make([]byte, cfg.SuperblockSize)
-		mf.ReadAt(sb, 0)
-		if string(sb[:4]) != "\x89HDF" {
-			return nil, fmt.Errorf("hdf5: %q is not an HDF5 container", name)
-		}
-		count := int(binary.LittleEndian.Uint32(sb[4:]))
-		off := cfg.SuperblockSize
-		for found := 0; found < count; {
-			prefix := make([]byte, tagPrefix)
-			mf.ReadAt(prefix, off)
-			bodyLen := int64(binary.LittleEndian.Uint64(prefix[8:]))
-			switch string(prefix[:4]) {
-			case tagAttr:
-				off += cfg.AttrSize // skip attribute record
-			case tagDataset:
-				hdr := make([]byte, cfg.ObjectHeaderSize)
-				mf.ReadAt(hdr, off)
-				info := decodeHeader(hdr)
-				info.HdrOff = off
-				if info.Codec != 0 && info.Segs > 0 {
-					// Pull the segment directory into the index while we
-					// are the one rank scanning the metadata.
-					dir := make([]byte, zDirSize(info.Segs))
-					mf.ReadAt(dir, info.DataOff)
-					if got := int(binary.LittleEndian.Uint32(dir)); got != info.Segs {
-						return nil, fmt.Errorf("hdf5: dataset %q: segment directory says %d segments, header says %d",
-							info.Name, got, info.Segs)
+		scanErr := func() (serr error) {
+			mark := obs.Mark(r.Proc())
+			defer func() {
+				if rec := recover(); rec != nil {
+					ioe, ok := rec.(*mpiio.IOError)
+					if !ok {
+						panic(rec)
 					}
-					info.ZLens = make([]int64, info.Segs)
-					for i := range info.ZLens {
-						info.ZLens[i] = int64(binary.LittleEndian.Uint64(dir[16+16*i:]))
-					}
+					obs.Unwind(r.Proc(), mark)
+					serr = ioe
 				}
-				h.addInfo(info)
-				off = info.DataOff + bodyLen
-				found++
-			default:
-				return nil, fmt.Errorf("hdf5: %q: corrupt record at offset %d", name, off)
-			}
+			}()
+			return h.scanIndex(mf, name)
+		}()
+		if scanErr == nil {
+			enc = h.encodeIndex()
 		}
-		h.eof = off
-		enc = h.encodeIndex()
 		h.r.Bcast(0, enc)
+		if scanErr != nil {
+			mf.Close()
+			return nil, scanErr
+		}
 	} else {
 		enc = h.r.Bcast(0, nil)
+		if len(enc) == 0 {
+			mf.Close()
+			return nil, fmt.Errorf("hdf5: %q: rank 0 could not read the metadata index", name)
+		}
 		h.decodeIndex(enc)
 	}
 	return h, nil
+}
+
+// scanIndex walks the superblock and object-header chain, filling the
+// in-memory index. Run on rank 0 only; I/O errors surface as *mpiio.IOError
+// panics from the layer below.
+func (h *File) scanIndex(mf *mpiio.File, name string) error {
+	cfg := h.cfg
+	sb := make([]byte, cfg.SuperblockSize)
+	mf.ReadAt(sb, 0)
+	if string(sb[:4]) != "\x89HDF" {
+		return fmt.Errorf("hdf5: %q is not an HDF5 container", name)
+	}
+	count := int(binary.LittleEndian.Uint32(sb[4:]))
+	off := cfg.SuperblockSize
+	for found := 0; found < count; {
+		prefix := make([]byte, tagPrefix)
+		mf.ReadAt(prefix, off)
+		bodyLen := int64(binary.LittleEndian.Uint64(prefix[8:]))
+		switch string(prefix[:4]) {
+		case tagAttr:
+			off += cfg.AttrSize // skip attribute record
+		case tagDataset:
+			hdr := make([]byte, cfg.ObjectHeaderSize)
+			mf.ReadAt(hdr, off)
+			info := decodeHeader(hdr)
+			info.HdrOff = off
+			if info.Codec != 0 && info.Segs > 0 {
+				// Pull the segment directory into the index while we
+				// are the one rank scanning the metadata.
+				dir := make([]byte, zDirSize(info.Segs))
+				mf.ReadAt(dir, info.DataOff)
+				if got := int(binary.LittleEndian.Uint32(dir)); got != info.Segs {
+					return fmt.Errorf("hdf5: dataset %q: segment directory says %d segments, header says %d",
+						info.Name, got, info.Segs)
+				}
+				info.ZLens = make([]int64, info.Segs)
+				for i := range info.ZLens {
+					info.ZLens[i] = int64(binary.LittleEndian.Uint64(dir[16+16*i:]))
+				}
+			}
+			h.addInfo(info)
+			off = info.DataOff + bodyLen
+			found++
+		default:
+			return fmt.Errorf("hdf5: %q: corrupt record at offset %d", name, off)
+		}
+	}
+	h.eof = off
+	return nil
 }
 
 func (h *File) addInfo(info *datasetInfo) {

@@ -63,6 +63,32 @@ func DefaultHints() Hints {
 	}
 }
 
+// normalize clamps nonsensical hint values to usable ones, the way ROMIO
+// sanitizes unrecognized info values instead of failing the open. Every
+// open path calls it once, so downstream code (sieving chunk loops,
+// aggregator selection, retry backoff) can rely on sane hints instead of
+// guarding — or panicking — at use: a zero or negative sieve buffer would
+// otherwise hang or crash ReadRuns' chunk loop, a negative CBNodes means
+// "choose for me" (0), and a negative retry backoff would move the virtual
+// clock backwards.
+func (h *Hints) normalize() {
+	if h.CBBufferSize <= 0 {
+		h.CBBufferSize = 4 << 20
+	}
+	if h.DSBufferSize <= 0 {
+		h.DSBufferSize = 4 << 20
+	}
+	if h.CBNodes < 0 {
+		h.CBNodes = 0
+	}
+	if h.MinFDSize < 0 {
+		h.MinFDSize = 0
+	}
+	if h.Retry.Enabled {
+		h.Retry = h.Retry.normalized()
+	}
+}
+
 // File is a collectively opened MPI-IO file.
 type File struct {
 	r      *mpi.Rank
@@ -88,12 +114,7 @@ const (
 // Like MPI_File_open it synchronizes the participants: rank 0 performs the
 // create, everyone else opens after it.
 func Open(r *mpi.Rank, fs pfs.FileSystem, name string, mode Mode, hints Hints) (*File, error) {
-	if hints.CBBufferSize <= 0 {
-		hints.CBBufferSize = 4 << 20
-	}
-	if hints.DSBufferSize <= 0 {
-		hints.DSBufferSize = 4 << 20
-	}
+	hints.normalize()
 	client := pfs.Client{Proc: r.Proc(), Node: r.World().Machine().Node(r.Rank())}
 	defer obs.Begin(r.Proc(), obs.LayerMPIIO, "open").Attr("file", name).End()
 	var f pfs.File
@@ -119,12 +140,7 @@ func Open(r *mpi.Rank, fs pfs.FileSystem, name string, mode Mode, hints Hints) (
 // OpenIndependent opens name from a single rank without collective
 // synchronization (used for one-file-per-process output).
 func OpenIndependent(r *mpi.Rank, fs pfs.FileSystem, name string, mode Mode, hints Hints) (*File, error) {
-	if hints.CBBufferSize <= 0 {
-		hints.CBBufferSize = 4 << 20
-	}
-	if hints.DSBufferSize <= 0 {
-		hints.DSBufferSize = 4 << 20
-	}
+	hints.normalize()
 	client := pfs.Client{Proc: r.Proc(), Node: r.World().Machine().Node(r.Rank())}
 	defer obs.Begin(r.Proc(), obs.LayerMPIIO, "open_indep").Attr("file", name).End()
 	var f pfs.File

@@ -48,7 +48,9 @@ func DefaultRetryPolicy() RetryPolicy {
 		Backoff: 0.5, Multiplier: 2, JitterFrac: 0.25}
 }
 
-// normalized fills in unusable zero values.
+// normalized fills in unusable zero values and clamps negatives: a negative
+// backoff or jitter fraction would produce a negative inter-attempt wait,
+// which the simulation engine (rightly) refuses as a clock moving backwards.
 func (rp RetryPolicy) normalized() RetryPolicy {
 	if rp.MaxAttempts < 1 {
 		rp.MaxAttempts = 1
@@ -58,6 +60,12 @@ func (rp RetryPolicy) normalized() RetryPolicy {
 	}
 	if rp.Timeout <= 0 {
 		rp.Timeout = DefaultRetryPolicy().Timeout
+	}
+	if rp.Backoff < 0 {
+		rp.Backoff = 0
+	}
+	if rp.JitterFrac < 0 {
+		rp.JitterFrac = 0
 	}
 	return rp
 }

@@ -18,13 +18,15 @@ import (
 	"repro/internal/pfs"
 )
 
-// Pending is the handle of a nonblocking independent write started by
-// IwriteAt or IwriteRuns. Completion returns the virtual time the last
-// deferred device operation finishes; Wait advances the caller's clock to
-// it (a no-op if the clock already passed it — the overlap won).
+// Pending is the handle of a nonblocking independent operation started by
+// IwriteAt, IwriteRuns, IreadAt or IreadRuns. Completion returns the
+// virtual time the last deferred device operation finishes; Wait advances
+// the caller's clock to it (a no-op if the clock already passed it — the
+// overlap won).
 type Pending struct {
 	f    *File
 	end  float64
+	op   string // wait-span label; empty means "iwrite_wait"
 	done bool
 }
 
@@ -38,7 +40,11 @@ func (p *Pending) Wait() {
 		return
 	}
 	p.done = true
-	sp := obs.Begin(p.f.client.Proc, obs.LayerMPIIO, "iwrite_wait")
+	op := p.op
+	if op == "" {
+		op = "iwrite_wait"
+	}
+	sp := obs.Begin(p.f.client.Proc, obs.LayerMPIIO, op)
 	p.f.client.Proc.AdvanceTo(p.end)
 	sp.End()
 }

@@ -61,6 +61,12 @@ type FileCounters struct {
 	DeferredWrites  int64
 	WriteBehindTime float64
 
+	// Read-behind accounting: the read mirror of the write-behind split —
+	// deferred reads charge their issue cost to ReadTime and the device
+	// time past issue accumulates here.
+	DeferredReads  int64
+	ReadBehindTime float64
+
 	// Fault-tolerance accounting: Timeouts counts deadline-aware operations
 	// that returned a *pfs.DeviceError (the wait until the deadline is still
 	// charged to ReadTime/WriteTime); Retries counts MPI-IO retry attempts
@@ -283,6 +289,45 @@ func (f *obsFile) WriteAtDeferred(c pfs.Client, data []byte, off int64) float64 
 		fc.haveWrite = true
 		fc.lastWriteEnd = off + n
 		f.fs.tr.recordDur("write", c.Proc.Now()-start)
+	}
+	return end
+}
+
+// ReadAtDeferred implements pfs.DeferredReader by delegation (the read
+// mirror of WriteAtDeferred): the span covers the issue interval only; the
+// device time past issue is recorded in the file's read-behind counters.
+func (f *obsFile) ReadAtDeferred(c pfs.Client, buf []byte, off int64) float64 {
+	dr, ok := f.inner.(pfs.DeferredReader)
+	if !ok {
+		f.ReadAt(c, buf, off)
+		return c.Proc.Now()
+	}
+	n := int64(len(buf))
+	sp := Begin(c.Proc, LayerPFS, "read").Bytes(n).Attr("deferred", "1")
+	start := c.Proc.Now()
+	end := dr.ReadAtDeferred(c, buf, off)
+	sp.End()
+	if r := rankOf(c.Proc); r >= 0 {
+		fc := f.fs.tr.fileCounters(r, f.inner.Name())
+		fc.Reads++
+		fc.DeferredReads++
+		fc.BytesRead += n
+		fc.ReadTime += c.Proc.Now() - start
+		if end > c.Proc.Now() {
+			fc.ReadBehindTime += end - c.Proc.Now()
+		}
+		fc.SizeHist[SizeBucket(n)]++
+		if fc.haveRead {
+			if off == fc.lastReadEnd {
+				fc.ConsecReads++
+				fc.SeqReads++
+			} else if off > fc.lastReadEnd {
+				fc.SeqReads++
+			}
+		}
+		fc.haveRead = true
+		fc.lastReadEnd = off + n
+		f.fs.tr.recordDur("read", c.Proc.Now()-start)
 	}
 	return end
 }

@@ -215,6 +215,35 @@ func (a *Active) End() {
 	h.spans[a.idx].End = a.p.Now()
 }
 
+// Mark returns p's current span-stack depth (0 when untraced), for use
+// with Unwind around code that may panic past its End calls.
+func Mark(p *sim.Proc) int {
+	h, _ := p.Trace().(*procTrace)
+	if h == nil {
+		return 0
+	}
+	return len(h.stack)
+}
+
+// Unwind closes every span opened after mark at p's current virtual time,
+// annotating each as aborted. Recover-based fault absorption (a tolerant
+// read-back swallowing an I/O error panic) skips the Ends of every span
+// between the throw and the recover; without unwinding, the next regular
+// End would violate the nesting invariant.
+func Unwind(p *sim.Proc, mark int) {
+	h, _ := p.Trace().(*procTrace)
+	if h == nil {
+		return
+	}
+	for len(h.stack) > mark {
+		n := len(h.stack)
+		idx := h.stack[n-1]
+		h.stack = h.stack[:n-1]
+		h.spans[idx].End = p.Now()
+		h.spans[idx].Attrs = append(h.spans[idx].Attrs, Attr{Key: "aborted", Value: "1"})
+	}
+}
+
 // Spans returns every recorded span, ordered by rank and then by span begin
 // order within the rank. The order — and every field — is deterministic
 // across runs.

@@ -305,6 +305,21 @@ func (f *gpfsFile) readIssue(c Client, n, off int64) float64 {
 	return end
 }
 
+// ReadAtDeferred implements DeferredReader: lock traffic and the full
+// server/disk chain are charged at issue (readIssue uses the blocking
+// timestamps) and buf is filled immediately; only the caller's wait for the
+// returned completion is deferred.
+func (f *gpfsFile) ReadAtDeferred(c Client, buf []byte, off int64) float64 {
+	n := int64(len(buf))
+	if n == 0 {
+		return c.Proc.Now()
+	}
+	end := f.readIssue(c, n, off)
+	f.store.ReadAt(buf, off)
+	f.fs.stats.read(n)
+	return end
+}
+
 // ReadAtDeadline implements FallibleFile.
 func (f *gpfsFile) ReadAtDeadline(c Client, buf []byte, off int64, deadline float64) error {
 	n := int64(len(buf))

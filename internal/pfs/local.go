@@ -171,17 +171,25 @@ func (f *localFile) WriteAtDeferred(c Client, data []byte, off int64) float64 {
 }
 
 func (f *localFile) ReadAt(c Client, buf []byte, off int64) {
+	c.Proc.AdvanceTo(f.ReadAtDeferred(c, buf, off))
+}
+
+// ReadAtDeferred implements DeferredReader: call overhead stays on the
+// caller's clock, the disk is charged at issue, and the returned completion
+// includes the memory copy out of the buffer cache (exactly the blocking
+// ReadAt timing); only the wait is deferred.
+func (f *localFile) ReadAtDeferred(c Client, buf []byte, off int64) float64 {
 	fs := f.fs
 	n := int64(len(buf))
 	if n == 0 {
-		return
+		return c.Proc.Now()
 	}
 	c.Proc.Advance(fs.cfg.PerCall)
 	end := fs.disk(c.Node).Access(c.Proc.Now(), off, n)
-	c.Proc.AdvanceTo(end + fs.mach.CopyTime(n))
 	st, _ := fs.partition(f.name, c.Node, true)
 	st.ReadAt(buf, off)
 	fs.stats.read(n)
+	return end + fs.mach.CopyTime(n)
 }
 
 // Snapshot implements FileSystem: entries are keyed "node<N>/<name>"

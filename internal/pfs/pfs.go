@@ -103,6 +103,28 @@ func WriteAtAsync(f File, c Client, data []byte, off int64) (end float64) {
 	return c.Proc.Now()
 }
 
+// DeferredReader is the read-behind mirror of DeferredWriter: ReadAtDeferred
+// charges every shared resource at issue time with the timestamps a blocking
+// ReadAt would use and fills buf immediately (the store holds the bytes a
+// blocking read issued now would observe — writes racing a read would be
+// nondeterministic under blocking I/O too), but does not advance the caller's
+// clock. The returned completion time is when the data has actually arrived;
+// the caller must not consume buf before settling (AdvanceTo) it.
+type DeferredReader interface {
+	ReadAtDeferred(c Client, buf []byte, off int64) (end float64)
+}
+
+// ReadAtAsync issues a read-behind read when f supports it and returns the
+// virtual completion time; otherwise it performs a blocking ReadAt and
+// returns the caller's clock afterwards (completion == now: nothing hidden).
+func ReadAtAsync(f File, c Client, buf []byte, off int64) (end float64) {
+	if dr, ok := f.(DeferredReader); ok {
+		return dr.ReadAtDeferred(c, buf, off)
+	}
+	f.ReadAt(c, buf, off)
+	return c.Proc.Now()
+}
+
 // File is an open file handle. Reads beyond the current size return zero
 // bytes (sparse-file semantics); writes extend the file.
 type File interface {

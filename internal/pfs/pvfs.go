@@ -286,6 +286,21 @@ func (f *pvfsFile) readIssue(c Client, n, off int64) float64 {
 	return end
 }
 
+// ReadAtDeferred implements DeferredReader: the full request is charged at
+// issue (readIssue uses exactly the blocking timestamps) and the bytes land
+// in buf immediately; only the caller's wait for the returned completion is
+// deferred.
+func (f *pvfsFile) ReadAtDeferred(c Client, buf []byte, off int64) float64 {
+	n := int64(len(buf))
+	if n == 0 {
+		return c.Proc.Now()
+	}
+	end := f.readIssue(c, n, off)
+	f.store.ReadAt(buf, off)
+	f.fs.stats.read(n)
+	return end
+}
+
 // ReadAtDeadline implements FallibleFile.
 func (f *pvfsFile) ReadAtDeadline(c Client, buf []byte, off int64, deadline float64) error {
 	n := int64(len(buf))

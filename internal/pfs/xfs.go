@@ -130,6 +130,16 @@ func (f *xfsFile) ReadAt(c Client, buf []byte, off int64) {
 	f.fs.stats.read(int64(len(buf)))
 }
 
+// ReadAtDeferred implements DeferredReader: syscall and buffer-cache copy
+// stay on the caller's clock, the LUN work is charged at issue, and only
+// the wait for the returned completion is deferred.
+func (f *xfsFile) ReadAtDeferred(c Client, buf []byte, off int64) float64 {
+	end := f.accessDeferred(c, off, int64(len(buf)))
+	f.store.ReadAt(buf, off)
+	f.fs.stats.read(int64(len(buf)))
+	return end
+}
+
 // SetServeObserver implements ServeObservable over every LUN queue.
 func (fs *XFS) SetServeObserver(o sim.ServeObserver) {
 	for _, d := range fs.luns {

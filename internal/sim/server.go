@@ -103,6 +103,15 @@ func (s *Server) Serve(at, service float64) (start, end float64) {
 	if s.slowdown > 0 {
 		service *= s.slowdown
 	}
+	if math.IsInf(at, 1) {
+		// A request arriving at +Inf never actually arrives — it is the
+		// downstream echo of a dead device earlier in the pipeline (e.g. the
+		// data-return transfer of a read whose disk never completes). It must
+		// not occupy this server: without the guard, start >= failAt
+		// (+Inf >= +Inf) would mark a healthy server permanently busy and the
+		// failure would spread to every client sharing it.
+		return at, math.Inf(1)
+	}
 	start = at
 	if s.freeAt > start {
 		start = s.freeAt
