@@ -31,6 +31,30 @@ func benchOptions() experiments.Options {
 	return experiments.Options{Quick: os.Getenv("REPRO_QUICK") != ""}
 }
 
+// BenchmarkEngine measures the simulator itself in wall-clock terms:
+// scheduler dispatches per real second while running a full traced AMR64
+// checkpoint cycle. Unlike every other benchmark in this file, events/sec
+// here is real throughput, not virtual seconds — the number to watch when
+// changing the engine's scheduling loop.
+func BenchmarkEngine(b *testing.B) {
+	cfg := benchProblem()
+	var events int64
+	for i := 0; i < b.N; i++ {
+		res, err := enzo.RunOnce(machine.ChibaCity(), "pvfs", 8, cfg, enzo.BackendMPIIO)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Verified {
+			b.Fatal("run did not verify")
+		}
+		events += res.Events
+	}
+	if secs := b.Elapsed().Seconds(); secs > 0 {
+		b.ReportMetric(float64(events)/secs, "events/sec")
+	}
+	b.ReportMetric(float64(events)/float64(b.N), "events/op")
+}
+
 // BenchmarkTable1 regenerates Table 1: the amount of data read and written
 // per problem size.
 func BenchmarkTable1(b *testing.B) {

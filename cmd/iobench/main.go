@@ -34,6 +34,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	tracedir := fl.String("tracedir", "", "write per-case Perfetto timelines and counter reports into this directory")
 	codec := fl.String("codec", "none", "run the figure cases with transparent field compression: none, rle, delta, lzss")
 	async := fl.Bool("async", false, "run the figure cases with the write-behind dump pipeline")
+	diagnose := fl.Bool("diagnose", false, "diagnose every figure/codec case and print its findings after each sweep")
 	if err := fl.Parse(args); err != nil {
 		return 2
 	}
@@ -55,6 +56,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 	o := experiments.Options{Quick: *quick, TraceDir: *tracedir, Codec: *codec, Async: *async}
+	var findings []experiments.CaseFindings
+	if *diagnose {
+		o.DiagnoseSink = func(cf experiments.CaseFindings) { findings = append(findings, cf) }
+	}
+	flushFindings := func() {
+		if len(findings) == 0 {
+			return
+		}
+		experiments.PrintFindings(stdout, findings)
+		fmt.Fprintln(stdout)
+		findings = findings[:0]
+	}
 	type driver struct {
 		name  string
 		title string
@@ -92,6 +105,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		experiments.PrintCodecSweep(stdout, rows)
 		fmt.Fprintln(stdout)
+		flushFindings()
 	}
 	if *exp == "reads" || *exp == "all" {
 		fmt.Fprintln(stdout, "Read sweep: parallel restart read path vs the HDF4 baseline (Chiba City, AMR128, np=8)")
@@ -127,6 +141,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		experiments.PrintRows(stdout, rows)
 		fmt.Fprintln(stdout)
+		flushFindings()
 		if *chart {
 			experiments.RenderChart(stdout, rows)
 		}

@@ -1,0 +1,274 @@
+// Command iodoctor runs one ENZO configuration under the observability
+// layer (or loads a previously saved report) and diagnoses its I/O:
+// critical-path attribution across the stack, detectors for the paper's
+// pathologies (small scattered writes, collective-buffering mismatch, rank
+// imbalance, straggler servers, sieving amplification, unhidden async
+// time), candidate hint deltas, and report-vs-report regression diffs.
+//
+// Usage:
+//
+//	iodoctor [-machine chiba] [-fs pvfs] [-backend mpiio] [-problem AMR128]
+//	         [-np 8] [-quick] [-codec none] [-async] [-scrub] [-cbnodes N]
+//	         [-straggler FACTOR] [-corrupt N]
+//	         [-format text|json|metrics] [-o FILE] [-report FILE]
+//	         [-diff BASELINE.json] [-fail-on none|warning|critical]
+//
+// -report loads a JSON document written earlier with -format json instead
+// of running a simulation; -diff compares a baseline document against the
+// current run (or -report) and emits regression findings. With -o and
+// -format json the findings table still goes to stdout, so one invocation
+// serves both humans and artifact collection. -fail-on exits 3 when any
+// finding reaches the given severity.
+//
+// All output derives from deterministic virtual-time telemetry: repeated
+// runs of the same configuration produce byte-identical bytes.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/compress"
+	"repro/internal/diag"
+	"repro/internal/enzo"
+	"repro/internal/faultfs"
+	"repro/internal/machine"
+	"repro/internal/obs"
+	"repro/internal/pfs"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fl := flag.NewFlagSet("iodoctor", flag.ContinueOnError)
+	fl.SetOutput(stderr)
+	mach := fl.String("machine", "chiba", "platform: origin2000, sp2 or chiba")
+	fsKind := fl.String("fs", "pvfs", "file system: xfs, gpfs, pvfs or local")
+	backendName := fl.String("backend", "mpiio", "I/O backend: hdf4, mpiio, hdf5 or mpiio-cb")
+	problem := fl.String("problem", "AMR128", "problem size: tiny, AMR64, AMR128 or AMR256")
+	np := fl.Int("np", 8, "number of MPI ranks")
+	quick := fl.Bool("quick", false, "shrink the problem for a fast smoke run")
+	codec := fl.String("codec", "none", "transparent field compression: none, rle, delta, lzss")
+	async := fl.Bool("async", false, "write-behind checkpoint I/O")
+	scrub := fl.Bool("scrub", false, "read-back scrub after each dump")
+	cbnodes := fl.Int("cbnodes", 0, "override the cb_nodes hint (0 = ROMIO default, one aggregator per node)")
+	straggler := fl.Float64("straggler", 1, "degrade one data server of a striped fs by this service-time factor")
+	corrupt := fl.Int64("corrupt", 0, "silently corrupt every Nth sizeable checkpoint write (0 = off)")
+	format := fl.String("format", "text", "output format: text, json or metrics (OpenMetrics)")
+	outPath := fl.String("o", "", "write the formatted output here (default stdout)")
+	reportPath := fl.String("report", "", "load a saved -format json document instead of running")
+	diffPath := fl.String("diff", "", "baseline -format json document to diff the current report against")
+	failOn := fl.String("fail-on", "none", "exit 3 if any finding reaches this severity: none, warning or critical")
+	if err := fl.Parse(args); err != nil {
+		return 2
+	}
+
+	fail := func(format string, args ...any) int {
+		fmt.Fprintf(stderr, "error: "+format+"\n", args...)
+		fl.Usage()
+		return 2
+	}
+
+	switch *format {
+	case "text", "json", "metrics":
+	default:
+		return fail("iodoctor: unknown -format %q (want text, json or metrics)", *format)
+	}
+	var failSev diag.Severity
+	switch *failOn {
+	case "none":
+		failSev = diag.SevCritical + 1
+	case "warning":
+		failSev = diag.SevWarn
+	case "critical":
+		failSev = diag.SevCritical
+	default:
+		return fail("iodoctor: unknown -fail-on %q (want none, warning or critical)", *failOn)
+	}
+
+	var rep *diag.Report
+	if *reportPath != "" {
+		var err error
+		rep, err = loadReport(*reportPath)
+		if err != nil {
+			fmt.Fprintln(stderr, "error:", err)
+			return 1
+		}
+	} else {
+		cfg, err := configByName(*problem)
+		if err != nil {
+			return fail("%v", err)
+		}
+		if *quick {
+			n := cfg.Dims[0] / 4
+			if n < 8 {
+				n = 8
+			}
+			cfg.Dims = [3]int{n, n, n}
+			cfg.NParticles = n * n * n / 2
+		}
+		if _, err := compress.Resolve(*codec); err != nil {
+			return fail("%v", err)
+		}
+		cfg.Codec = *codec
+		cfg.AsyncIO = *async
+		cfg.ScrubOnDump = *scrub
+		cfg.CBNodes = *cbnodes
+		backend, err := enzo.BackendByName(*backendName)
+		if err != nil {
+			return fail("%v", err)
+		}
+		machCfg, err := machineByName(*mach)
+		if err != nil {
+			return fail("%v", err)
+		}
+		if *np < 1 {
+			return fail("iodoctor: -np must be at least 1 (got %d)", *np)
+		}
+		if *straggler < 1 {
+			return fail("iodoctor: -straggler must be >= 1 (got %g)", *straggler)
+		}
+		if *corrupt < 0 {
+			return fail("iodoctor: -corrupt must be >= 0 (got %d)", *corrupt)
+		}
+		var wraps []func(pfs.FileSystem) pfs.FileSystem
+		if *straggler > 1 {
+			switch *fsKind {
+			case "pvfs", "gpfs":
+			default:
+				return fail("iodoctor: -straggler needs a striped file system (pvfs, gpfs); got %q", *fsKind)
+			}
+			f := *straggler
+			wraps = append(wraps, func(fs pfs.FileSystem) pfs.FileSystem {
+				fs.(pfs.StripeFaultInjector).DegradeDataServer(0, f)
+				return fs
+			})
+		}
+		if *corrupt > 0 {
+			n := *corrupt
+			wraps = append(wraps, func(fs pfs.FileSystem) pfs.FileSystem {
+				return faultfs.Wrap(fs, faultfs.Config{
+					Mode: faultfs.CorruptWrite, EveryN: n,
+					MinBytes: 2048, FileSubstr: "dump", MaxInject: 4,
+				})
+			})
+		}
+		var wrap func(pfs.FileSystem) pfs.FileSystem
+		if len(wraps) > 0 {
+			ws := wraps
+			wrap = func(fs pfs.FileSystem) pfs.FileSystem {
+				for _, w := range ws {
+					fs = w(fs)
+				}
+				return fs
+			}
+		}
+
+		tr := obs.NewTracer()
+		res, err := enzo.RunOnceWrappedTraced(machCfg, *fsKind, *np, cfg, backend, wrap, tr)
+		if err != nil {
+			fmt.Fprintln(stderr, "error:", err)
+			return 1
+		}
+		rep = diag.Snapshot(tr, diag.MetaFromResult(*mach, res, cfg))
+	}
+
+	var findings []diag.Finding
+	var suggestions []diag.HintsDelta
+	if *diffPath != "" {
+		base, err := loadReport(*diffPath)
+		if err != nil {
+			fmt.Fprintln(stderr, "error:", err)
+			return 1
+		}
+		findings = diag.Diff(base, rep)
+	} else {
+		findings = diag.Analyze(rep)
+		suggestions = diag.Suggest(rep)
+	}
+
+	out := stdout
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			fmt.Fprintln(stderr, "error:", err)
+			return 1
+		}
+		defer f.Close()
+		out = f
+	}
+	switch *format {
+	case "json":
+		doc := diag.Document{Report: rep, Findings: findings, Suggestions: suggestions}
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(doc); err != nil {
+			fmt.Fprintln(stderr, "error:", err)
+			return 1
+		}
+		if *outPath != "" {
+			// One invocation serves both the artifact and the log.
+			diag.WriteFindings(stdout, findings)
+		}
+	case "metrics":
+		diag.WriteOpenMetrics(out, rep, findings)
+	default:
+		diag.WriteReportText(out, rep)
+		fmt.Fprintln(out)
+		diag.WriteFindings(out, findings)
+		if *diffPath == "" {
+			fmt.Fprintln(out)
+			diag.WriteSuggestions(out, suggestions)
+		}
+	}
+
+	if diag.MaxSeverity(findings) >= failSev {
+		fmt.Fprintf(stderr, "iodoctor: findings at or above severity %q (exit 3)\n", *failOn)
+		return 3
+	}
+	return 0
+}
+
+// loadReport reads a -format json document (or a bare report) from path.
+func loadReport(path string) (*diag.Report, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var doc diag.Document
+	if err := json.Unmarshal(b, &doc); err == nil && doc.Report != nil {
+		return doc.Report, nil
+	}
+	var rep diag.Report
+	if err := json.Unmarshal(b, &rep); err != nil {
+		return nil, fmt.Errorf("iodoctor: %s is neither a document nor a report: %w", path, err)
+	}
+	return &rep, nil
+}
+
+func machineByName(name string) (machine.Config, error) {
+	switch name {
+	case "origin2000", "sp2", "chiba":
+		return machine.ByName(name), nil
+	}
+	return machine.Config{}, fmt.Errorf("iodoctor: unknown machine %q (want origin2000, sp2 or chiba)", name)
+}
+
+func configByName(name string) (enzo.Config, error) {
+	switch name {
+	case "tiny", "Tiny":
+		return enzo.Tiny(), nil
+	case "AMR64":
+		return enzo.AMR64(), nil
+	case "AMR128":
+		return enzo.AMR128(), nil
+	case "AMR256":
+		return enzo.AMR256(), nil
+	}
+	return enzo.Config{}, fmt.Errorf("iodoctor: unknown problem %q", name)
+}

@@ -9,19 +9,26 @@
 //
 //	ioreport [-machine chiba] [-fs pvfs] [-backend mpiio] [-problem AMR64]
 //	         [-np 8] [-quick] [-codec none|rle|delta|lzss] [-async] [-scrub]
+//	         [-format text|json] [-diagnose]
 //	         [-trace timeline.json] [-o report.txt]
+//
+// -format json emits the machine-readable diagnosis document (the same
+// schema iodoctor writes), suitable for iodoctor -report/-diff. -diagnose
+// appends the ranked findings table to the text report.
 //
 // Tracing is zero-perturbation: the virtual timings of a traced run are
 // bit-identical to the same run without instrumentation.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 
 	"repro/internal/compress"
+	"repro/internal/diag"
 	"repro/internal/enzo"
 	"repro/internal/machine"
 	"repro/internal/obs"
@@ -43,6 +50,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	codec := fl.String("codec", "none", "transparent field compression: none, rle, delta, lzss")
 	async := fl.Bool("async", false, "write-behind checkpoint I/O: overlap dumps with the next step's compute")
 	scrub := fl.Bool("scrub", false, "read-back scrub after each dump, with re-dump and generation-fallback recovery")
+	format := fl.String("format", "text", "output format: text, or json (the iodoctor diagnosis document)")
+	diagnose := fl.Bool("diagnose", false, "append the ranked diagnosis findings to the text report")
 	tracePath := fl.String("trace", "", "write a Perfetto-loadable trace-event JSON timeline here")
 	outPath := fl.String("o", "", "write the counter report here (default stdout)")
 	if err := fl.Parse(args); err != nil {
@@ -55,6 +64,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
+	switch *format {
+	case "text", "json":
+	default:
+		return fail(fmt.Errorf("ioreport: unknown -format %q (want text or json)", *format))
+	}
 	cfg, err := configByName(*problem)
 	if err != nil {
 		return fail(err)
@@ -102,6 +116,22 @@ func run(args []string, stdout, stderr io.Writer) int {
 		defer f.Close()
 		out = f
 	}
+
+	if *format == "json" {
+		rep := diag.Snapshot(tr, diag.MetaFromResult(*mach, res, cfg))
+		doc := diag.Document{
+			Report:      rep,
+			Findings:    diag.Analyze(rep),
+			Suggestions: diag.Suggest(rep),
+		}
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(doc); err != nil {
+			fmt.Fprintln(stderr, "error:", err)
+			return 1
+		}
+		return writeTimeline(tr, *tracePath, stderr)
+	}
 	fmt.Fprintf(out, "%s %s/%s backend=%s np=%d verified=%v\n",
 		res.Problem, *mach, *fsKind, res.Backend, res.Procs, res.Verified)
 	fmt.Fprintf(out, "phases: read=%.3fs write=%.3fs restart=%.3fs\n",
@@ -112,24 +142,35 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	fmt.Fprintln(out)
 	tr.WriteReport(out, res.Makespan)
-
-	if *tracePath != "" {
-		f, err := os.Create(*tracePath)
-		if err != nil {
-			fmt.Fprintln(stderr, "error:", err)
-			return 1
-		}
-		if err := tr.WriteTrace(f); err != nil {
-			f.Close()
-			fmt.Fprintln(stderr, "error:", err)
-			return 1
-		}
-		if err := f.Close(); err != nil {
-			fmt.Fprintln(stderr, "error:", err)
-			return 1
-		}
-		fmt.Fprintf(stderr, "timeline written to %s (load in ui.perfetto.dev)\n", *tracePath)
+	if *diagnose {
+		rep := diag.Snapshot(tr, diag.MetaFromResult(*mach, res, cfg))
+		fmt.Fprintln(out)
+		diag.WriteFindings(out, diag.Analyze(rep))
 	}
+
+	return writeTimeline(tr, *tracePath, stderr)
+}
+
+// writeTimeline writes the Perfetto trace when requested.
+func writeTimeline(tr *obs.Tracer, path string, stderr io.Writer) int {
+	if path == "" {
+		return 0
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(stderr, "error:", err)
+		return 1
+	}
+	if err := tr.WriteTrace(f); err != nil {
+		f.Close()
+		fmt.Fprintln(stderr, "error:", err)
+		return 1
+	}
+	if err := f.Close(); err != nil {
+		fmt.Fprintln(stderr, "error:", err)
+		return 1
+	}
+	fmt.Fprintf(stderr, "timeline written to %s (load in ui.perfetto.dev)\n", path)
 	return 0
 }
 

@@ -1,0 +1,110 @@
+package diag
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Diff compares a baseline report against a candidate and attributes each
+// phase-level regression to the (phase, layer) matrix cell whose exclusive
+// time grew most. Growth >= 10% of the baseline phase warns, >= 50% is
+// critical; improvements and the makespan delta come back as info. Phases
+// below 1% of the candidate makespan are ignored as noise.
+func Diff(base, cur *Report) []Finding {
+	if base == nil || cur == nil {
+		return nil
+	}
+	var out []Finding
+	if base.Meta.Makespan > 0 || cur.Meta.Makespan > 0 {
+		d := cur.Meta.Makespan - base.Meta.Makespan
+		out = append(out, Finding{
+			Detector: "diff-makespan",
+			Severity: SevInfo,
+			Title: fmt.Sprintf("makespan %+.6fs (%.6fs -> %.6fs)",
+				d, base.Meta.Makespan, cur.Meta.Makespan),
+			ImpactSeconds: d,
+		})
+	}
+
+	names := map[string]bool{}
+	var order []string
+	for _, p := range append(append([]PhaseSecs(nil), base.Meta.Phases...), cur.Meta.Phases...) {
+		if !names[p.Name] {
+			names[p.Name] = true
+			order = append(order, p.Name)
+		}
+	}
+	sort.Strings(order)
+	for _, name := range order {
+		b, c := base.Meta.Phase(name), cur.Meta.Phase(name)
+		d := c - b
+		if cur.Meta.Makespan > 0 && c < 0.01*cur.Meta.Makespan && b < 0.01*cur.Meta.Makespan {
+			continue
+		}
+		switch {
+		case b > 0 && d >= 0.1*b:
+			sev := SevWarn
+			if d >= 0.5*b {
+				sev = SevCritical
+			}
+			out = append(out, Finding{
+				Detector: "diff-regression",
+				Severity: sev,
+				Title: fmt.Sprintf("phase %q regressed %+.1f%% (%.6fs -> %.6fs)",
+					name, 100*d/b, b, c),
+				Detail:        attributeGrowth(base, cur, name),
+				ImpactSeconds: d,
+				Advice:        "inspect the attributed layer's counters in both reports; diff the hint sets and fs geometry for config drift",
+			})
+		case b > 0 && d <= -0.1*b:
+			out = append(out, Finding{
+				Detector: "diff-improvement",
+				Severity: SevInfo,
+				Title: fmt.Sprintf("phase %q improved %.1f%% (%.6fs -> %.6fs)",
+					name, -100*d/b, b, c),
+				ImpactSeconds: d,
+			})
+		case b == 0 && c > 0:
+			out = append(out, Finding{
+				Detector:      "diff-regression",
+				Severity:      SevWarn,
+				Title:         fmt.Sprintf("phase %q appeared (%.6fs)", name, c),
+				Detail:        attributeGrowth(base, cur, name),
+				ImpactSeconds: c,
+			})
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Severity != b.Severity {
+			return a.Severity > b.Severity
+		}
+		return a.ImpactSeconds > b.ImpactSeconds
+	})
+	return out
+}
+
+// attributeGrowth names the layer whose exclusive time within phase grew
+// most between the two reports' matrices.
+func attributeGrowth(base, cur *Report, phase string) string {
+	baseByLayer := map[string]float64{}
+	for _, c := range base.Matrix {
+		if c.Phase == phase {
+			baseByLayer[c.Layer] = c.Seconds
+		}
+	}
+	var topLayer string
+	var topGrowth float64
+	for _, c := range cur.Matrix {
+		if c.Phase != phase {
+			continue
+		}
+		if g := c.Seconds - baseByLayer[c.Layer]; g > topGrowth {
+			topGrowth, topLayer = g, c.Layer
+		}
+	}
+	if topLayer == "" {
+		return "no span-level attribution available (reports lack matrix data for this phase)"
+	}
+	return fmt.Sprintf("largest growth in the %s layer: %+.6f aggregate exclusive seconds", topLayer, topGrowth)
+}

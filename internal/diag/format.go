@@ -1,0 +1,190 @@
+package diag
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WriteFindings renders the ranked findings as a text table. All values
+// derive from deterministic virtual-time telemetry, so the bytes are
+// identical across repeated runs of the same configuration.
+func WriteFindings(w io.Writer, findings []Finding) {
+	if len(findings) == 0 {
+		fmt.Fprintln(w, "iodoctor: no findings")
+		return
+	}
+	fmt.Fprintf(w, "== findings (%d) ==\n", len(findings))
+	for _, f := range findings {
+		fmt.Fprintf(w, "%-8s %-18s %s\n", strings.ToUpper(f.Severity.String()), f.Detector, f.Title)
+		if f.Detail != "" {
+			fmt.Fprintf(w, "         %s\n", f.Detail)
+		}
+		if f.ImpactSeconds != 0 {
+			fmt.Fprintf(w, "         impact: %.6fs exposed\n", f.ImpactSeconds)
+		}
+		if f.Advice != "" {
+			fmt.Fprintf(w, "         advice: %s\n", f.Advice)
+		}
+	}
+}
+
+// WriteSuggestions renders candidate hints deltas.
+func WriteSuggestions(w io.Writer, deltas []HintsDelta) {
+	if len(deltas) == 0 {
+		fmt.Fprintln(w, "iodoctor: no tuning suggestions")
+		return
+	}
+	fmt.Fprintf(w, "== suggested hints deltas (%d) ==\n", len(deltas))
+	for _, d := range deltas {
+		fmt.Fprintf(w, "%-14s %s -> %s   (%s)\n", d.Param, d.From, d.To, d.Why)
+	}
+}
+
+// WriteReportText renders the report's tables for humans: run metadata,
+// the phase-by-layer critical-path matrix, per-rank I/O time, the busiest
+// servers, traffic and size profile, and the per-generation rows.
+func WriteReportText(w io.Writer, rep *Report) {
+	if rep == nil {
+		return
+	}
+	m := rep.Meta
+	fmt.Fprintf(w, "== run ==\n")
+	fmt.Fprintf(w, "%s %s on %s/%s np=%d codec=%s async=%v scrub=%v\n",
+		m.Problem, m.Backend, m.Machine, m.FS, m.Procs, m.Codec, m.Async, m.Scrub)
+	fmt.Fprintf(w, "makespan %.6fs  verified=%v  read %s  wrote %s\n",
+		m.Makespan, m.Verified, fmtBytes(m.BytesRead), fmtBytes(m.BytesWritten))
+	for _, p := range m.Phases {
+		fmt.Fprintf(w, "  phase %-10s %12.6fs\n", p.Name, p.Seconds)
+	}
+	if rep.FS.DataServers > 0 {
+		fmt.Fprintf(w, "fs %s: %d data servers, %s stripe unit\n",
+			rep.FS.Name, rep.FS.DataServers, fmtBytes(rep.FS.StripeUnitBytes))
+	}
+
+	if len(rep.Matrix) > 0 {
+		fmt.Fprintf(w, "\n== critical path (aggregate exclusive seconds by phase and layer) ==\n")
+		fmt.Fprintf(w, "%-12s %-6s %14s %14s\n", "phase", "layer", "seconds", "bytes")
+		for _, c := range rep.Matrix {
+			fmt.Fprintf(w, "%-12s %-6s %14.6f %14d\n", c.Phase, c.Layer, c.Seconds, c.Bytes)
+		}
+	}
+
+	if len(rep.Ranks) > 0 {
+		fmt.Fprintf(w, "\n== per-rank I/O-stack time ==\n")
+		for _, r := range rep.Ranks {
+			fmt.Fprintf(w, "  rank %3d %12.6fs\n", r.Rank, r.Seconds)
+		}
+	}
+
+	if len(rep.Servers) > 0 {
+		fmt.Fprintf(w, "\n== servers ==\n")
+		fmt.Fprintf(w, "%-24s %8s %12s %12s %12s\n", "server", "reqs", "busy", "wait", "waitmax")
+		for _, s := range rep.Servers {
+			fmt.Fprintf(w, "%-24s %8d %12.6f %12.6f %12.6f\n",
+				s.Name, s.Requests, s.BusySeconds, s.WaitSeconds, s.WaitMax)
+		}
+	}
+
+	t := rep.Traffic
+	fmt.Fprintf(w, "\n== traffic ==\n")
+	fmt.Fprintf(w, "logical  read %12d B  write %12d B  (%d collective, %d independent ops)\n",
+		t.LogicalReadBytes, t.LogicalWriteBytes, t.CollectiveOps, t.IndependentOps)
+	fmt.Fprintf(w, "physical read %12d B  write %12d B\n", t.PhysicalReadBytes, t.PhysicalWriteBytes)
+	s := rep.Sizes
+	if s.Requests > 0 {
+		fmt.Fprintf(w, "requests %d, %d below the %s threshold (avg %.0f B)\n",
+			s.Requests, s.SmallRequests, fmtBytes(s.ThresholdBytes), s.AvgBytes)
+	}
+	if rep.Timeouts > 0 || rep.Retries > 0 {
+		fmt.Fprintf(w, "faults: %d timeouts, %d retries\n", rep.Timeouts, rep.Retries)
+	}
+
+	if len(rep.Generations) > 0 {
+		fmt.Fprintf(w, "\n== checkpoint generations (rank-seconds) ==\n")
+		for _, g := range rep.Generations {
+			fmt.Fprintf(w, "  %-14s %5d spans %12.6fs\n", g.Name, g.Count, g.Seconds)
+		}
+	}
+}
+
+// metric emits one OpenMetrics sample line.
+func metric(w io.Writer, name, labels string, v float64) {
+	if labels != "" {
+		labels = "{" + labels + "}"
+	}
+	fmt.Fprintf(w, "%s%s %s\n", name, labels, strconv.FormatFloat(v, 'g', -1, 64))
+}
+
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	return strings.ReplaceAll(v, "\n", `\n`)
+}
+
+// WriteOpenMetrics writes the headline gauges in OpenMetrics / Prometheus
+// text exposition format, ending with the required # EOF marker.
+func WriteOpenMetrics(w io.Writer, rep *Report, findings []Finding) {
+	fmt.Fprintln(w, "# HELP iodoctor_makespan_seconds Virtual makespan of the run.")
+	fmt.Fprintln(w, "# TYPE iodoctor_makespan_seconds gauge")
+	metric(w, "iodoctor_makespan_seconds", "", rep.Meta.Makespan)
+
+	fmt.Fprintln(w, "# HELP iodoctor_phase_seconds Application phase durations (max across ranks).")
+	fmt.Fprintln(w, "# TYPE iodoctor_phase_seconds gauge")
+	for _, p := range rep.Meta.Phases {
+		metric(w, "iodoctor_phase_seconds", `phase="`+escapeLabel(p.Name)+`"`, p.Seconds)
+	}
+
+	fmt.Fprintln(w, "# HELP iodoctor_exposed_seconds Aggregate exclusive virtual seconds by phase and layer.")
+	fmt.Fprintln(w, "# TYPE iodoctor_exposed_seconds gauge")
+	for _, c := range rep.Matrix {
+		metric(w, "iodoctor_exposed_seconds",
+			`phase="`+escapeLabel(c.Phase)+`",layer="`+escapeLabel(c.Layer)+`"`, c.Seconds)
+	}
+
+	if len(rep.Ranks) > 0 {
+		var sum, max float64
+		for _, r := range rep.Ranks {
+			sum += r.Seconds
+			if r.Seconds > max {
+				max = r.Seconds
+			}
+		}
+		mean := sum / float64(len(rep.Ranks))
+		fmt.Fprintln(w, "# HELP iodoctor_rank_io_seconds Per-rank I/O-stack time summary.")
+		fmt.Fprintln(w, "# TYPE iodoctor_rank_io_seconds gauge")
+		metric(w, "iodoctor_rank_io_seconds", `stat="max"`, max)
+		metric(w, "iodoctor_rank_io_seconds", `stat="mean"`, mean)
+		if mean > 0 {
+			fmt.Fprintln(w, "# HELP iodoctor_rank_imbalance_ratio Max over mean per-rank I/O-stack time.")
+			fmt.Fprintln(w, "# TYPE iodoctor_rank_imbalance_ratio gauge")
+			metric(w, "iodoctor_rank_imbalance_ratio", "", max/mean)
+		}
+	}
+
+	fmt.Fprintln(w, "# HELP iodoctor_bytes Logical and physical bytes by direction.")
+	fmt.Fprintln(w, "# TYPE iodoctor_bytes gauge")
+	metric(w, "iodoctor_bytes", `kind="logical",dir="read"`, float64(rep.Traffic.LogicalReadBytes))
+	metric(w, "iodoctor_bytes", `kind="logical",dir="write"`, float64(rep.Traffic.LogicalWriteBytes))
+	metric(w, "iodoctor_bytes", `kind="physical",dir="read"`, float64(rep.Traffic.PhysicalReadBytes))
+	metric(w, "iodoctor_bytes", `kind="physical",dir="write"`, float64(rep.Traffic.PhysicalWriteBytes))
+
+	if rep.Sizes.Requests > 0 {
+		fmt.Fprintln(w, "# HELP iodoctor_small_request_fraction Fraction of pfs requests below the stripe unit.")
+		fmt.Fprintln(w, "# TYPE iodoctor_small_request_fraction gauge")
+		metric(w, "iodoctor_small_request_fraction", "",
+			float64(rep.Sizes.SmallRequests)/float64(rep.Sizes.Requests))
+	}
+
+	fmt.Fprintln(w, "# HELP iodoctor_findings Findings by severity.")
+	fmt.Fprintln(w, "# TYPE iodoctor_findings gauge")
+	counts := map[Severity]int{}
+	for _, f := range findings {
+		counts[f.Severity]++
+	}
+	for _, sev := range []Severity{SevCritical, SevWarn, SevInfo} {
+		metric(w, "iodoctor_findings", `severity="`+sev.String()+`"`, float64(counts[sev]))
+	}
+	fmt.Fprintln(w, "# EOF")
+}

@@ -1,0 +1,149 @@
+package diag
+
+import (
+	"fmt"
+
+	"repro/internal/mpiio"
+)
+
+// HintsDelta is one candidate tuning change derived from a report — the
+// seed of the ROADMAP's hint autotuner. Exactly one of the typed fields is
+// set; Apply patches an mpiio.Hints, and AsyncIO (an enzo.Config knob, not
+// an MPI-IO hint) is surfaced for the caller to apply at that level.
+type HintsDelta struct {
+	Param string `json:"param"` // "cb_nodes", "sieve_buffer", "data_sieving", "retry", "async_io"
+	From  string `json:"from"`
+	To    string `json:"to"`
+	Why   string `json:"why"`
+
+	CBNodes          *int   `json:"cb_nodes,omitempty"`
+	DSBufferSize     *int64 `json:"sieve_buffer_bytes,omitempty"`
+	DataSieving      *bool  `json:"data_sieving,omitempty"`
+	RetryMaxAttempts *int   `json:"retry_max_attempts,omitempty"`
+	AsyncIO          *bool  `json:"async_io,omitempty"`
+}
+
+// Apply returns h with this delta patched in. AsyncIO deltas return h
+// unchanged — that knob lives on enzo.Config.
+func (d HintsDelta) Apply(h mpiio.Hints) mpiio.Hints {
+	switch {
+	case d.CBNodes != nil:
+		h.CBNodes = *d.CBNodes
+	case d.DSBufferSize != nil:
+		h.DSBufferSize = *d.DSBufferSize
+	case d.DataSieving != nil:
+		h.DataSieving = *d.DataSieving
+	case d.RetryMaxAttempts != nil:
+		if !h.Retry.Enabled {
+			h.Retry = mpiio.DefaultRetryPolicy()
+		}
+		h.Retry.MaxAttempts = *d.RetryMaxAttempts
+	}
+	return h
+}
+
+// ApplyAll folds every delta into h in order.
+func ApplyAll(deltas []HintsDelta, h mpiio.Hints) mpiio.Hints {
+	for _, d := range deltas {
+		h = d.Apply(h)
+	}
+	return h
+}
+
+// Suggest derives candidate hints deltas from a report's pathologies. The
+// list is deterministic (fixed rule order) and conservative: each delta
+// targets one detected condition, so a rerun with the delta applied should
+// be no slower.
+func Suggest(rep *Report) []HintsDelta {
+	if rep == nil {
+		return nil
+	}
+	var out []HintsDelta
+
+	// Rule 1: collective-buffering mismatch -> one aggregator per data
+	// server (the paper's fix for its second experiment).
+	if rep.FS.DataServers >= 2 && rep.Traffic.CollectiveOps > 0 && len(rep.Hints) > 0 {
+		h := rep.Hints[0]
+		eff := h.CBNodes
+		if eff <= 0 {
+			eff = rep.Meta.Procs
+		}
+		if eff != rep.FS.DataServers {
+			v := rep.FS.DataServers
+			out = append(out, HintsDelta{
+				Param:   "cb_nodes",
+				From:    fmt.Sprint(h.CBNodes),
+				To:      fmt.Sprint(v),
+				Why:     fmt.Sprintf("%d effective aggregators vs %d data servers", eff, rep.FS.DataServers),
+				CBNodes: &v,
+			})
+		}
+	}
+
+	// Rule 2: read amplification from sieving. Heavy waste: turn sieving
+	// off. Moderate waste: shrink the sieve buffer to the stripe unit so
+	// each sieved chunk maps to one server-side access.
+	if l, p := rep.Traffic.LogicalReadBytes, rep.Traffic.PhysicalReadBytes; l > 0 && p-l >= 1<<20 && len(rep.Hints) > 0 {
+		h := rep.Hints[0]
+		amp := float64(p) / float64(l)
+		if h.DataSieving && amp >= 4 {
+			v := false
+			out = append(out, HintsDelta{
+				Param:       "data_sieving",
+				From:        "true",
+				To:          "false",
+				Why:         fmt.Sprintf("read amplification %.2fx: sieved holes dominate the transfers", amp),
+				DataSieving: &v,
+			})
+		} else if amp >= 1.5 && rep.FS.StripeUnitBytes > 0 && h.SieveBufferBytes > rep.FS.StripeUnitBytes {
+			v := rep.FS.StripeUnitBytes
+			out = append(out, HintsDelta{
+				Param:        "sieve_buffer",
+				From:         fmtBytes(h.SieveBufferBytes),
+				To:           fmtBytes(v),
+				Why:          fmt.Sprintf("read amplification %.2fx: align sieve chunks to the stripe unit", amp),
+				DSBufferSize: &v,
+			})
+		}
+	}
+
+	// Rule 3: timeouts without a retry policy, or retries exhausting into
+	// restart fallbacks: budget more attempts.
+	if rep.Timeouts > 0 {
+		retryOn := len(rep.Hints) > 0 && rep.Hints[0].RetryEnabled
+		if !retryOn {
+			v := mpiio.DefaultRetryPolicy().MaxAttempts
+			out = append(out, HintsDelta{
+				Param:            "retry",
+				From:             "disabled",
+				To:               fmt.Sprintf("%d attempts", v),
+				Why:              fmt.Sprintf("%d deadline timeouts with no retry policy", rep.Timeouts),
+				RetryMaxAttempts: &v,
+			})
+		} else if rep.Meta.RestartFallbacks > 0 {
+			v := rep.Hints[0].RetryMaxAttempts + 2
+			out = append(out, HintsDelta{
+				Param:            "retry",
+				From:             fmt.Sprintf("%d attempts", rep.Hints[0].RetryMaxAttempts),
+				To:               fmt.Sprintf("%d attempts", v),
+				Why:              "retries exhausted into restart fallbacks",
+				RetryMaxAttempts: &v,
+			})
+		}
+	}
+
+	// Rule 4: a dominant synchronous write phase: hide it behind compute.
+	if m := rep.Meta; !m.Async && m.Makespan > 0 {
+		if w := m.Phase("write"); w >= 0.2*m.Makespan {
+			v := true
+			out = append(out, HintsDelta{
+				Param:   "async_io",
+				From:    "false",
+				To:      "true",
+				Why:     fmt.Sprintf("write phase is %.1f%% of the makespan", 100*w/m.Makespan),
+				AsyncIO: &v,
+			})
+		}
+	}
+	return out
+}

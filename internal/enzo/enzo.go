@@ -236,6 +236,11 @@ type Result struct {
 	ScrubFailures    int
 	Redumps          int
 	RestartFallbacks int
+
+	// Events is the number of scheduler dispatches the run took — a
+	// wall-clock cost proxy for the simulator itself (virtual results are
+	// unaffected by it).
+	Events int64
 }
 
 // HiddenFraction is the share of dump I/O wall-time hidden behind compute:
@@ -466,6 +471,15 @@ func RunOnceTraced(machCfg machine.Config, fsKind string, nprocs int, cfg Config
 	return runOnce(machCfg, fsKind, nprocs, cfg, backend, nil, tr)
 }
 
+// RunOnceWrappedTraced combines RunOnceWrapped and RunOnceTraced: the
+// wrapper (fault injector, recorder) sees the bare file system, and the
+// tracer instruments the wrapped stack — diagnosis of fault-injected runs
+// needs both.
+func RunOnceWrappedTraced(machCfg machine.Config, fsKind string, nprocs int, cfg Config,
+	backend Backend, wrap func(pfs.FileSystem) pfs.FileSystem, tr *obs.Tracer) (*Result, error) {
+	return runOnce(machCfg, fsKind, nprocs, cfg, backend, wrap, tr)
+}
+
 func runOnce(machCfg machine.Config, fsKind string, nprocs int, cfg Config,
 	backend Backend, wrap func(pfs.FileSystem) pfs.FileSystem, tr *obs.Tracer) (*Result, error) {
 	eng := sim.NewEngine()
@@ -476,6 +490,16 @@ func runOnce(machCfg machine.Config, fsKind string, nprocs int, cfg Config,
 	fs, err := MakeFS(fsKind, mach)
 	if err != nil {
 		return nil, err
+	}
+	if tr != nil {
+		// Record geometry from the bare model: wrappers (fault injectors,
+		// recorders) may hide the capability interfaces.
+		fi := obs.FSInfo{Name: fs.Name()}
+		if sv, ok := fs.(pfs.StripedVolume); ok {
+			fi.DataServers = sv.NumDataServers()
+			fi.StripeUnit = sv.StripeUnit()
+		}
+		tr.SetFSInfo(fi)
 	}
 	if wrap != nil {
 		fs = wrap(fs)
@@ -503,6 +527,7 @@ func runOnce(machCfg machine.Config, fsKind string, nprocs int, cfg Config,
 		return nil, err
 	}
 	res.Makespan = eng.MaxTime()
+	res.Events = eng.Events()
 	return res, nil
 }
 
@@ -696,6 +721,9 @@ func (s *Sim) readInitial() {
 }
 
 func (s *Sim) writeDump(d int) {
+	// Key the span by generation: aggregated counters for "dump" alone
+	// collide across generations, which made re-dump cost unattributable.
+	defer obs.Begin(s.r.Proc(), obs.LayerApp, fmt.Sprintf("dump:%02d", d)).End()
 	s.writeDumpHierarchy(d)
 	switch s.backend {
 	case BackendHDF4:

@@ -191,6 +191,7 @@ func (s *Sim) manifestCheck(d int) bool {
 // scrubGeneration reads generation d back in tolerant mode and checks it
 // against its manifest, preserving the live state around the read-back.
 func (s *Sim) scrubGeneration(d int) bool {
+	defer obs.Begin(s.r.Proc(), obs.LayerApp, fmt.Sprintf("scrub:%02d", d)).End()
 	savedTop, savedOwned, savedRows := s.top, s.owned, s.localPartRows
 	s.clearState()
 	s.tolerant, s.damaged = true, false
@@ -223,7 +224,8 @@ func (s *Sim) scrubDumps(snap snapshotState) {
 			if try >= maxRe {
 				break
 			}
-			sp := obs.Begin(s.r.Proc(), obs.LayerApp, "redump").Attr("dump", fmt.Sprint(d))
+			sp := obs.Begin(s.r.Proc(), obs.LayerApp,
+				fmt.Sprintf("redump:%02d.%d", d, try)).Attr("dump", fmt.Sprint(d))
 			s.writeDump(d)
 			s.writeManifest(d, snap)
 			sp.End()

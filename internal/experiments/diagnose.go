@@ -1,0 +1,53 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/diag"
+	"repro/internal/enzo"
+	"repro/internal/obs"
+)
+
+// CaseFindings pairs one sweep case with its diagnosis findings.
+type CaseFindings struct {
+	Case     string
+	Findings []diag.Finding
+}
+
+// runCase executes one sweep case, honoring the TraceDir artifacts and
+// the DiagnoseSink. Tracing and diagnosis only read the virtual clock, so
+// the row is identical to an uninstrumented run either way.
+func runCase(c Case, o Options) (Row, error) {
+	if o.TraceDir == "" && o.DiagnoseSink == nil {
+		return c.Run()
+	}
+	tr := obs.NewTracer()
+	res, err := enzo.RunOnceTraced(c.Machine, c.FS, c.Procs, c.Config, c.Backend, tr)
+	if err != nil {
+		return Row{}, fmt.Errorf("%s %s/%s %s np=%d: %w",
+			c.Figure, c.Machine.Name, c.FS, c.Backend, c.Procs, err)
+	}
+	row := rowFromResult(c.Figure, c.Machine.Name, res)
+	if o.TraceDir != "" {
+		if err := writeCaseArtifacts(o.TraceDir, c, tr, row.Makespan); err != nil {
+			return Row{}, err
+		}
+	}
+	if o.DiagnoseSink != nil {
+		rep := diag.Snapshot(tr, diag.MetaFromResult(c.Machine.Name, res, c.Config))
+		o.DiagnoseSink(CaseFindings{Case: c.Name(), Findings: diag.Analyze(rep)})
+	}
+	return row, nil
+}
+
+// PrintFindings renders every case's findings table after a sweep's rows.
+func PrintFindings(w io.Writer, all []CaseFindings) {
+	for i, cf := range all {
+		if i > 0 {
+			fmt.Fprintln(w)
+		}
+		fmt.Fprintf(w, "-- diagnosis: %s --\n", cf.Case)
+		diag.WriteFindings(w, cf.Findings)
+	}
+}

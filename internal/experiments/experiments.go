@@ -72,6 +72,12 @@ type Options struct {
 	// only who waits for the devices moves. The overlap sweep ignores this
 	// and runs both modes itself.
 	Async bool
+
+	// DiagnoseSink, when non-nil, runs every figure/codec case with the
+	// tracer attached, diagnoses the run (internal/diag) and hands the
+	// ranked findings to the sink in case order — the iobench -diagnose
+	// flag. Like TraceDir it never changes virtual timings.
+	DiagnoseSink func(CaseFindings)
 }
 
 // problem returns the named configuration, shrunk in Quick mode (the
@@ -278,17 +284,7 @@ func FigureCases(figure string, o Options) []Case {
 func runFigure(figure string, o Options) ([]Row, error) {
 	var rows []Row
 	for _, c := range FigureCases(figure, o) {
-		var row Row
-		var err error
-		if o.TraceDir != "" {
-			var tr *obs.Tracer
-			row, tr, err = c.RunTraced()
-			if err == nil {
-				err = writeCaseArtifacts(o.TraceDir, c, tr, row.Makespan)
-			}
-		} else {
-			row, err = c.Run()
-		}
+		row, err := runCase(c, o)
 		if err != nil {
 			return nil, err
 		}
@@ -371,17 +367,7 @@ func CodecSweep(o Options) ([]Row, error) {
 				Figure: "codecs", Machine: machine.ChibaCity(), FS: fs, Procs: 8,
 				Config: cfg, Backend: enzo.BackendMPIIO,
 			}
-			var row Row
-			var err error
-			if o.TraceDir != "" {
-				var tr *obs.Tracer
-				row, tr, err = c.RunTraced()
-				if err == nil {
-					err = writeCaseArtifacts(o.TraceDir, c, tr, row.Makespan)
-				}
-			} else {
-				row, err = c.Run()
-			}
+			row, err := runCase(c, o)
 			if err != nil {
 				return nil, err
 			}

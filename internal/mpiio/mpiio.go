@@ -134,6 +134,7 @@ func Open(r *mpi.Rank, fs pfs.FileSystem, name string, mode Mode, hints Hints) (
 	if err != nil {
 		return nil, fmt.Errorf("mpiio: open %q: %w", name, err)
 	}
+	recordHints(r, name, hints)
 	return &File{r: r, fs: fs, f: f, client: client, hints: hints}, nil
 }
 
@@ -153,7 +154,23 @@ func OpenIndependent(r *mpi.Rank, fs pfs.FileSystem, name string, mode Mode, hin
 	if err != nil {
 		return nil, fmt.Errorf("mpiio: open %q: %w", name, err)
 	}
+	recordHints(r, name, hints)
 	return &File{r: r, fs: fs, f: f, client: client, hints: hints}, nil
+}
+
+// recordHints exposes the normalized hint set to the tracer, giving the
+// diagnosis layer the configuration context behind the run's counters.
+func recordHints(r *mpi.Rank, name string, h Hints) {
+	obs.RecordHints(r.Proc(), obs.HintsRecord{
+		File:             name,
+		CBNodes:          h.CBNodes,
+		CBBufferSize:     h.CBBufferSize,
+		DSBufferSize:     h.DSBufferSize,
+		DataSieving:      h.DataSieving,
+		CBForce:          h.CBForce,
+		RetryEnabled:     h.Retry.Enabled,
+		RetryMaxAttempts: h.Retry.MaxAttempts,
+	})
 }
 
 // Rank returns the owning rank handle.

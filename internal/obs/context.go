@@ -1,0 +1,68 @@
+package obs
+
+import "repro/internal/sim"
+
+// FSInfo records the file-system geometry a traced run executed against.
+// The diagnosis layer needs it to judge request sizes against the stripe
+// unit and collective-buffering aggregator counts against the data-server
+// fleet; the tracer itself never interprets it.
+type FSInfo struct {
+	Name        string // file-system model name ("pvfs", "gpfs", ...)
+	DataServers int    // striped data servers; 0 when unstriped
+	StripeUnit  int64  // stripe unit in bytes; 0 when unstriped
+}
+
+// HintsRecord is the MPI-IO hint set a file was opened with, captured
+// after normalization so it reflects what the library actually used.
+type HintsRecord struct {
+	File             string
+	CBNodes          int
+	CBBufferSize     int64
+	DSBufferSize     int64
+	DataSieving      bool
+	CBForce          bool
+	RetryEnabled     bool
+	RetryMaxAttempts int
+}
+
+// SetFSInfo records the run's file-system geometry (last call wins; runs
+// use a single file system).
+func (t *Tracer) SetFSInfo(fi FSInfo) {
+	t.mu.Lock()
+	t.fsInfo = fi
+	t.mu.Unlock()
+}
+
+// FSInfo returns the geometry recorded by SetFSInfo (zero value if none).
+func (t *Tracer) FSInfo() FSInfo {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.fsInfo
+}
+
+// RecordHints notes the hint set file was opened with on p's tracer. The
+// first record per file wins — collective opens record once per rank with
+// identical normalized hints, and first-touch keeps ordering deterministic.
+// No-op when p has no tracer attached.
+func RecordHints(p *sim.Proc, rec HintsRecord) {
+	h, _ := p.Trace().(*procTrace)
+	if h == nil {
+		return
+	}
+	t := h.t
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, have := range t.hints {
+		if have.File == rec.File {
+			return
+		}
+	}
+	t.hints = append(t.hints, rec)
+}
+
+// Hints returns every recorded hint set in first-open order.
+func (t *Tracer) Hints() []HintsRecord {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]HintsRecord(nil), t.hints...)
+}

@@ -106,6 +106,9 @@ type Tracer struct {
 	codecs map[int]*CodecCounters // per-rank compression counters
 
 	durs map[string][]float64 // op -> per-call virtual durations, for percentiles
+
+	fsInfo FSInfo        // run-level file-system geometry, see SetFSInfo
+	hints  []HintsRecord // per-file MPI-IO hints, first-open order
 }
 
 type counterKey struct {

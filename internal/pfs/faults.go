@@ -80,8 +80,23 @@ type StripeFaultInjector interface {
 	FailDataServerAt(i int, t float64)
 }
 
+// StripedVolume is implemented by file systems that stripe file data over
+// multiple data servers in fixed-size units. Diagnosis tooling uses it to
+// judge request sizes and collective-buffering configuration against the
+// volume's geometry; like the other capability interfaces it is optional
+// and never part of the core FS contract.
+type StripedVolume interface {
+	// NumDataServers returns how many striped data servers exist.
+	NumDataServers() int
+	// StripeUnit returns the stripe unit in bytes.
+	StripeUnit() int64
+}
+
 // NumDataServers implements StripeFaultInjector for PVFS (one per iod).
 func (fs *PVFS) NumDataServers() int { return fs.cfg.IODs }
+
+// StripeUnit implements StripedVolume for PVFS.
+func (fs *PVFS) StripeUnit() int64 { return fs.cfg.Unit }
 
 // DegradeDataServer implements StripeFaultInjector: both the iod's daemon
 // CPU and its disk slow down, like a node with a failing DIMM or a
@@ -100,6 +115,9 @@ func (fs *PVFS) FailDataServerAt(i int, t float64) {
 // NumDataServers implements StripeFaultInjector for GPFS (one per
 // VSD/NSD I/O server).
 func (fs *GPFS) NumDataServers() int { return fs.cfg.Servers }
+
+// StripeUnit implements StripedVolume for GPFS (the block size).
+func (fs *GPFS) StripeUnit() int64 { return fs.cfg.Unit }
 
 // DegradeDataServer implements StripeFaultInjector on the server's disk.
 func (fs *GPFS) DegradeDataServer(i int, factor float64) {

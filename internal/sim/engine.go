@@ -152,6 +152,7 @@ type Engine struct {
 	procs   []*Proc
 	started bool
 	done    int
+	events  int64 // scheduler dispatches; see Events
 
 	// pendingWakes maps a blocked process to its wake time; set by Wake,
 	// consumed by the scheduler when it next resumes the process.
@@ -257,6 +258,7 @@ func (e *Engine) Run() error {
 			}
 			return e.deadlock()
 		}
+		e.events++
 		next.resume <- struct{}{}
 		msg := <-next.yield
 		switch msg.kind {
@@ -311,3 +313,8 @@ func (e *Engine) MaxTime() float64 {
 
 // NumProcs returns the number of spawned processes.
 func (e *Engine) NumProcs() int { return len(e.procs) }
+
+// Events returns how many times the scheduler dispatched a process — one
+// per Advance/Yield/Block resume. It is the engine's unit of work, so
+// wall-clock events/sec is the natural simulator-throughput metric.
+func (e *Engine) Events() int64 { return e.events }
