@@ -1,19 +1,23 @@
 // Command benchdiff is the repository's deterministic benchmark
 // regression gate. The simulation is virtual-time: identical code must
 // produce bit-identical results on every machine, so the committed
-// baselines (BENCH_baseline.json, BENCH_faults.json, BENCH_reads.json)
-// are compared with EXACT equality — any drift, however small, means the
-// model's timing changed and must be either fixed or consciously
-// re-baselined.
+// baselines (BENCH_baseline.json, BENCH_faults.json, BENCH_reads.json,
+// BENCH_dedup.json) are compared with EXACT equality — any drift, however
+// small, means the model's timing changed and must be either fixed or
+// consciously re-baselined.
 //
 // Usage:
 //
 //	benchdiff              compare a fresh run against the baselines
-//	benchdiff -update      re-run and overwrite all three baselines
+//	benchdiff -update      re-run and overwrite all the baselines
+//	benchdiff -checkdedup  assert the committed dedup baseline's invariant
+//	                       (castore device bytes strictly below plain at
+//	                       retention depth >= 2) without running anything
 //
 // The benchmark set: Table 1 volumes (all problems), the codec, overlap
-// and restart-read sweeps at AMR128/np=8, and the fault sweep (stragglers
-// and corruption recovery) at AMR64/np=8.
+// and restart-read sweeps at AMR128/np=8, the fault sweep (stragglers
+// and corruption recovery) at AMR64/np=8, and the dedup sweep
+// (content-addressed store vs plain dumps) at AMR64+AMR128/np=8.
 package main
 
 import (
@@ -47,6 +51,12 @@ type Reads struct {
 	Reads []experiments.ReadRow
 }
 
+// Dedup is the serialized dedup sweep, in its own file so castore changes
+// re-baseline separately.
+type Dedup struct {
+	Dedup []experiments.DedupRow
+}
+
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
@@ -58,6 +68,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	basePath := fl.String("baseline", "BENCH_baseline.json", "main benchmark baseline file")
 	faultPath := fl.String("faults", "BENCH_faults.json", "fault-sweep baseline file")
 	readPath := fl.String("reads", "BENCH_reads.json", "restart-read sweep baseline file")
+	dedupPath := fl.String("dedup", "BENCH_dedup.json", "dedup sweep baseline file")
+	checkDedup := fl.Bool("checkdedup", false, "only check the committed dedup baseline's savings invariant (no simulations)")
 	if err := fl.Parse(args); err != nil {
 		return 2
 	}
@@ -65,6 +77,23 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "unexpected arguments: %v\n", fl.Args())
 		fl.Usage()
 		return 2
+	}
+
+	if *checkDedup {
+		var baseDedup Dedup
+		if err := readJSON(*dedupPath, &baseDedup); err != nil {
+			fmt.Fprintln(stderr, "error:", err)
+			return 1
+		}
+		if problems := checkDedupInvariant(baseDedup.Dedup); len(problems) > 0 {
+			fmt.Fprintf(stdout, "DEDUP INVARIANT VIOLATED in %s:\n", *dedupPath)
+			for _, p := range problems {
+				fmt.Fprintln(stdout, " ", p)
+			}
+			return 1
+		}
+		fmt.Fprintf(stdout, "dedup baseline ok: castore device bytes strictly below plain at every depth >= 2\n")
+		return 0
 	}
 
 	o := experiments.Options{}
@@ -94,9 +123,23 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "error:", err)
 		return 1
 	}
+	fmt.Fprintln(stderr, "running dedup sweep (AMR64+AMR128, np=8)...")
+	dedup, err := experiments.DedupSweep(o)
+	if err != nil {
+		fmt.Fprintln(stderr, "error:", err)
+		return 1
+	}
 	fresh := Baseline{Table1: table1, Codecs: codecs, Overlap: overlap}
 	freshFaults := Faults{Stragglers: stragglers, Recovery: recovery}
 	freshReads := Reads{Reads: reads}
+	freshDedup := Dedup{Dedup: dedup}
+	if problems := checkDedupInvariant(dedup); len(problems) > 0 {
+		fmt.Fprintln(stdout, "DEDUP INVARIANT VIOLATED in the fresh sweep:")
+		for _, p := range problems {
+			fmt.Fprintln(stdout, " ", p)
+		}
+		return 1
+	}
 
 	if *update {
 		if err := writeJSON(*basePath, fresh); err != nil {
@@ -111,7 +154,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintln(stderr, "error:", err)
 			return 1
 		}
-		fmt.Fprintf(stdout, "baselines updated: %s, %s, %s\n", *basePath, *faultPath, *readPath)
+		if err := writeJSON(*dedupPath, freshDedup); err != nil {
+			fmt.Fprintln(stderr, "error:", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "baselines updated: %s, %s, %s, %s\n", *basePath, *faultPath, *readPath, *dedupPath)
 		return 0
 	}
 
@@ -130,6 +177,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "error:", err)
 		return 1
 	}
+	var baseDedup Dedup
+	if err := readJSON(*dedupPath, &baseDedup); err != nil {
+		fmt.Fprintln(stderr, "error:", err)
+		return 1
+	}
 	var drift []string
 	drift = append(drift, CompareRows("table1", base.Table1, fresh.Table1)...)
 	drift = append(drift, CompareRows("codecs", base.Codecs, fresh.Codecs)...)
@@ -137,9 +189,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	drift = append(drift, CompareRows("faults/stragglers", baseFaults.Stragglers, freshFaults.Stragglers)...)
 	drift = append(drift, CompareRows("faults/recovery", baseFaults.Recovery, freshFaults.Recovery)...)
 	drift = append(drift, CompareRows("reads", baseReads.Reads, freshReads.Reads)...)
+	drift = append(drift, CompareRows("dedup", baseDedup.Dedup, freshDedup.Dedup)...)
 	if len(drift) > 0 {
-		fmt.Fprintf(stdout, "BENCHMARK DRIFT: %d difference(s) against %s / %s / %s\n\n",
-			len(drift), *basePath, *faultPath, *readPath)
+		fmt.Fprintf(stdout, "BENCHMARK DRIFT: %d difference(s) against %s / %s / %s / %s\n\n",
+			len(drift), *basePath, *faultPath, *readPath, *dedupPath)
 		for _, d := range drift {
 			fmt.Fprintln(stdout, d)
 		}
@@ -148,6 +201,46 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	fmt.Fprintln(stdout, "benchmarks match the baselines exactly")
 	return 0
+}
+
+// checkDedupInvariant asserts the dedup sweep's headline claim: every
+// unreplicated castore row at retention depth >= 2 lands strictly fewer
+// device bytes than the plain row of the same case. An empty row set is a
+// violation — the gate must never pass vacuously.
+func checkDedupInvariant(rows []experiments.DedupRow) []string {
+	type key struct {
+		Machine, FS, Problem string
+		Depth                int
+	}
+	plain := make(map[key]experiments.DedupRow)
+	for _, r := range rows {
+		if !r.CAStore {
+			plain[key{r.Machine, r.FS, r.Problem, r.Depth}] = r
+		}
+	}
+	var problems []string
+	checked := 0
+	for _, r := range rows {
+		if !r.CAStore || r.Replicas > 1 || r.Depth < 2 {
+			continue
+		}
+		p, ok := plain[key{r.Machine, r.FS, r.Problem, r.Depth}]
+		if !ok {
+			problems = append(problems, fmt.Sprintf(
+				"%s/%s %s depth=%d: castore row has no plain twin", r.Machine, r.FS, r.Problem, r.Depth))
+			continue
+		}
+		checked++
+		if r.DeviceMB >= p.DeviceMB {
+			problems = append(problems, fmt.Sprintf(
+				"%s/%s %s depth=%d: castore device MB %.3f not strictly below plain %.3f",
+				r.Machine, r.FS, r.Problem, r.Depth, r.DeviceMB, p.DeviceMB))
+		}
+	}
+	if checked == 0 {
+		problems = append(problems, "no castore rows at depth >= 2 to check")
+	}
+	return problems
 }
 
 // CompareRows compares two row slices of the same comparable struct type

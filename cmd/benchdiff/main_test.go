@@ -65,6 +65,39 @@ func TestFloatsSurviveJSONRoundTrip(t *testing.T) {
 	}
 }
 
+// TestCheckDedupInvariant pins the -checkdedup gate's semantics: strict
+// device-byte savings at depth >= 2, no vacuous pass, missing twins and
+// non-savings both reported.
+func TestCheckDedupInvariant(t *testing.T) {
+	mk := func(cas bool, depth, reps int, deviceMB float64) experiments.DedupRow {
+		return experiments.DedupRow{
+			Machine: "chiba", FS: "pvfs", Problem: "AMR64",
+			Depth: depth, CAStore: cas, Replicas: reps, DeviceMB: deviceMB,
+		}
+	}
+	if p := checkDedupInvariant([]experiments.DedupRow{mk(false, 2, 0, 100), mk(true, 2, 1, 60)}); len(p) != 0 {
+		t.Fatalf("valid rows flagged: %v", p)
+	}
+	if p := checkDedupInvariant([]experiments.DedupRow{mk(false, 2, 0, 100), mk(true, 2, 1, 100)}); len(p) != 1 {
+		t.Fatalf("equal device bytes not flagged: %v", p)
+	}
+	if p := checkDedupInvariant([]experiments.DedupRow{mk(true, 2, 1, 60)}); len(p) == 0 {
+		t.Fatal("castore row without a plain twin not flagged")
+	}
+	if p := checkDedupInvariant(nil); len(p) == 0 {
+		t.Fatal("empty sweep passed vacuously")
+	}
+	// k>1 and depth 1 rows are exempt: replication legitimately multiplies
+	// device bytes, and a single generation has nothing to dedup against.
+	exempt := []experiments.DedupRow{
+		mk(false, 2, 0, 100), mk(true, 2, 1, 60),
+		mk(true, 2, 2, 120), mk(true, 1, 1, 100), mk(false, 1, 0, 100),
+	}
+	if p := checkDedupInvariant(exempt); len(p) != 0 {
+		t.Fatalf("exempt rows flagged: %v", p)
+	}
+}
+
 func TestBadFlagsRejected(t *testing.T) {
 	var stdout, stderr bytes.Buffer
 	if code := run([]string{"-bogus"}, &stdout, &stderr); code != 2 {

@@ -9,6 +9,7 @@
 //	        [-backend hdf4|mpiio|mpiio-cb|hdf5] [-dumps N]
 //	        [-codec none|rle|delta|lzss] [-async]
 //	        [-scrub] [-generations N] [-straggler FACTOR] [-corrupt N]
+//	        [-castore] [-replicas K]
 //
 // The fault flags: -scrub enables the post-dump read-back scrub with
 // re-dump and generation-fallback recovery; -generations bounds how many
@@ -16,6 +17,10 @@
 // data server of a striped file system (pvfs, gpfs) by the given
 // service-time factor; -corrupt silently corrupts every Nth sizeable write
 // to checkpoint files, which -scrub then has to catch.
+//
+// -castore routes dumps and restarts through the content-addressed chunk
+// store (cross-generation dedup); -replicas places each chunk and manifest
+// on K data servers so restart reads fail over past a dead server.
 //
 // Times are deterministic virtual seconds on the modelled platform, not
 // wall-clock time of the simulator.
@@ -53,6 +58,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	async := fl.Bool("async", false, "write-behind checkpoint I/O: overlap dumps with the next step's compute")
 	scrub := fl.Bool("scrub", false, "read-back scrub after each dump, with re-dump and generation-fallback recovery")
 	generations := fl.Int("generations", 0, "dump generations the restart fallback scans, newest first (0 = all; needs -scrub)")
+	castore := fl.Bool("castore", false, "content-addressed checkpoint store: chunked dumps with cross-generation dedup (not with -backend hdf4)")
+	replicas := fl.Int("replicas", 1, "data servers each castore chunk/manifest is replicated on (needs -castore)")
 	straggler := fl.Float64("straggler", 1, "degrade one data server of a striped fs by this service-time factor")
 	corrupt := fl.Int64("corrupt", 0, "silently corrupt every Nth sizeable checkpoint write (0 = off)")
 	trace := fl.Bool("trace", false, "print a Pablo-style I/O characterization of the run")
@@ -102,6 +109,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if *generations > 0 && !*scrub {
 		return fail("-generations needs -scrub")
+	}
+	cfg.CAStore = *castore
+	cfg.Replicas = *replicas
+	if *replicas < 1 {
+		return fail("-replicas must be >= 1 (got %d)", *replicas)
+	}
+	if *replicas > 1 && !*castore {
+		return fail("-replicas needs -castore")
+	}
+	if *castore && *backendName == "hdf4" {
+		return fail("-castore does not apply to the hdf4 backend")
 	}
 	if *straggler < 1 {
 		return fail("-straggler must be >= 1 (got %g)", *straggler)
@@ -174,6 +192,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *scrub {
 		fmt.Fprintf(stdout, "scrub        failures %d, redumps %d, restart fallbacks %d\n",
 			res.ScrubFailures, res.Redumps, res.RestartFallbacks)
+	}
+	if *castore {
+		fmt.Fprintf(stdout, "castore      %d chunks put, %d dedup hits; logical %.1f MB, physical %.1f MB, deduped %.1f MB; %d failovers\n",
+			res.CASChunkPuts, res.CASChunkHits,
+			float64(res.CASLogicalBytes)/(1<<20), float64(res.CASPhysicalBytes)/(1<<20),
+			float64(res.CASDedupedBytes)/(1<<20), res.CASFailovers)
 	}
 	fmt.Fprintf(stdout, "bytes read   %d (%.1f MB)\n", res.BytesRead, float64(res.BytesRead)/(1<<20))
 	fmt.Fprintf(stdout, "bytes written%d (%.1f MB)\n", res.BytesWritten, float64(res.BytesWritten)/(1<<20))

@@ -1,12 +1,14 @@
 // Command iobench regenerates the paper's evaluation: Table 1 and Figures
 // 6-10, printing each as a table of deterministic virtual-time
 // measurements, plus the repository's extension sweeps (codecs, overlap,
-// faults).
+// reads, faults, dedup).
 //
 // Usage:
 //
-//	iobench [-exp table1|fig6|fig7|fig8|fig9|fig10|codecs|overlap|reads|faults|all]
-//	        [-quick] [-codec none|rle|delta|lzss] [-async]
+//	iobench [-exp <sweep>|all] [-quick] [-codec none|rle|delta|lzss] [-async]
+//
+// The sweep names come from the experiments registry; -exp with an unknown
+// name lists them.
 package main
 
 import (
@@ -14,6 +16,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	"repro/internal/compress"
 	"repro/internal/experiments"
@@ -23,12 +26,20 @@ func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-var validExps = []string{"table1", "fig6", "fig7", "fig8", "fig9", "fig10", "codecs", "overlap", "reads", "faults", "all"}
+// validExps is the registry's sweep list plus the run-everything alias;
+// TestUsageListsEveryRegisteredSweep holds the -exp usage text to it.
+func validExps() []string {
+	return append(experiments.SweepNames(), "all")
+}
+
+func expUsage() string {
+	return "experiment to run: " + strings.Join(validExps(), ", ")
+}
 
 func run(args []string, stdout, stderr io.Writer) int {
 	fl := flag.NewFlagSet("iobench", flag.ContinueOnError)
 	fl.SetOutput(stderr)
-	exp := fl.String("exp", "all", "experiment to run: table1, fig6..fig10, codecs, overlap, reads, faults, or all")
+	exp := fl.String("exp", "all", expUsage())
 	quick := fl.Bool("quick", false, "shrink problems for a fast smoke run")
 	chart := fl.Bool("chart", false, "also render each figure as ASCII bar charts")
 	tracedir := fl.String("tracedir", "", "write per-case Perfetto timelines and counter reports into this directory")
@@ -40,13 +51,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	valid := false
-	for _, name := range validExps {
+	for _, name := range validExps() {
 		if *exp == name {
 			valid = true
 		}
 	}
 	if !valid {
-		fmt.Fprintf(stderr, "unknown experiment %q (want one of %v)\n", *exp, validExps)
+		fmt.Fprintf(stderr, "unknown experiment %q (want one of %v)\n", *exp, validExps())
 		fl.Usage()
 		return 2
 	}
@@ -69,25 +80,24 @@ func run(args []string, stdout, stderr io.Writer) int {
 		findings = findings[:0]
 	}
 	type driver struct {
-		name  string
-		title string
-		fn    func(experiments.Options) ([]experiments.Row, error)
+		name string
+		fn   func(experiments.Options) ([]experiments.Row, error)
 	}
 	drivers := []driver{
-		{"fig6", "Figure 6: ENZO I/O on SGI Origin2000 with XFS (HDF4 vs MPI-IO)", experiments.Figure6},
-		{"fig7", "Figure 7: ENZO I/O on IBM SP-2 with GPFS (HDF4 vs MPI-IO)", experiments.Figure7},
-		{"fig8", "Figure 8: ENZO I/O on Linux cluster with PVFS over fast Ethernet", experiments.Figure8},
-		{"fig9", "Figure 9: ENZO I/O on Linux cluster with node-local disks (PVFS interface)", experiments.Figure9},
-		{"fig10", "Figure 10: HDF5 vs MPI-IO write performance on SGI Origin2000", experiments.Figure10},
+		{"fig6", experiments.Figure6},
+		{"fig7", experiments.Figure7},
+		{"fig8", experiments.Figure8},
+		{"fig9", experiments.Figure9},
+		{"fig10", experiments.Figure10},
 	}
 
 	if *exp == "table1" || *exp == "all" {
-		fmt.Fprintln(stdout, "Table 1: Amount of data read/written by the ENZO application")
+		fmt.Fprintln(stdout, experiments.SweepTitle("table1"))
 		experiments.PrintTable1(stdout, experiments.Table1(o))
 		fmt.Fprintln(stdout)
 	}
 	if *exp == "overlap" || *exp == "all" {
-		fmt.Fprintln(stdout, "Overlap sweep: write-behind checkpoint I/O vs synchronous dumps (Chiba City, AMR128, np=8)")
+		fmt.Fprintln(stdout, experiments.SweepTitle("overlap"))
 		rows, err := experiments.OverlapSweep(o)
 		if err != nil {
 			fmt.Fprintln(stderr, "error:", err)
@@ -97,7 +107,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stdout)
 	}
 	if *exp == "codecs" || *exp == "all" {
-		fmt.Fprintln(stdout, "Codec sweep: transparent compression vs file system (Chiba City, MPI-IO, AMR128, np=8)")
+		fmt.Fprintln(stdout, experiments.SweepTitle("codecs"))
 		rows, err := experiments.CodecSweep(o)
 		if err != nil {
 			fmt.Fprintln(stderr, "error:", err)
@@ -108,7 +118,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		flushFindings()
 	}
 	if *exp == "reads" || *exp == "all" {
-		fmt.Fprintln(stdout, "Read sweep: parallel restart read path vs the HDF4 baseline (Chiba City, AMR128, np=8)")
+		fmt.Fprintln(stdout, experiments.SweepTitle("reads"))
 		rows, err := experiments.ReadSweep(o)
 		if err != nil {
 			fmt.Fprintln(stderr, "error:", err)
@@ -118,7 +128,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stdout)
 	}
 	if *exp == "faults" || *exp == "all" {
-		fmt.Fprintln(stdout, "Fault sweep: straggler data servers and silent-corruption recovery (AMR64, np=8)")
+		fmt.Fprintln(stdout, experiments.SweepTitle("faults"))
 		stragglers, recovery, err := experiments.FaultSweep(o)
 		if err != nil {
 			fmt.Fprintln(stderr, "error:", err)
@@ -129,11 +139,21 @@ func run(args []string, stdout, stderr io.Writer) int {
 		experiments.PrintRecoverySweep(stdout, recovery)
 		fmt.Fprintln(stdout)
 	}
+	if *exp == "dedup" || *exp == "all" {
+		fmt.Fprintln(stdout, experiments.SweepTitle("dedup"))
+		rows, err := experiments.DedupSweep(o)
+		if err != nil {
+			fmt.Fprintln(stderr, "error:", err)
+			return 1
+		}
+		experiments.PrintDedupSweep(stdout, rows)
+		fmt.Fprintln(stdout)
+	}
 	for _, d := range drivers {
 		if *exp != "all" && *exp != d.name {
 			continue
 		}
-		fmt.Fprintln(stdout, d.title)
+		fmt.Fprintln(stdout, experiments.SweepTitle(d.name))
 		rows, err := d.fn(o)
 		if err != nil {
 			fmt.Fprintln(stderr, "error:", err)

@@ -4,7 +4,53 @@ import (
 	"bytes"
 	"strings"
 	"testing"
+
+	"repro/internal/experiments"
 )
+
+// TestUsageListsEveryRegisteredSweep pins the -exp help text and the
+// unknown-experiment error to the experiments registry: registering a new
+// sweep without it appearing in the usage (or vice versa) fails here
+// instead of drifting silently.
+func TestUsageListsEveryRegisteredSweep(t *testing.T) {
+	names := append(experiments.SweepNames(), "all")
+	usage := expUsage()
+	for _, name := range names {
+		if !strings.Contains(usage, name) {
+			t.Errorf("-exp usage %q does not mention registered sweep %q", usage, name)
+		}
+	}
+	if len(validExps()) != len(names) {
+		t.Fatalf("validExps() = %v, want registry + all = %v", validExps(), names)
+	}
+
+	// The rejection path must list the registered names too.
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-exp", "nonesuch"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("exit code = %d, want 2", code)
+	}
+	for _, name := range names {
+		if !strings.Contains(stderr.String(), name) {
+			t.Errorf("unknown-experiment error does not list %q:\n%s", name, stderr.String())
+		}
+	}
+}
+
+// TestRegistryTitlesComplete: every registered sweep must carry a section
+// heading — run() prints SweepTitle(name) verbatim.
+func TestRegistryTitlesComplete(t *testing.T) {
+	for _, s := range experiments.Registry() {
+		if s.Title == "" {
+			t.Errorf("registered sweep %q has no title", s.Name)
+		}
+		if experiments.SweepTitle(s.Name) != s.Title {
+			t.Errorf("SweepTitle(%q) mismatch", s.Name)
+		}
+	}
+	if experiments.SweepTitle("nonesuch") != "" {
+		t.Error("SweepTitle of unknown sweep should be empty")
+	}
+}
 
 func TestBadFlagsRejected(t *testing.T) {
 	cases := []struct {

@@ -9,7 +9,7 @@
 //
 //	iodoctor [-machine chiba] [-fs pvfs] [-backend mpiio] [-problem AMR128]
 //	         [-np 8] [-quick] [-codec none] [-async] [-scrub] [-cbnodes N]
-//	         [-straggler FACTOR] [-corrupt N]
+//	         [-straggler FACTOR] [-corrupt N] [-castore] [-replicas K]
 //	         [-format text|json|metrics] [-o FILE] [-report FILE]
 //	         [-diff BASELINE.json] [-fail-on none|warning|critical]
 //
@@ -56,6 +56,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	codec := fl.String("codec", "none", "transparent field compression: none, rle, delta, lzss")
 	async := fl.Bool("async", false, "write-behind checkpoint I/O")
 	scrub := fl.Bool("scrub", false, "read-back scrub after each dump")
+	castore := fl.Bool("castore", false, "content-addressed checkpoint store with cross-generation dedup")
+	replicas := fl.Int("replicas", 1, "data servers each castore chunk/manifest is replicated on (needs -castore)")
 	cbnodes := fl.Int("cbnodes", 0, "override the cb_nodes hint (0 = ROMIO default, one aggregator per node)")
 	straggler := fl.Float64("straggler", 1, "degrade one data server of a striped fs by this service-time factor")
 	corrupt := fl.Int64("corrupt", 0, "silently corrupt every Nth sizeable checkpoint write (0 = off)")
@@ -118,6 +120,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 		cfg.Codec = *codec
 		cfg.AsyncIO = *async
 		cfg.ScrubOnDump = *scrub
+		cfg.CAStore = *castore
+		cfg.Replicas = *replicas
+		if *replicas < 1 {
+			return fail("iodoctor: -replicas must be >= 1 (got %d)", *replicas)
+		}
+		if *replicas > 1 && !*castore {
+			return fail("iodoctor: -replicas needs -castore")
+		}
 		cfg.CBNodes = *cbnodes
 		backend, err := enzo.BackendByName(*backendName)
 		if err != nil {

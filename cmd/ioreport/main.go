@@ -50,6 +50,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	codec := fl.String("codec", "none", "transparent field compression: none, rle, delta, lzss")
 	async := fl.Bool("async", false, "write-behind checkpoint I/O: overlap dumps with the next step's compute")
 	scrub := fl.Bool("scrub", false, "read-back scrub after each dump, with re-dump and generation-fallback recovery")
+	castore := fl.Bool("castore", false, "content-addressed checkpoint store with cross-generation dedup")
+	replicas := fl.Int("replicas", 1, "data servers each castore chunk/manifest is replicated on (needs -castore)")
 	format := fl.String("format", "text", "output format: text, or json (the iodoctor diagnosis document)")
 	diagnose := fl.Bool("diagnose", false, "append the ranked diagnosis findings to the text report")
 	tracePath := fl.String("trace", "", "write a Perfetto-loadable trace-event JSON timeline here")
@@ -87,6 +89,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 	cfg.Codec = *codec
 	cfg.AsyncIO = *async
 	cfg.ScrubOnDump = *scrub
+	cfg.CAStore = *castore
+	cfg.Replicas = *replicas
+	if *replicas < 1 {
+		return fail(fmt.Errorf("ioreport: -replicas must be >= 1 (got %d)", *replicas))
+	}
+	if *replicas > 1 && !*castore {
+		return fail(fmt.Errorf("ioreport: -replicas needs -castore"))
+	}
 	backend, err := enzo.BackendByName(*backendName)
 	if err != nil {
 		return fail(err)

@@ -1,0 +1,136 @@
+// Package castore implements the content-addressed checkpoint store: a
+// deterministic content-defined chunker, CRC-keyed chunk identities, a
+// per-generation manifest mapping each grid array to its chunk list, and a
+// dedup store that writes a chunk's bytes once across the retained
+// generations while placing k replicas of every container on distinct data
+// servers (Grid-Datafarm style: reads route to the least-loaded live
+// replica and fail over instead of failing).
+//
+// The chunker is the gear-hash content-defined scheme: a rolling hash is
+// rebuilt from zero at every chunk start, so chunk boundaries are a pure
+// function of the bytes from the previous cut onward. Splitting a stream
+// and re-chunking the tail from any cut yields the same remaining cuts —
+// the invariance the fuzz target checks — and an insertion early in a
+// generation cannot shift the boundaries of later, unchanged regions,
+// which is what makes cross-generation dedup effective.
+package castore
+
+import "hash/crc64"
+
+// Params bounds the content-defined chunk sizes. Avg is rounded down to a
+// power of two (the boundary test masks the rolling hash), Min prevents
+// pathological tiny chunks, Max bounds the damage radius of one lost chunk.
+type Params struct {
+	Min int
+	Avg int
+	Max int
+}
+
+// DefaultParams is the calibration used by the checkpoint paths: large
+// enough that per-chunk request overhead stays small on the PVFS model,
+// small enough that a dump produces many chunks per rank to dedup and
+// stripe.
+func DefaultParams() Params { return Params{Min: 32 << 10, Avg: 128 << 10, Max: 512 << 10} }
+
+// normalized clamps nonsensical parameters into a usable shape instead of
+// silently misbehaving: zero values take the defaults, Avg is forced to a
+// power of two in [Min, ...], Max to at least Avg.
+func (p Params) normalized() Params {
+	d := DefaultParams()
+	if p.Min <= 0 {
+		p.Min = d.Min
+	}
+	if p.Avg <= 0 {
+		p.Avg = d.Avg
+	}
+	if p.Max <= 0 {
+		p.Max = d.Max
+	}
+	if p.Min < 64 {
+		p.Min = 64
+	}
+	if p.Avg < p.Min {
+		p.Avg = p.Min
+	}
+	// Round Avg down to a power of two for the mask test.
+	pow := 1
+	for pow*2 <= p.Avg {
+		pow *= 2
+	}
+	p.Avg = pow
+	if p.Max < 2*p.Avg {
+		p.Max = 2 * p.Avg
+	}
+	return p
+}
+
+// gearTable is the chunker's byte-to-hash mixing table, generated
+// deterministically (splitmix64) so every build chunks identically.
+var gearTable = func() [256]uint64 {
+	var t [256]uint64
+	x := uint64(0x9E3779B97F4A7C15)
+	for i := range t {
+		x += 0x9E3779B97F4A7C15
+		z := x
+		z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+		z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+		t[i] = z ^ (z >> 31)
+	}
+	return t
+}()
+
+// SplitBounds returns the chunk end offsets of data (strictly increasing,
+// the last equals len(data)); nil for empty input. The rolling hash resets
+// at every cut, so SplitBounds(data[c:]) for any returned cut c equals the
+// remaining bounds shifted by c.
+func SplitBounds(data []byte, p Params) []int {
+	p = p.normalized()
+	if len(data) == 0 {
+		return nil
+	}
+	mask := uint64(p.Avg - 1)
+	var bounds []int
+	start := 0
+	var h uint64
+	for i, b := range data {
+		h = h<<1 + gearTable[b]
+		if n := i - start + 1; n >= p.Min && (h&mask == mask || n >= p.Max) {
+			bounds = append(bounds, i+1)
+			start = i + 1
+			h = 0
+		}
+	}
+	if start < len(data) {
+		bounds = append(bounds, len(data))
+	}
+	return bounds
+}
+
+// Split slices data into its content-defined chunks (views, not copies).
+func Split(data []byte, p Params) [][]byte {
+	bounds := SplitBounds(data, p)
+	out := make([][]byte, len(bounds))
+	lo := 0
+	for i, hi := range bounds {
+		out[i] = data[lo:hi]
+		lo = hi
+	}
+	return out
+}
+
+// Key is a chunk's content address: the CRC-64/ECMA of its raw bytes plus
+// its length. Two distinct chunks colliding on both is vanishingly unlikely
+// for checkpoint-scale data, and the read path re-derives the key from the
+// fetched bytes, so an aliased or corrupted chunk is detected, never
+// silently restored.
+type Key struct {
+	Sum uint64
+	N   uint32
+}
+
+var crcTab = crc64.MakeTable(crc64.ECMA)
+
+// KeyOf computes the content address of one raw (uncompressed) chunk.
+func KeyOf(chunk []byte) Key {
+	return Key{Sum: crc64.Checksum(chunk, crcTab), N: uint32(len(chunk))}
+}

@@ -1,0 +1,143 @@
+package castore
+
+import (
+	"bytes"
+	"testing"
+)
+
+// testData generates deterministic pseudo-random bytes with enough entropy
+// that the gear hash actually cuts (repeating constants never match the
+// boundary mask).
+func testData(n int, seed uint64) []byte {
+	out := make([]byte, n)
+	x := seed
+	for i := range out {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		out[i] = byte(x)
+	}
+	return out
+}
+
+func join(chunks [][]byte) []byte {
+	var out []byte
+	for _, c := range chunks {
+		out = append(out, c...)
+	}
+	return out
+}
+
+func TestSplitJoinIdentity(t *testing.T) {
+	p := Params{Min: 256, Avg: 1024, Max: 4096}
+	for _, n := range []int{0, 1, 100, 255, 256, 4096, 100_000} {
+		data := testData(n, uint64(n)+1)
+		chunks := Split(data, p)
+		if got := join(chunks); !bytes.Equal(got, data) {
+			t.Fatalf("n=%d: split+join is not identity (got %d bytes, want %d)", n, len(got), len(data))
+		}
+	}
+}
+
+func TestSplitBoundsShape(t *testing.T) {
+	p := Params{Min: 256, Avg: 1024, Max: 4096}.normalized()
+	data := testData(200_000, 42)
+	bounds := SplitBounds(data, p)
+	if len(bounds) == 0 || bounds[len(bounds)-1] != len(data) {
+		t.Fatalf("bounds must end at len(data): %v", bounds)
+	}
+	lo := 0
+	for i, hi := range bounds {
+		if hi <= lo {
+			t.Fatalf("bounds not strictly increasing at %d: %v", i, bounds)
+		}
+		n := hi - lo
+		if n > p.Max {
+			t.Fatalf("chunk %d has %d bytes > Max %d", i, n, p.Max)
+		}
+		if i < len(bounds)-1 && n < p.Min {
+			t.Fatalf("non-final chunk %d has %d bytes < Min %d", i, n, p.Min)
+		}
+		lo = hi
+	}
+}
+
+func TestSplitDeterministic(t *testing.T) {
+	data := testData(50_000, 7)
+	a := SplitBounds(data, DefaultParams())
+	b := SplitBounds(data, DefaultParams())
+	if len(a) != len(b) {
+		t.Fatalf("nondeterministic bounds: %v vs %v", a, b)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("nondeterministic bound %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+// TestSuffixInvariance is the property that makes cross-generation dedup
+// work: the hash resets at each cut, so re-chunking from any cut onward
+// reproduces the remaining boundaries exactly.
+func TestSuffixInvariance(t *testing.T) {
+	p := Params{Min: 256, Avg: 1024, Max: 4096}
+	data := testData(100_000, 99)
+	bounds := SplitBounds(data, p)
+	for i, c := range bounds[:len(bounds)-1] {
+		tail := SplitBounds(data[c:], p)
+		want := bounds[i+1:]
+		if len(tail) != len(want) {
+			t.Fatalf("re-chunk from cut %d: %d bounds, want %d", c, len(tail), len(want))
+		}
+		for j := range tail {
+			if tail[j]+c != want[j] {
+				t.Fatalf("re-chunk from cut %d: bound %d is %d, want %d", c, j, tail[j]+c, want[j]-c)
+			}
+		}
+	}
+}
+
+func TestParamsNormalized(t *testing.T) {
+	cases := []struct {
+		name string
+		in   Params
+	}{
+		{"zero", Params{}},
+		{"negative", Params{Min: -1, Avg: -1, Max: -1}},
+		{"tiny", Params{Min: 1, Avg: 2, Max: 3}},
+		{"avg-below-min", Params{Min: 4096, Avg: 512, Max: 8192}},
+		{"avg-not-pow2", Params{Min: 100, Avg: 3000, Max: 100_000}},
+		{"max-below-avg", Params{Min: 128, Avg: 1024, Max: 512}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := tc.in.normalized()
+			if p.Min < 64 {
+				t.Errorf("Min %d < 64", p.Min)
+			}
+			if p.Avg < p.Min {
+				t.Errorf("Avg %d < Min %d", p.Avg, p.Min)
+			}
+			if p.Avg&(p.Avg-1) != 0 {
+				t.Errorf("Avg %d not a power of two", p.Avg)
+			}
+			if p.Max < 2*p.Avg {
+				t.Errorf("Max %d < 2*Avg %d", p.Max, p.Avg)
+			}
+		})
+	}
+}
+
+func TestKeyOf(t *testing.T) {
+	a := testData(1000, 1)
+	b := testData(1000, 2)
+	if KeyOf(a) == KeyOf(b) {
+		t.Fatal("distinct data yielded identical keys")
+	}
+	if KeyOf(a) != KeyOf(append([]byte(nil), a...)) {
+		t.Fatal("identical data yielded distinct keys")
+	}
+	if int(KeyOf(a).N) != len(a) {
+		t.Fatal("key length mismatch")
+	}
+}

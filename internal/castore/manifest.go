@@ -1,0 +1,181 @@
+package castore
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+)
+
+// A generation manifest maps every dumped array (one item per grid/field
+// or grid/particle-array, per writing rank for the partitioned top grid)
+// to its chunk list. Each chunk reference carries the content key, the raw
+// and stored (possibly compressed) lengths, and the replica locations —
+// (server, writer rank, container offset) triples — so a restart reader
+// can fetch any retained generation without the writer's in-memory index.
+//
+// The manifest bytes are framed with a magic and a trailing CRC-32,
+// mirroring the dumpNN.sum integrity manifests: a torn or corrupted
+// manifest decodes to an error, never to a plausible-looking object.
+
+const manifestMagic = "CAS1"
+
+// Rep is one stored replica of a chunk: the data server its container file
+// is placed on (-1 on volumes without independent data servers), the rank
+// whose container holds it, and the byte offset inside that container.
+type Rep struct {
+	Server int
+	Rank   int
+	Off    int64
+}
+
+// ChunkRef is one chunk of an item: content key, raw length, stored
+// payload length (differs from Raw when the codec compressed it), and the
+// replica set.
+type ChunkRef struct {
+	Key  Key
+	Raw  int64
+	Phys int64
+	Reps []Rep
+}
+
+// Item is one named array: its total raw length and ordered chunk list.
+type Item struct {
+	Name   string
+	Raw    int64
+	Chunks []ChunkRef
+}
+
+// Manifest is one generation's decoded manifest.
+type Manifest struct {
+	Gen   int
+	NP    int
+	Items []Item
+
+	byName map[string]*Item
+}
+
+// Item returns the named item, or nil.
+func (m *Manifest) Item(name string) *Item {
+	if m.byName == nil {
+		m.byName = make(map[string]*Item, len(m.Items))
+		for i := range m.Items {
+			m.byName[m.Items[i].Name] = &m.Items[i]
+		}
+	}
+	return m.byName[name]
+}
+
+func putU32(b []byte, v uint32) []byte {
+	var u [4]byte
+	binary.LittleEndian.PutUint32(u[:], v)
+	return append(b, u[:]...)
+}
+
+func putU64(b []byte, v uint64) []byte {
+	var u [8]byte
+	binary.LittleEndian.PutUint64(u[:], v)
+	return append(b, u[:]...)
+}
+
+// EncodeItems serializes a rank's item list as a self-delimiting fragment;
+// rank 0 concatenates the gathered fragments in rank order and frames them
+// with EncodeManifest.
+func EncodeItems(items []Item) []byte {
+	var b []byte
+	for _, it := range items {
+		if len(it.Name) > 0xFFFF {
+			panic("castore: item name too long")
+		}
+		b = append(b, byte(len(it.Name)), byte(len(it.Name)>>8))
+		b = append(b, it.Name...)
+		b = putU64(b, uint64(it.Raw))
+		b = putU32(b, uint32(len(it.Chunks)))
+		for _, c := range it.Chunks {
+			b = putU64(b, c.Key.Sum)
+			b = putU32(b, c.Key.N)
+			b = putU64(b, uint64(c.Raw))
+			b = putU64(b, uint64(c.Phys))
+			b = append(b, byte(len(c.Reps)))
+			for _, r := range c.Reps {
+				b = putU32(b, uint32(int32(r.Server)))
+				b = putU32(b, uint32(r.Rank))
+				b = putU64(b, uint64(r.Off))
+			}
+		}
+	}
+	return b
+}
+
+// EncodeManifest frames concatenated item fragments into a generation
+// manifest blob: magic, generation, rank count, body, CRC-32 trailer.
+func EncodeManifest(gen, np int, fragments [][]byte) []byte {
+	out := []byte(manifestMagic)
+	out = putU32(out, uint32(gen))
+	out = putU32(out, uint32(np))
+	for _, f := range fragments {
+		out = append(out, f...)
+	}
+	return putU32(out, crc32.ChecksumIEEE(out))
+}
+
+// DecodeManifest validates the framing and CRC and parses the item list.
+// Any damage — truncation, bit flips, inconsistent counts — yields an
+// error, so callers treat the generation as dirty rather than restoring
+// from a lying manifest.
+func DecodeManifest(b []byte) (*Manifest, error) {
+	if len(b) < len(manifestMagic)+4+4+4 || string(b[:4]) != manifestMagic {
+		return nil, fmt.Errorf("castore: bad manifest framing")
+	}
+	body, tail := b[:len(b)-4], b[len(b)-4:]
+	if crc32.ChecksumIEEE(body) != binary.LittleEndian.Uint32(tail) {
+		return nil, fmt.Errorf("castore: manifest CRC mismatch")
+	}
+	m := &Manifest{
+		Gen: int(binary.LittleEndian.Uint32(body[4:])),
+		NP:  int(binary.LittleEndian.Uint32(body[8:])),
+	}
+	p := 12
+	fail := func() (*Manifest, error) { return nil, fmt.Errorf("castore: truncated manifest") }
+	for p < len(body) {
+		if p+2 > len(body) {
+			return fail()
+		}
+		nameLen := int(body[p]) | int(body[p+1])<<8
+		p += 2
+		if p+nameLen+8+4 > len(body) {
+			return fail()
+		}
+		it := Item{Name: string(body[p : p+nameLen])}
+		p += nameLen
+		it.Raw = int64(binary.LittleEndian.Uint64(body[p:]))
+		p += 8
+		nchunks := int(binary.LittleEndian.Uint32(body[p:]))
+		p += 4
+		for c := 0; c < nchunks; c++ {
+			if p+8+4+8+8+1 > len(body) {
+				return fail()
+			}
+			ref := ChunkRef{}
+			ref.Key.Sum = binary.LittleEndian.Uint64(body[p:])
+			ref.Key.N = binary.LittleEndian.Uint32(body[p+8:])
+			ref.Raw = int64(binary.LittleEndian.Uint64(body[p+12:]))
+			ref.Phys = int64(binary.LittleEndian.Uint64(body[p+20:]))
+			nreps := int(body[p+28])
+			p += 29
+			if p+nreps*16 > len(body) {
+				return fail()
+			}
+			for r := 0; r < nreps; r++ {
+				ref.Reps = append(ref.Reps, Rep{
+					Server: int(int32(binary.LittleEndian.Uint32(body[p:]))),
+					Rank:   int(binary.LittleEndian.Uint32(body[p+4:])),
+					Off:    int64(binary.LittleEndian.Uint64(body[p+8:])),
+				})
+				p += 16
+			}
+			it.Chunks = append(it.Chunks, ref)
+		}
+		m.Items = append(m.Items, it)
+	}
+	return m, nil
+}

@@ -27,14 +27,16 @@ import (
 // RunMeta identifies the run a report describes and carries the
 // result-level aggregates the detectors need.
 type RunMeta struct {
-	Machine string `json:"machine,omitempty"`
-	Problem string `json:"problem,omitempty"`
-	FS      string `json:"fs,omitempty"`
-	Backend string `json:"backend,omitempty"`
-	Codec   string `json:"codec,omitempty"`
-	Procs   int    `json:"procs"`
-	Async   bool   `json:"async"`
-	Scrub   bool   `json:"scrub"`
+	Machine  string `json:"machine,omitempty"`
+	Problem  string `json:"problem,omitempty"`
+	FS       string `json:"fs,omitempty"`
+	Backend  string `json:"backend,omitempty"`
+	Codec    string `json:"codec,omitempty"`
+	Procs    int    `json:"procs"`
+	Async    bool   `json:"async"`
+	Scrub    bool   `json:"scrub"`
+	CAStore  bool   `json:"castore,omitempty"`
+	Replicas int    `json:"replicas,omitempty"`
 
 	Verified bool    `json:"verified"`
 	Makespan float64 `json:"makespan_seconds"`
@@ -148,6 +150,20 @@ type SizeProfile struct {
 	AvgBytes       float64 `json:"avg_request_bytes"`
 }
 
+// DedupStat summarizes the content-addressed store's activity: how many
+// raw bytes the dumps presented, how many payload bytes actually hit the
+// devices (summed over replicas), and how many were elided because an
+// identical chunk already existed in a retained generation.
+type DedupStat struct {
+	ChunkPuts     int64 `json:"chunk_puts"`
+	ChunkHits     int64 `json:"chunk_hits"`
+	LogicalBytes  int64 `json:"logical_bytes"`
+	PhysicalBytes int64 `json:"physical_bytes"`
+	DedupedBytes  int64 `json:"deduped_bytes"`
+	ChunkGets     int64 `json:"chunk_gets"`
+	Failovers     int64 `json:"failovers"`
+}
+
 // Report is the machine-readable diagnosis input: everything the detectors
 // read, in one deterministic structure. It is also ioreport's -format json
 // payload.
@@ -159,6 +175,7 @@ type Report struct {
 	Ranks       []RankIO     `json:"ranks,omitempty"`
 	Servers     []ServerLoad `json:"servers,omitempty"`
 	Generations []GenStat    `json:"generations,omitempty"`
+	Dedup       *DedupStat   `json:"dedup,omitempty"`
 	Traffic     Traffic      `json:"traffic"`
 	Sizes       SizeProfile  `json:"sizes"`
 	Timeouts    int64        `json:"timeouts"`
@@ -184,6 +201,7 @@ func MetaFromResult(machineName string, res *enzo.Result, cfg enzo.Config) RunMe
 		Procs:    res.Procs,
 		Async:    cfg.AsyncIO,
 		Scrub:    cfg.ScrubOnDump,
+		CAStore:  cfg.CAStore,
 		Verified: res.Verified,
 		Makespan: res.Makespan,
 
@@ -198,6 +216,9 @@ func MetaFromResult(machineName string, res *enzo.Result, cfg enzo.Config) RunMe
 		ScrubFailures:    res.ScrubFailures,
 		Redumps:          res.Redumps,
 		RestartFallbacks: res.RestartFallbacks,
+	}
+	if cfg.CAStore {
+		m.Replicas = cfg.Replicas
 	}
 	for _, p := range res.Phases {
 		m.Phases = append(m.Phases, PhaseSecs{Name: p.Name, Seconds: p.Seconds})
@@ -252,7 +273,26 @@ func Snapshot(tr *obs.Tracer, meta RunMeta) *Report {
 	snapshotSpans(tr, rep)
 	snapshotCounters(tr, rep)
 	snapshotServers(tr, rep)
+	snapshotDedup(tr, rep)
 	return rep
+}
+
+// snapshotDedup folds the content-addressed store counters in; the section
+// stays absent for runs that never touched a castore.
+func snapshotDedup(tr *obs.Tracer, rep *Report) {
+	dt := tr.DedupTotals()
+	if dt.ChunkPuts == 0 && dt.ChunkGets == 0 {
+		return
+	}
+	rep.Dedup = &DedupStat{
+		ChunkPuts:     dt.ChunkPuts,
+		ChunkHits:     dt.ChunkHits,
+		LogicalBytes:  dt.LogicalBytes,
+		PhysicalBytes: dt.PhysicalBytes,
+		DedupedBytes:  dt.DedupedBytes,
+		ChunkGets:     dt.ChunkGets,
+		Failovers:     dt.Failovers,
+	}
 }
 
 // snapshotSpans walks the span forest once per rank, computing the

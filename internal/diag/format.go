@@ -107,6 +107,18 @@ func WriteReportText(w io.Writer, rep *Report) {
 			fmt.Fprintf(w, "  %-14s %5d spans %12.6fs\n", g.Name, g.Count, g.Seconds)
 		}
 	}
+
+	if d := rep.Dedup; d != nil {
+		fmt.Fprintf(w, "\n== content-addressed store ==\n")
+		fmt.Fprintf(w, "chunks: %d put, %d dedup hits", d.ChunkPuts, d.ChunkHits)
+		if d.ChunkPuts > 0 {
+			fmt.Fprintf(w, " (%.1f%% hit rate)", 100*float64(d.ChunkHits)/float64(d.ChunkPuts))
+		}
+		fmt.Fprintln(w)
+		fmt.Fprintf(w, "bytes:  logical %s, physical %s (replicas included), deduped %s\n",
+			fmtBytes(d.LogicalBytes), fmtBytes(d.PhysicalBytes), fmtBytes(d.DedupedBytes))
+		fmt.Fprintf(w, "reads:  %d chunk gets, %d failovers\n", d.ChunkGets, d.Failovers)
+	}
 }
 
 // metric emits one OpenMetrics sample line.
@@ -175,6 +187,17 @@ func WriteOpenMetrics(w io.Writer, rep *Report, findings []Finding) {
 		fmt.Fprintln(w, "# TYPE iodoctor_small_request_fraction gauge")
 		metric(w, "iodoctor_small_request_fraction", "",
 			float64(rep.Sizes.SmallRequests)/float64(rep.Sizes.Requests))
+	}
+
+	if d := rep.Dedup; d != nil {
+		fmt.Fprintln(w, "# HELP iodoctor_castore_bytes Content-addressed store bytes by kind.")
+		fmt.Fprintln(w, "# TYPE iodoctor_castore_bytes gauge")
+		metric(w, "iodoctor_castore_bytes", `kind="logical"`, float64(d.LogicalBytes))
+		metric(w, "iodoctor_castore_bytes", `kind="physical"`, float64(d.PhysicalBytes))
+		metric(w, "iodoctor_castore_bytes", `kind="deduped"`, float64(d.DedupedBytes))
+		fmt.Fprintln(w, "# HELP iodoctor_castore_failovers Chunk reads rerouted off a failed replica.")
+		fmt.Fprintln(w, "# TYPE iodoctor_castore_failovers gauge")
+		metric(w, "iodoctor_castore_failovers", "", float64(d.Failovers))
 	}
 
 	fmt.Fprintln(w, "# HELP iodoctor_findings Findings by severity.")

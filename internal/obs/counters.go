@@ -175,6 +175,58 @@ func (o *obsFS) Create(c pfs.Client, name string) (pfs.File, error) {
 	return &obsFile{inner: f, fs: o}, nil
 }
 
+// CreatePlaced implements pfs.PlacedCreator by delegation (falling back to
+// a plain create when the inner file system cannot place), counted like any
+// other create.
+func (o *obsFS) CreatePlaced(c pfs.Client, name string, server int) (pfs.File, error) {
+	sp := Begin(c.Proc, LayerPFS, "create").Attr("file", name)
+	start := c.Proc.Now()
+	f, err := pfs.CreatePlacedOn(o.inner, c, name, server)
+	sp.End()
+	if err != nil {
+		return nil, err
+	}
+	if r := rankOf(c.Proc); r >= 0 {
+		fc := o.tr.fileCounters(r, name)
+		fc.Creates++
+		fc.MetaTime += c.Proc.Now() - start
+		o.tr.recordDur("create", c.Proc.Now()-start)
+	}
+	return &obsFile{inner: f, fs: o}, nil
+}
+
+// PlaceExisting implements pfs.PlacementRestorer by delegation.
+func (o *obsFS) PlaceExisting(name string, server int) bool {
+	if pr, ok := o.inner.(pfs.PlacementRestorer); ok {
+		return pr.PlaceExisting(name, server)
+	}
+	return false
+}
+
+// NumDataServers implements pfs.ReplicaVolume by delegation.
+func (o *obsFS) NumDataServers() int {
+	if rv, ok := o.inner.(pfs.ReplicaVolume); ok {
+		return rv.NumDataServers()
+	}
+	return 0
+}
+
+// DataServerFreeAt implements pfs.ReplicaVolume by delegation.
+func (o *obsFS) DataServerFreeAt(i int) float64 {
+	if rv, ok := o.inner.(pfs.ReplicaVolume); ok {
+		return rv.DataServerFreeAt(i)
+	}
+	return 0
+}
+
+// DataServerFailAt implements pfs.ReplicaVolume by delegation.
+func (o *obsFS) DataServerFailAt(i int) float64 {
+	if rv, ok := o.inner.(pfs.ReplicaVolume); ok {
+		return rv.DataServerFailAt(i)
+	}
+	return 0
+}
+
 func (o *obsFS) Open(c pfs.Client, name string) (pfs.File, error) {
 	sp := Begin(c.Proc, LayerPFS, "open").Attr("file", name)
 	start := c.Proc.Now()

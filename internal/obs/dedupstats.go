@@ -1,0 +1,95 @@
+package obs
+
+import "repro/internal/sim"
+
+// DedupCounters accumulates one rank's content-addressed store activity:
+// the logical bytes presented for storage, the physical bytes actually
+// written across all replicas, the bytes elided because an identical chunk
+// was already stored in a retained generation, and the read-side failovers
+// where a chunk fetch was rerouted off a dead or unreachable replica.
+type DedupCounters struct {
+	Rank int
+
+	ChunkPuts     int64 // chunks presented to the store
+	ChunkHits     int64 // chunks found already stored (dedup hits)
+	LogicalBytes  int64 // raw bytes presented
+	PhysicalBytes int64 // stored payload bytes written, summed over replicas
+	DedupedBytes  int64 // raw bytes elided by dedup hits
+
+	ChunkGets int64 // chunk fetches on the restart/scrub path
+	Failovers int64 // fetches rerouted to another replica after a failure
+}
+
+func (t *Tracer) dedupCounters(rank int) *DedupCounters {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.dedup == nil {
+		t.dedup = make(map[int]*DedupCounters)
+	}
+	dc, ok := t.dedup[rank]
+	if !ok {
+		dc = &DedupCounters{Rank: rank}
+		t.dedup[rank] = dc
+	}
+	return dc
+}
+
+// DedupStats returns the per-rank castore counters in rank order (empty
+// when no content-addressed store ran).
+func (t *Tracer) DedupStats() []*DedupCounters {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]*DedupCounters, 0, len(t.dedup))
+	for rank := 0; rank < len(t.ranks); rank++ {
+		if dc, ok := t.dedup[rank]; ok {
+			out = append(out, dc)
+		}
+	}
+	return out
+}
+
+// DedupTotals sums the per-rank castore counters (Rank is -1).
+func (t *Tracer) DedupTotals() DedupCounters {
+	tot := DedupCounters{Rank: -1}
+	for _, dc := range t.DedupStats() {
+		tot.ChunkPuts += dc.ChunkPuts
+		tot.ChunkHits += dc.ChunkHits
+		tot.LogicalBytes += dc.LogicalBytes
+		tot.PhysicalBytes += dc.PhysicalBytes
+		tot.DedupedBytes += dc.DedupedBytes
+		tot.ChunkGets += dc.ChunkGets
+		tot.Failovers += dc.Failovers
+	}
+	return tot
+}
+
+// RecordChunkPut credits one chunk store attempt to p's rank: logical raw
+// bytes presented, physical payload bytes written (0 on a dedup hit, the
+// payload times the replica count on a miss). Like every obs hook it is a
+// no-op when p carries no tracer.
+func RecordChunkPut(p *sim.Proc, logical, physical int64, hit bool) {
+	h, _ := p.Trace().(*procTrace)
+	if h == nil {
+		return
+	}
+	dc := h.t.dedupCounters(h.rank)
+	dc.ChunkPuts++
+	dc.LogicalBytes += logical
+	dc.PhysicalBytes += physical
+	if hit {
+		dc.ChunkHits++
+		dc.DedupedBytes += logical
+	}
+}
+
+// RecordChunkGet credits one chunk fetch to p's rank; failovers counts how
+// many replicas failed before the fetch succeeded (or exhausted the set).
+func RecordChunkGet(p *sim.Proc, failovers int) {
+	h, _ := p.Trace().(*procTrace)
+	if h == nil {
+		return
+	}
+	dc := h.t.dedupCounters(h.rank)
+	dc.ChunkGets++
+	dc.Failovers += int64(failovers)
+}

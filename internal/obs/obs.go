@@ -104,6 +104,7 @@ type Tracer struct {
 	ckeys    []counterKey // first-touch order
 
 	codecs map[int]*CodecCounters // per-rank compression counters
+	dedup  map[int]*DedupCounters // per-rank content-addressed store counters
 
 	durs map[string][]float64 // op -> per-call virtual durations, for percentiles
 

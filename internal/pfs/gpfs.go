@@ -57,6 +57,7 @@ type GPFS struct {
 	lockMgr *sim.Server
 	owners  map[*ByteStore]map[int64]int // file -> stripe -> last writer
 	meta    map[*ByteStore]*metanode     // file -> shared-file metanode state
+	placed  map[*ByteStore]int           // file -> single data server (CreatePlaced)
 	obs     sim.ServeObserver            // attached to lazily created servers too
 	stats   statsCollector
 }
@@ -87,6 +88,7 @@ func NewGPFS(mach *machine.Machine, cfg GPFSConfig) *GPFS {
 		lockMgr: sim.NewServer("gpfs/tokenmgr"),
 		owners:  make(map[*ByteStore]map[int64]int),
 		meta:    make(map[*ByteStore]*metanode),
+		placed:  make(map[*ByteStore]int),
 	}
 	for i := 0; i < cfg.Servers; i++ {
 		fs.disks = append(fs.disks, NewDisk(fmt.Sprintf("gpfs/disk%d", i), cfg.Disk))
@@ -158,6 +160,15 @@ type gpfsFile struct {
 	fs    *GPFS
 	name  string
 	store *ByteStore
+}
+
+// spans maps a byte range to per-server disk spans: the usual round-robin
+// striping, or a single span on the pinned server for placed files.
+func (f *gpfsFile) spans(off, n int64) []stripeSpan {
+	if srv, ok := f.fs.placed[f.store]; ok {
+		return []stripeSpan{{server: srv, localOff: off, n: n}}
+	}
+	return stripeSplit(off, n, f.fs.cfg.Unit, f.fs.cfg.Servers)
 }
 
 func (f *gpfsFile) Name() string        { return f.name }
@@ -245,7 +256,7 @@ func (f *gpfsFile) writeIssue(c Client, n, off int64) float64 {
 	f.acquireTokens(c, off, n, true)
 	f.metanodeUpdate(c, off, n)
 	end := c.Proc.Now()
-	for _, sp := range stripeSplit(off, n, fs.cfg.Unit, fs.cfg.Servers) {
+	for _, sp := range f.spans(off, n) {
 		_, arrival := fs.mach.TransferVia(fs.mach.NIC(c.Node), fs.ioNICs[sp.server], sp.n, c.Proc.Now())
 		e := fs.disks[sp.server].Access(arrival, sp.localOff, sp.n)
 		e += fs.mach.Config().WireLatency // completion acknowledgement
@@ -294,7 +305,7 @@ func (f *gpfsFile) readIssue(c Client, n, off int64) float64 {
 	f.acquireTokens(c, off, n, false)
 	end := c.Proc.Now()
 	const reqMsg = 128
-	for _, sp := range stripeSplit(off, n, fs.cfg.Unit, fs.cfg.Servers) {
+	for _, sp := range f.spans(off, n) {
 		_, reqArr := fs.mach.TransferVia(fs.mach.NIC(c.Node), fs.ioNICs[sp.server], reqMsg, c.Proc.Now())
 		diskDone := fs.disks[sp.server].Access(reqArr, sp.localOff, sp.n)
 		_, dataArr := fs.mach.TransferVia(fs.ioNICs[sp.server], fs.mach.NIC(c.Node), sp.n, diskDone)
