@@ -32,27 +32,55 @@ func benchOptions() experiments.Options {
 }
 
 // BenchmarkEngine measures the simulator itself in wall-clock terms:
-// scheduler dispatches per real second while running a full traced AMR64
-// checkpoint cycle. Unlike every other benchmark in this file, events/sec
-// here is real throughput, not virtual seconds — the number to watch when
-// changing the engine's scheduling loop.
+// scheduler dispatches per real second while running full checkpoint
+// cycles at rising rank counts. Unlike every other benchmark in this
+// file, events/sec here is real throughput, not virtual seconds — the
+// number to watch when changing the engine's scheduling loop. events/op
+// is the deterministic work measure: it must not move unless the
+// simulated application itself changes (benchdiff gates the same
+// invariant through the scale sweep).
+//
+// AMR64/np=8 is the headline case every optimization in DESIGN.md is
+// quoted against; the np=64 and np=256 columns track how the scheduler
+// holds up as the ready set deepens, and the AMR256-quick rows exercise
+// the scale sweep's problem shape on the cluster1024 platform.
 func BenchmarkEngine(b *testing.B) {
-	cfg := benchProblem()
-	var events int64
-	for i := 0; i < b.N; i++ {
-		res, err := enzo.RunOnce(machine.ChibaCity(), "pvfs", 8, cfg, enzo.BackendMPIIO)
-		if err != nil {
-			b.Fatal(err)
-		}
-		if !res.Verified {
-			b.Fatal("run did not verify")
-		}
-		events += res.Events
+	amr256quick := enzo.AMR256()
+	amr256quick.Dims = [3]int{64, 64, 64}
+	amr256quick.NParticles = 64 * 64 * 64 / 2
+	cases := []struct {
+		problem string
+		cfg     enzo.Config
+		mach    machine.Config
+		np      int
+	}{
+		{"AMR64", benchProblem(), machine.ChibaCity(), 8},
+		{"AMR64", benchProblem(), machine.ChibaCity(), 64},
+		{"AMR64", benchProblem(), machine.ChibaCity(), 256},
+		{"AMR256-quick", amr256quick, machine.Cluster1024(), 8},
+		{"AMR256-quick", amr256quick, machine.Cluster1024(), 64},
+		{"AMR256-quick", amr256quick, machine.Cluster1024(), 256},
 	}
-	if secs := b.Elapsed().Seconds(); secs > 0 {
-		b.ReportMetric(float64(events)/secs, "events/sec")
+	for _, c := range cases {
+		c := c
+		b.Run(fmt.Sprintf("%s/np=%d", c.problem, c.np), func(b *testing.B) {
+			var events int64
+			for i := 0; i < b.N; i++ {
+				res, err := enzo.RunOnce(c.mach, "pvfs", c.np, c.cfg, enzo.BackendMPIIO)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !res.Verified {
+					b.Fatal("run did not verify")
+				}
+				events += res.Events
+			}
+			if secs := b.Elapsed().Seconds(); secs > 0 {
+				b.ReportMetric(float64(events)/secs, "events/sec")
+			}
+			b.ReportMetric(float64(events)/float64(b.N), "events/op")
+		})
 	}
-	b.ReportMetric(float64(events)/float64(b.N), "events/op")
 }
 
 // BenchmarkTable1 regenerates Table 1: the amount of data read and written

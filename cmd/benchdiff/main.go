@@ -2,7 +2,7 @@
 // regression gate. The simulation is virtual-time: identical code must
 // produce bit-identical results on every machine, so the committed
 // baselines (BENCH_baseline.json, BENCH_faults.json, BENCH_reads.json,
-// BENCH_dedup.json) are compared with EXACT equality — any drift, however
+// BENCH_dedup.json, BENCH_scale.json) are compared with EXACT equality — any drift, however
 // small, means the model's timing changed and must be either fixed or
 // consciously re-baselined.
 //
@@ -16,8 +16,10 @@
 //
 // The benchmark set: Table 1 volumes (all problems), the codec, overlap
 // and restart-read sweeps at AMR128/np=8, the fault sweep (stragglers
-// and corruption recovery) at AMR64/np=8, and the dedup sweep
-// (content-addressed store vs plain dumps) at AMR64+AMR128/np=8.
+// and corruption recovery) at AMR64/np=8, the dedup sweep
+// (content-addressed store vs plain dumps) at AMR64+AMR128/np=8, and the
+// scale sweep (virtual time and deterministic events/op vs rank count) at
+// AMR128/AMR256 with np up to 256.
 package main
 
 import (
@@ -57,6 +59,14 @@ type Dedup struct {
 	Dedup []experiments.DedupRow
 }
 
+// Scale is the serialized scale sweep, in its own file so engine-scale
+// changes re-baseline separately. The wall-clock events/sec column is
+// stripped before writing or comparing: only the virtual times and the
+// deterministic events/op counts gate.
+type Scale struct {
+	Scale []experiments.ScaleRow
+}
+
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
@@ -69,6 +79,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	faultPath := fl.String("faults", "BENCH_faults.json", "fault-sweep baseline file")
 	readPath := fl.String("reads", "BENCH_reads.json", "restart-read sweep baseline file")
 	dedupPath := fl.String("dedup", "BENCH_dedup.json", "dedup sweep baseline file")
+	scalePath := fl.String("scale", "BENCH_scale.json", "scale sweep baseline file")
 	checkDedup := fl.Bool("checkdedup", false, "only check the committed dedup baseline's savings invariant (no simulations)")
 	if err := fl.Parse(args); err != nil {
 		return 2
@@ -129,10 +140,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "error:", err)
 		return 1
 	}
+	fmt.Fprintln(stderr, "running scale sweep (AMR128/AMR256, np=8-256)...")
+	scale, err := experiments.ScaleSweep(o)
+	if err != nil {
+		fmt.Fprintln(stderr, "error:", err)
+		return 1
+	}
 	fresh := Baseline{Table1: table1, Codecs: codecs, Overlap: overlap}
 	freshFaults := Faults{Stragglers: stragglers, Recovery: recovery}
 	freshReads := Reads{Reads: reads}
 	freshDedup := Dedup{Dedup: dedup}
+	freshScale := Scale{Scale: experiments.StripWallClock(scale)}
 	if problems := checkDedupInvariant(dedup); len(problems) > 0 {
 		fmt.Fprintln(stdout, "DEDUP INVARIANT VIOLATED in the fresh sweep:")
 		for _, p := range problems {
@@ -158,7 +176,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintln(stderr, "error:", err)
 			return 1
 		}
-		fmt.Fprintf(stdout, "baselines updated: %s, %s, %s, %s\n", *basePath, *faultPath, *readPath, *dedupPath)
+		if err := writeJSON(*scalePath, freshScale); err != nil {
+			fmt.Fprintln(stderr, "error:", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "baselines updated: %s, %s, %s, %s, %s\n", *basePath, *faultPath, *readPath, *dedupPath, *scalePath)
 		return 0
 	}
 
@@ -182,6 +204,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "error:", err)
 		return 1
 	}
+	var baseScale Scale
+	if err := readJSON(*scalePath, &baseScale); err != nil {
+		fmt.Fprintln(stderr, "error:", err)
+		return 1
+	}
 	var drift []string
 	drift = append(drift, CompareRows("table1", base.Table1, fresh.Table1)...)
 	drift = append(drift, CompareRows("codecs", base.Codecs, fresh.Codecs)...)
@@ -190,9 +217,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	drift = append(drift, CompareRows("faults/recovery", baseFaults.Recovery, freshFaults.Recovery)...)
 	drift = append(drift, CompareRows("reads", baseReads.Reads, freshReads.Reads)...)
 	drift = append(drift, CompareRows("dedup", baseDedup.Dedup, freshDedup.Dedup)...)
+	drift = append(drift, CompareRows("scale", baseScale.Scale, freshScale.Scale)...)
 	if len(drift) > 0 {
-		fmt.Fprintf(stdout, "BENCHMARK DRIFT: %d difference(s) against %s / %s / %s / %s\n\n",
-			len(drift), *basePath, *faultPath, *readPath, *dedupPath)
+		fmt.Fprintf(stdout, "BENCHMARK DRIFT: %d difference(s) against %s / %s / %s / %s / %s\n\n",
+			len(drift), *basePath, *faultPath, *readPath, *dedupPath, *scalePath)
 		for _, d := range drift {
 			fmt.Fprintln(stdout, d)
 		}

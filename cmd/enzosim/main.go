@@ -4,8 +4,8 @@
 //
 // Usage:
 //
-//	enzosim [-machine origin2000|sp2|chiba] [-fs xfs|gpfs|pvfs|local]
-//	        [-np N] [-problem AMR64|AMR128|AMR256|tiny]
+//	enzosim [-machine origin2000|sp2|chiba|cluster1024] [-fs xfs|gpfs|pvfs|local]
+//	        [-np N] [-problem AMR64|AMR128|AMR256|AMR512|tiny] [-membudget MIB]
 //	        [-backend hdf4|mpiio|mpiio-cb|hdf5] [-dumps N]
 //	        [-codec none|rle|delta|lzss] [-async]
 //	        [-scrub] [-generations N] [-straggler FACTOR] [-corrupt N]
@@ -47,10 +47,11 @@ func main() {
 func run(args []string, stdout, stderr io.Writer) int {
 	fl := flag.NewFlagSet("enzosim", flag.ContinueOnError)
 	fl.SetOutput(stderr)
-	machName := fl.String("machine", "origin2000", "platform model: origin2000, sp2, chiba")
+	machName := fl.String("machine", "origin2000", "platform model: origin2000, sp2, chiba, cluster1024")
 	fsKind := fl.String("fs", "xfs", "file system model: xfs, gpfs, pvfs, local")
 	np := fl.Int("np", 8, "number of MPI ranks")
-	problem := fl.String("problem", "AMR64", "problem size: AMR64, AMR128, AMR256, tiny")
+	problem := fl.String("problem", "AMR64", "problem size: AMR64, AMR128, AMR256, AMR512, tiny")
+	membudget := fl.Int64("membudget", 0, "host-memory footprint budget in MiB (0 = 16384 default, negative = unlimited; AMR512 needs this raised)")
 	backendName := fl.String("backend", "mpiio", "I/O backend: hdf4, mpiio, mpiio-cb, hdf5")
 	dumps := fl.Int("dumps", 1, "checkpoint dumps per run")
 	refine := fl.Int("refine", 0, "dynamic refinement passes during evolution")
@@ -74,9 +75,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	switch *machName {
-	case "origin2000", "sp2", "chiba":
+	case "origin2000", "sp2", "chiba", "cluster1024":
 	default:
-		return fail("unknown machine %q (known: origin2000, sp2, chiba)", *machName)
+		return fail("unknown machine %q (known: origin2000, sp2, chiba, cluster1024)", *machName)
 	}
 	if *np < 1 {
 		return fail("-np must be >= 1 (got %d)", *np)
@@ -90,10 +91,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 		cfg = enzo.AMR128()
 	case "AMR256":
 		cfg = enzo.AMR256()
+	case "AMR512":
+		cfg = enzo.AMR512()
 	case "tiny":
 		cfg = enzo.Tiny()
 	default:
 		return fail("unknown problem %q", *problem)
+	}
+	switch {
+	case *membudget > 0:
+		cfg.MemBudget = *membudget << 20
+	case *membudget < 0:
+		cfg.MemBudget = -1
 	}
 	cfg.Dumps = *dumps
 	cfg.RefineCycles = *refine

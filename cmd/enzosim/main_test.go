@@ -16,7 +16,7 @@ func TestBadFlagsRejected(t *testing.T) {
 		{"zero ranks", []string{"-np", "0"}},
 		{"bad codec", []string{"-codec", "zip"}},
 		{"bad backend", []string{"-backend", "netcdf"}},
-		{"bad problem", []string{"-problem", "AMR512"}},
+		{"bad problem", []string{"-problem", "AMR1024"}},
 		{"negative generations", []string{"-generations", "-1"}},
 		{"generations without scrub", []string{"-generations", "2"}},
 		{"straggler below one", []string{"-straggler", "0.5"}},
@@ -33,6 +33,18 @@ func TestBadFlagsRejected(t *testing.T) {
 				t.Fatalf("no usage message on stderr:\n%s", stderr.String())
 			}
 		})
+	}
+}
+
+// TestAMR512NeedsMemBudget: the footprint guard must stop an AMR512 run
+// before it allocates anything, pointing at the -membudget escape hatch.
+func TestAMR512NeedsMemBudget(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-problem", "AMR512"}, &stdout, &stderr); code != 1 {
+		t.Fatalf("exit code = %d, want 1 (stderr: %s)", code, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "-membudget") {
+		t.Fatalf("guard error does not mention -membudget:\n%s", stderr.String())
 	}
 }
 

@@ -16,6 +16,9 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
+	"runtime/trace"
 	"strings"
 
 	"repro/internal/compress"
@@ -46,8 +49,52 @@ func run(args []string, stdout, stderr io.Writer) int {
 	codec := fl.String("codec", "none", "run the figure cases with transparent field compression: none, rle, delta, lzss")
 	async := fl.Bool("async", false, "run the figure cases with the write-behind dump pipeline")
 	diagnose := fl.Bool("diagnose", false, "diagnose every figure/codec case and print its findings after each sweep")
+	cpuprofile := fl.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memprofile := fl.String("memprofile", "", "write an allocation profile to this file at exit")
+	exectrace := fl.String("exectrace", "", "write a runtime execution trace of the run to this file")
 	if err := fl.Parse(args); err != nil {
 		return 2
+	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(stderr, "error:", err)
+			return 2
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(stderr, "error:", err)
+			return 2
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *exectrace != "" {
+		f, err := os.Create(*exectrace)
+		if err != nil {
+			fmt.Fprintln(stderr, "error:", err)
+			return 2
+		}
+		defer f.Close()
+		if err := trace.Start(f); err != nil {
+			fmt.Fprintln(stderr, "error:", err)
+			return 2
+		}
+		defer trace.Stop()
+	}
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fmt.Fprintln(stderr, "error:", err)
+			return 2
+		}
+		defer func() {
+			runtime.GC() // flush final allocation statistics
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				fmt.Fprintln(stderr, "error:", err)
+			}
+			f.Close()
+		}()
 	}
 
 	valid := false
@@ -147,6 +194,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return 1
 		}
 		experiments.PrintDedupSweep(stdout, rows)
+		fmt.Fprintln(stdout)
+	}
+	if *exp == "scale" || *exp == "all" {
+		fmt.Fprintln(stdout, experiments.SweepTitle("scale"))
+		rows, err := experiments.ScaleSweep(o)
+		if err != nil {
+			fmt.Fprintln(stderr, "error:", err)
+			return 1
+		}
+		experiments.PrintScaleSweep(stdout, rows)
 		fmt.Fprintln(stdout)
 	}
 	for _, d := range drivers {

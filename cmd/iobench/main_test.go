@@ -2,6 +2,8 @@ package main
 
 import (
 	"bytes"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -53,13 +55,21 @@ func TestRegistryTitlesComplete(t *testing.T) {
 }
 
 func TestBadFlagsRejected(t *testing.T) {
+	// Profile outputs pointing into a directory that does not exist must
+	// fail fast with exit 2 before any simulation runs (no usage text —
+	// the flag itself is fine, its value is not).
+	noDir := filepath.Join(t.TempDir(), "no-such-dir", "out.pb")
 	cases := []struct {
-		name string
-		args []string
+		name      string
+		args      []string
+		wantUsage bool
 	}{
-		{"unknown flag", []string{"-bogus"}},
-		{"bad experiment", []string{"-exp", "fig99"}},
-		{"bad codec", []string{"-codec", "zip"}},
+		{"unknown flag", []string{"-bogus"}, true},
+		{"bad experiment", []string{"-exp", "fig99"}, true},
+		{"bad codec", []string{"-codec", "zip"}, true},
+		{"bad cpuprofile path", []string{"-exp", "table1", "-quick", "-cpuprofile", noDir}, false},
+		{"bad memprofile path", []string{"-exp", "table1", "-quick", "-memprofile", noDir}, false},
+		{"bad exectrace path", []string{"-exp", "table1", "-quick", "-exectrace", noDir}, false},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -67,10 +77,37 @@ func TestBadFlagsRejected(t *testing.T) {
 			if code := run(tc.args, &stdout, &stderr); code != 2 {
 				t.Fatalf("exit code = %d, want 2 (stderr: %s)", code, stderr.String())
 			}
-			if !strings.Contains(stderr.String(), "Usage of iobench") {
+			if tc.wantUsage && !strings.Contains(stderr.String(), "Usage of iobench") {
 				t.Fatalf("no usage message on stderr:\n%s", stderr.String())
 			}
+			if !tc.wantUsage && stderr.Len() == 0 {
+				t.Fatal("no error message on stderr")
+			}
 		})
+	}
+}
+
+// TestProfileFlagsWriteFiles runs the smallest sweep with all three
+// profiling outputs enabled and asserts each file lands non-empty.
+func TestProfileFlagsWriteFiles(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pb")
+	mem := filepath.Join(dir, "mem.pb")
+	tr := filepath.Join(dir, "trace.out")
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-exp", "table1", "-quick",
+		"-cpuprofile", cpu, "-memprofile", mem, "-exectrace", tr}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit code = %d, stderr: %s", code, stderr.String())
+	}
+	for _, path := range []string{cpu, mem, tr} {
+		fi, err := os.Stat(path)
+		if err != nil {
+			t.Fatalf("profile output missing: %v", err)
+		}
+		if fi.Size() == 0 {
+			t.Fatalf("profile output %s is empty", path)
+		}
 	}
 }
 

@@ -8,7 +8,7 @@
 // Usage:
 //
 //	iodoctor [-machine chiba] [-fs pvfs] [-backend mpiio] [-problem AMR128]
-//	         [-np 8] [-quick] [-codec none] [-async] [-scrub] [-cbnodes N]
+//	         [-np 8] [-membudget MIB] [-quick] [-codec none] [-async] [-scrub] [-cbnodes N]
 //	         [-straggler FACTOR] [-corrupt N] [-castore] [-replicas K]
 //	         [-format text|json|metrics] [-o FILE] [-report FILE]
 //	         [-diff BASELINE.json] [-fail-on none|warning|critical]
@@ -47,11 +47,12 @@ func main() {
 func run(args []string, stdout, stderr io.Writer) int {
 	fl := flag.NewFlagSet("iodoctor", flag.ContinueOnError)
 	fl.SetOutput(stderr)
-	mach := fl.String("machine", "chiba", "platform: origin2000, sp2 or chiba")
+	mach := fl.String("machine", "chiba", "platform: origin2000, sp2, chiba or cluster1024")
 	fsKind := fl.String("fs", "pvfs", "file system: xfs, gpfs, pvfs or local")
 	backendName := fl.String("backend", "mpiio", "I/O backend: hdf4, mpiio, hdf5 or mpiio-cb")
-	problem := fl.String("problem", "AMR128", "problem size: tiny, AMR64, AMR128 or AMR256")
+	problem := fl.String("problem", "AMR128", "problem size: tiny, AMR64, AMR128, AMR256 or AMR512")
 	np := fl.Int("np", 8, "number of MPI ranks")
+	membudget := fl.Int64("membudget", 0, "host-memory footprint budget in MiB (0 = 16384 default, negative = unlimited; AMR512 needs this raised)")
 	quick := fl.Bool("quick", false, "shrink the problem for a fast smoke run")
 	codec := fl.String("codec", "none", "transparent field compression: none, rle, delta, lzss")
 	async := fl.Bool("async", false, "write-behind checkpoint I/O")
@@ -105,6 +106,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 		cfg, err := configByName(*problem)
 		if err != nil {
 			return fail("%v", err)
+		}
+		switch {
+		case *membudget > 0:
+			cfg.MemBudget = *membudget << 20
+		case *membudget < 0:
+			cfg.MemBudget = -1
 		}
 		if *quick {
 			n := cfg.Dims[0] / 4
@@ -263,10 +270,10 @@ func loadReport(path string) (*diag.Report, error) {
 
 func machineByName(name string) (machine.Config, error) {
 	switch name {
-	case "origin2000", "sp2", "chiba":
+	case "origin2000", "sp2", "chiba", "cluster1024":
 		return machine.ByName(name), nil
 	}
-	return machine.Config{}, fmt.Errorf("iodoctor: unknown machine %q (want origin2000, sp2 or chiba)", name)
+	return machine.Config{}, fmt.Errorf("iodoctor: unknown machine %q (want origin2000, sp2, chiba or cluster1024)", name)
 }
 
 func configByName(name string) (enzo.Config, error) {
@@ -279,6 +286,8 @@ func configByName(name string) (enzo.Config, error) {
 		return enzo.AMR128(), nil
 	case "AMR256":
 		return enzo.AMR256(), nil
+	case "AMR512":
+		return enzo.AMR512(), nil
 	}
 	return enzo.Config{}, fmt.Errorf("iodoctor: unknown problem %q", name)
 }

@@ -17,7 +17,7 @@ func TestBadFlagsRejected(t *testing.T) {
 	}{
 		{"unknown flag", []string{"-bogus"}},
 		{"bad machine", []string{"-machine", "bluegene"}},
-		{"bad problem", []string{"-problem", "AMR512"}},
+		{"bad problem", []string{"-problem", "AMR1024"}},
 		{"bad backend", []string{"-backend", "netcdf"}},
 		{"bad codec", []string{"-codec", "zip"}},
 		{"bad format", []string{"-format", "xml"}},

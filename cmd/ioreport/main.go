@@ -8,7 +8,7 @@
 // Usage:
 //
 //	ioreport [-machine chiba] [-fs pvfs] [-backend mpiio] [-problem AMR64]
-//	         [-np 8] [-quick] [-codec none|rle|delta|lzss] [-async] [-scrub]
+//	         [-np 8] [-membudget MIB] [-quick] [-codec none|rle|delta|lzss] [-async] [-scrub]
 //	         [-format text|json] [-diagnose]
 //	         [-trace timeline.json] [-o report.txt]
 //
@@ -41,10 +41,11 @@ func main() {
 func run(args []string, stdout, stderr io.Writer) int {
 	fl := flag.NewFlagSet("ioreport", flag.ContinueOnError)
 	fl.SetOutput(stderr)
-	mach := fl.String("machine", "chiba", "platform: origin2000, sp2 or chiba")
+	mach := fl.String("machine", "chiba", "platform: origin2000, sp2, chiba or cluster1024")
 	fsKind := fl.String("fs", "pvfs", "file system: xfs, gpfs, pvfs or local")
 	backendName := fl.String("backend", "mpiio", "I/O backend: hdf4, mpiio, hdf5 or mpiio-cb")
-	problem := fl.String("problem", "AMR64", "problem size: tiny, AMR64, AMR128 or AMR256")
+	problem := fl.String("problem", "AMR64", "problem size: tiny, AMR64, AMR128, AMR256 or AMR512")
+	membudget := fl.Int64("membudget", 0, "host-memory footprint budget in MiB (0 = 16384 default, negative = unlimited; AMR512 needs this raised)")
 	np := fl.Int("np", 8, "number of MPI ranks")
 	quick := fl.Bool("quick", false, "shrink the problem for a fast smoke run")
 	codec := fl.String("codec", "none", "transparent field compression: none, rle, delta, lzss")
@@ -74,6 +75,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 	cfg, err := configByName(*problem)
 	if err != nil {
 		return fail(err)
+	}
+	switch {
+	case *membudget > 0:
+		cfg.MemBudget = *membudget << 20
+	case *membudget < 0:
+		cfg.MemBudget = -1
 	}
 	if *quick {
 		n := cfg.Dims[0] / 4
@@ -186,10 +193,10 @@ func writeTimeline(tr *obs.Tracer, path string, stderr io.Writer) int {
 
 func machineByName(name string) (machine.Config, error) {
 	switch name {
-	case "origin2000", "sp2", "chiba":
+	case "origin2000", "sp2", "chiba", "cluster1024":
 		return machine.ByName(name), nil
 	}
-	return machine.Config{}, fmt.Errorf("ioreport: unknown machine %q (want origin2000, sp2 or chiba)", name)
+	return machine.Config{}, fmt.Errorf("ioreport: unknown machine %q (want origin2000, sp2, chiba or cluster1024)", name)
 }
 
 func configByName(name string) (enzo.Config, error) {
@@ -202,6 +209,8 @@ func configByName(name string) (enzo.Config, error) {
 		return enzo.AMR128(), nil
 	case "AMR256":
 		return enzo.AMR256(), nil
+	case "AMR512":
+		return enzo.AMR512(), nil
 	}
 	return enzo.Config{}, fmt.Errorf("ioreport: unknown problem %q", name)
 }

@@ -21,8 +21,8 @@
 package enzo
 
 import (
+	"encoding/binary"
 	"fmt"
-	"hash/fnv"
 	"sort"
 	"sync"
 
@@ -155,6 +155,75 @@ type Config struct {
 	// manifest is placed on; normalize clamps it into [1, NumDataServers].
 	// Only meaningful with CAStore.
 	Replicas int
+
+	// MemBudget caps the estimated host-memory footprint of the run (the
+	// simulator stores real grid, particle, and dump bytes, so a too-large
+	// problem OOMs the host rather than merely running slowly). 0 applies
+	// DefaultMemBudget; a negative value disables the guard. RunOnce fails
+	// fast with a *FootprintError when EstimateFootprint exceeds the
+	// budget.
+	MemBudget int64
+}
+
+// DefaultMemBudget is the footprint cap applied when Config.MemBudget is
+// zero: large enough for every problem up to AMR256 at any rank count,
+// small enough to stop an accidental AMR512 run before it OOMs the host.
+const DefaultMemBudget int64 = 16 << 30
+
+// FootprintError reports a run rejected by the memory-footprint guard.
+type FootprintError struct {
+	Problem  string
+	Estimate int64 // bytes, from EstimateFootprint
+	Budget   int64 // bytes
+}
+
+func (e *FootprintError) Error() string {
+	return fmt.Sprintf("enzo: %s needs an estimated %d MiB of host memory, over the %d MiB budget; raise Config.MemBudget (-membudget) to run it",
+		e.Problem, e.Estimate>>20, e.Budget>>20)
+}
+
+// EstimateFootprint returns a structure-only estimate of the peak host
+// bytes a run materializes, before any grid data is generated. It counts
+// the live hierarchy (root fields and particles, with each pre-refined
+// level adding a comparable share of refined-region data), the dump bytes
+// retained by the in-memory file store, and the transient pack/exchange
+// buffers of the I/O phases — deliberately rounded up, since the guard's
+// job is to refuse runs that would OOM, not to meter ones that fit.
+func (c Config) EstimateFootprint(nprocs int) int64 {
+	cells := int64(c.Dims[0]) * int64(c.Dims[1]) * int64(c.Dims[2])
+	fields := cells * amr.FieldElemSize * int64(len(amr.FieldNames))
+	particles := int64(c.NParticles) * amr.BytesPerParticle()
+	base := fields + particles
+	// Each pre-refined or dynamically refined level adds subgrids covering
+	// the over-threshold region; half the root volume per level is an
+	// upper-end share for these clustered problems.
+	levels := int64(c.PreRefine + c.RefineCycles)
+	live := base + base*levels/2
+	// Live state, the newest dump in the byte store (every generation
+	// beyond the first replaces the previous file set), a restart read-back
+	// copy, and exchange/pack transients on top.
+	est := 3*live + live/2
+	if c.ScrubOnDump || c.CAStore {
+		est += live // retained verification snapshot / chunk index
+	}
+	_ = nprocs // per-rank overheads are dwarfed by the data bytes
+	return est
+}
+
+// checkFootprint applies the budget in Config.MemBudget (0 = default,
+// negative = unlimited).
+func (c Config) checkFootprint(nprocs int) error {
+	budget := c.MemBudget
+	if budget < 0 {
+		return nil
+	}
+	if budget == 0 {
+		budget = DefaultMemBudget
+	}
+	if est := c.EstimateFootprint(nprocs); est > budget {
+		return &FootprintError{Problem: c.Problem, Estimate: est, Budget: budget}
+	}
+	return nil
 }
 
 // normalize clamps nonsensical configuration values into usable ones, the
@@ -205,6 +274,15 @@ func AMR128() Config {
 // end-to-end is possible but slow).
 func AMR256() Config {
 	return Config{Problem: "AMR256", Dims: [3]int{256, 256, 256}, NParticles: 256 * 256 * 256 / 2,
+		PreRefine: 2, Threshold: 2.0, Seed: 1789, Dumps: 1, FlopsPerCell: 40}
+}
+
+// AMR512 is the 512^3 problem for the opt-in np=1024 scale runs. Its
+// in-memory state is tens of gigabytes (the simulator stores real dump
+// bytes), so runs are gated by the memory-footprint guard: callers must
+// raise the budget explicitly (-membudget) to run it.
+func AMR512() Config {
+	return Config{Problem: "AMR512", Dims: [3]int{512, 512, 512}, NParticles: 512 * 512 * 512 / 2,
 		PreRefine: 2, Threshold: 2.0, Seed: 1789, Dumps: 1, FlopsPerCell: 40}
 }
 
@@ -555,6 +633,9 @@ func runOnce(machCfg machine.Config, fsKind string, nprocs int, cfg Config,
 	backend Backend, wrap func(pfs.FileSystem) pfs.FileSystem, tr *obs.Tracer) (*Result, error) {
 	eng := sim.NewEngine()
 	if _, err := compress.Resolve(cfg.Codec); err != nil {
+		return nil, err
+	}
+	if err := cfg.checkFootprint(nprocs); err != nil {
 		return nil, err
 	}
 	mach := machine.New(machCfg)
@@ -987,9 +1068,13 @@ func (s *Sim) consolidate(g core.GridMeta, p *partition, owner int) *amr.Grid {
 		}
 	}
 	rows := packRows(&p.particles)
-	gathered := s.r.Gatherv(owner, rows)
+	gathered := s.r.GathervScratch(owner, rows) // rows is a fresh pack, garbage after this call
 	if s.r.Rank() == owner {
-		var all []byte
+		var total int
+		for _, chunk := range gathered {
+			total += len(chunk)
+		}
+		all := make([]byte, 0, total)
 		for _, chunk := range gathered {
 			all = append(all, chunk...)
 		}
@@ -1013,23 +1098,59 @@ type snapshotState struct {
 	grids        map[int]uint64
 }
 
+// Verification hashing. The values are internal — only the Verified bool
+// ever leaves a run — so the function is chosen for speed: an FNV-1a
+// variant that folds 8 input bytes per multiply instead of one, which
+// makes the dump/restart comparison ~8x cheaper than the byte-serial
+// stdlib FNV while staying deterministic across machines (little-endian
+// word loads from explicitly little-endian data).
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
 func hashBytes(h64 uint64, b []byte) uint64 {
-	h := fnv.New64a()
-	var seed [8]byte
-	for i := 0; i < 8; i++ {
-		seed[i] = byte(h64 >> (8 * i))
+	h := (fnvOffset64 ^ h64) * fnvPrime64
+	// Mixing the length first makes the zero-padded tail unambiguous.
+	h ^= uint64(len(b))
+	h *= fnvPrime64
+	for len(b) >= 8 {
+		h ^= binary.LittleEndian.Uint64(b)
+		h *= fnvPrime64
+		b = b[8:]
 	}
-	h.Write(seed[:])
-	h.Write(b)
-	return h.Sum64()
+	if len(b) > 0 {
+		var tail uint64
+		for i, c := range b {
+			tail |= uint64(c) << (8 * i)
+		}
+		h ^= tail
+		h *= fnvPrime64
+	}
+	return h
 }
 
 // particleSetHash hashes a particle set order-independently (sum of
-// per-row hashes), so redistribution order does not matter.
+// per-row hashes), so redistribution order does not matter. Rows are
+// hashed array by array — the same byte stream Row would materialize,
+// without allocating it.
 func particleSetHash(ps *amr.ParticleSet) uint64 {
 	var sum uint64
 	for i := 0; i < ps.N; i++ {
-		sum += hashBytes(0, ps.Row(i))
+		h := uint64(fnvOffset64)
+		h *= fnvPrime64
+		h ^= uint64(amr.BytesPerParticle())
+		h *= fnvPrime64
+		for k, a := range amr.ParticleArrays {
+			seg := ps.Arrays[k][i*a.ElemSize : (i+1)*a.ElemSize]
+			if a.ElemSize == 8 {
+				h ^= binary.LittleEndian.Uint64(seg)
+			} else {
+				h ^= uint64(binary.LittleEndian.Uint32(seg))
+			}
+			h *= fnvPrime64
+		}
+		sum += h
 	}
 	return sum
 }

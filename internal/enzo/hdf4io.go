@@ -201,7 +201,7 @@ func (s *Sim) hdf4WriteDump(d int) {
 	}
 	rows := packRows(&s.top.particles)
 	s.r.CopyCost(int64(len(rows)))
-	gathered := s.r.Gatherv(0, rows)
+	gathered := s.r.GathervScratch(0, rows) // rows is a fresh pack, garbage after this call
 	if s.r.Rank() == 0 {
 		var all []byte
 		for _, chunk := range gathered {

@@ -3,6 +3,7 @@ package enzo
 import (
 	"bytes"
 	"encoding/json"
+	"reflect"
 	"testing"
 
 	"repro/internal/machine"
@@ -232,5 +233,70 @@ func TestZeroPerturbation(t *testing.T) {
 		if len(tr.Spans()) == 0 {
 			t.Errorf("%v: traced run recorded no spans", backend)
 		}
+	}
+}
+
+// TestTracedBitIdentityAMR128 runs the full AMR128/np=8 configuration —
+// the paper's headline case — plain and traced, and demands bit-identical
+// results across the board: every Result field the simulation computes,
+// and byte-identical trace exports between two traced runs. This is the
+// regression net for the engine overhaul: the pooled obs span handles and
+// the scratch (no-copy) collective paths must not perturb virtual time or
+// event counts by even one bit.
+func TestTracedBitIdentityAMR128(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full AMR128 run; skipped with -short")
+	}
+	cfg := AMR128()
+	plain, err := RunOnce(machine.ChibaCity(), "pvfs", 8, cfg, BackendMPIIO)
+	if err != nil {
+		t.Fatalf("plain run: %v", err)
+	}
+	tr1 := obs.NewTracer()
+	traced, err := RunOnceTraced(machine.ChibaCity(), "pvfs", 8, cfg, BackendMPIIO, tr1)
+	if err != nil {
+		t.Fatalf("traced run: %v", err)
+	}
+	if plain.Makespan != traced.Makespan {
+		t.Errorf("makespan perturbed: %v vs %v", plain.Makespan, traced.Makespan)
+	}
+	if plain.Events != traced.Events {
+		t.Errorf("event count perturbed: %d vs %d", plain.Events, traced.Events)
+	}
+	if plain.BytesRead != traced.BytesRead || plain.BytesWritten != traced.BytesWritten {
+		t.Errorf("byte accounting perturbed: r %d/%d w %d/%d",
+			plain.BytesRead, traced.BytesRead, plain.BytesWritten, traced.BytesWritten)
+	}
+	if !plain.Verified || !traced.Verified {
+		t.Errorf("verification failed: plain %v traced %v", plain.Verified, traced.Verified)
+	}
+	if len(plain.Phases) != len(traced.Phases) {
+		t.Fatalf("phase counts differ: %d vs %d", len(plain.Phases), len(traced.Phases))
+	}
+	for i := range plain.Phases {
+		if plain.Phases[i] != traced.Phases[i] {
+			t.Errorf("phase %q perturbed: %v vs %v",
+				plain.Phases[i].Name, plain.Phases[i].Seconds, traced.Phases[i].Seconds)
+		}
+	}
+
+	// A second traced run must reproduce the first byte for byte.
+	tr2 := obs.NewTracer()
+	traced2, err := RunOnceTraced(machine.ChibaCity(), "pvfs", 8, cfg, BackendMPIIO, tr2)
+	if err != nil {
+		t.Fatalf("second traced run: %v", err)
+	}
+	if !reflect.DeepEqual(traced2, traced) {
+		t.Errorf("traced results differ between identical runs:\n%+v\n%+v", traced, traced2)
+	}
+	var tj1, tj2 bytes.Buffer
+	if err := tr1.WriteTrace(&tj1); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr2.WriteTrace(&tj2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(tj1.Bytes(), tj2.Bytes()) {
+		t.Error("trace exports differ between identical AMR128 runs")
 	}
 }

@@ -22,7 +22,10 @@ func packRows(ps *amr.ParticleSet) []byte {
 	rs := rowSize()
 	out := make([]byte, ps.N*rs)
 	for i := 0; i < ps.N; i++ {
-		copy(out[i*rs:], ps.Row(i))
+		off := i * rs
+		for k, a := range amr.ParticleArrays {
+			off += copy(out[off:], ps.Arrays[k][i*a.ElemSize:(i+1)*a.ElemSize])
+		}
 	}
 	return out
 }
@@ -89,15 +92,34 @@ func rowsFromColumns(cols [][]byte) []byte {
 // position. The transpose/pack cost is charged as memory copies.
 func (s *Sim) redistributeByPosition(rows []byte, g core.GridMeta) amr.ParticleSet {
 	rs := rowSize()
+	n := len(rows) / rs
+	// Two passes over the rows: count each owner's share, then copy into
+	// exactly sized slices of one backing buffer — no per-owner append
+	// growth.
+	counts := make([]int, s.r.Size())
+	owners := make([]int32, n)
+	for i := 0; i < n; i++ {
+		o := core.OwnerOfPosition(rowPosition(rows[i*rs:(i+1)*rs]), g, s.pz, s.py, s.px)
+		owners[i] = int32(o)
+		counts[o]++
+	}
+	backing := make([]byte, n*rs)
 	parts := make([][]byte, s.r.Size())
-	for i := 0; i+rs <= len(rows); i += rs {
-		row := rows[i : i+rs]
-		owner := core.OwnerOfPosition(rowPosition(row), g, s.pz, s.py, s.px)
-		parts[owner] = append(parts[owner], row...)
+	pos := 0
+	for o, c := range counts {
+		parts[o] = backing[pos*rs : pos*rs : (pos+c)*rs]
+		pos += c
+	}
+	for i := 0; i < n; i++ {
+		parts[owners[i]] = append(parts[owners[i]], rows[i*rs:(i+1)*rs]...)
 	}
 	s.r.CopyCost(int64(len(rows)))
-	recvd := s.r.Alltoallv(parts)
-	var all []byte
+	recvd := s.r.AlltoallvScratch(parts) // parts and their backing are garbage after this call
+	var total int
+	for _, chunk := range recvd {
+		total += len(chunk)
+	}
+	all := make([]byte, 0, total)
 	for _, chunk := range recvd {
 		all = append(all, chunk...)
 	}

@@ -42,12 +42,11 @@ func dumpRawFile(d int) string { return fmt.Sprintf("dump%02d.raw", d) }
 // the array's offset.
 func (s *Sim) fieldRuns(g core.GridMeta, name string, sub mpi.Subarray) []mpi.Run {
 	base, _ := s.layout.ArrayOffset(g.ID, name)
-	runs := sub.Flatten()
-	out := make([]mpi.Run, len(runs))
-	for i, run := range runs {
-		out[i] = mpi.Run{Off: run.Off + base, Len: run.Len}
+	runs := sub.Flatten() // fresh slice: safe to shift in place
+	for i := range runs {
+		runs[i].Off += base
 	}
-	return out
+	return runs
 }
 
 func (s *Sim) rawWriteIC(h *amr.Hierarchy) {

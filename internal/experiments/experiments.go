@@ -91,6 +91,8 @@ func (o Options) problem(name string) enzo.Config {
 		cfg = enzo.AMR128()
 	case "AMR256":
 		cfg = enzo.AMR256()
+	case "AMR512":
+		cfg = enzo.AMR512()
 	default:
 		panic("experiments: unknown problem " + name)
 	}

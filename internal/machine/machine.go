@@ -211,8 +211,28 @@ func ChibaCity() Config {
 	}
 }
 
+// Cluster1024 describes a notional pre-exascale-era commodity cluster for
+// the scale sweeps beyond the paper's machines: 1024 nodes with one rank
+// each behind a fat-tree with gigabit-class links. It extrapolates the
+// ChibaCity node model to the rank counts (np >= 256) the sweep
+// experiments need; no paper experiment depends on its constants.
+func Cluster1024() Config {
+	return Config{
+		Name:         "cluster1024",
+		Nodes:        1024,
+		ProcsPerNode: 1,
+		WireLatency:  20e-6,
+		LinkBW:       125 * mb, // 1 Gb/s
+		SendOverhead: 20e-6,
+		RecvOverhead: 20e-6,
+		MemLatency:   1e-6,
+		MemCopyBW:    800 * mb,
+		ComputeRate:  40e6,
+	}
+}
+
 // ByName returns the named platform config; it panics on an unknown name.
-// Valid names: origin2000, sp2, chiba.
+// Valid names: origin2000, sp2, chiba, cluster1024.
 func ByName(name string) Config {
 	switch name {
 	case "origin2000":
@@ -221,6 +241,8 @@ func ByName(name string) Config {
 		return SP2()
 	case "chiba":
 		return ChibaCity()
+	case "cluster1024":
+		return Cluster1024()
 	}
 	panic(fmt.Sprintf("machine: unknown platform %q", name))
 }

@@ -78,16 +78,35 @@ func (r *Rank) Bcast(root int, data []byte) []byte {
 // result is nil. Arrivals funnel through the root's NIC, so the incast
 // serialization the original ENZO HDF4 path suffers appears naturally.
 func (r *Rank) Gatherv(root int, data []byte) [][]byte {
+	return r.gatherv(root, data, false)
+}
+
+// GathervScratch is Gatherv minus the payload clone: the root receives each
+// rank's buffer by reference. Same aliasing contract as AlltoallvScratch —
+// the sender must not touch data until every rank has left the enclosing
+// operation (trivially true for buffers that become garbage right after
+// the call). Virtual times, costs, and stats are identical to Gatherv.
+func (r *Rank) GathervScratch(root int, data []byte) [][]byte {
+	return r.gatherv(root, data, true)
+}
+
+func (r *Rank) gatherv(root int, data []byte, scratch bool) [][]byte {
 	defer obs.Begin(r.proc, obs.LayerMPI, "gatherv").Bytes(int64(len(data))).End()
 	tag := r.collTag()
 	size := r.Size()
 	if r.rank != root {
-		r.Send(root, tag, data)
+		if scratch {
+			r.sendScratch(root, tag, data)
+		} else {
+			r.Send(root, tag, data)
+		}
 		return nil
 	}
 	out := make([][]byte, size)
-	own := make([]byte, len(data))
-	copy(own, data)
+	own := data
+	if !scratch {
+		own = append([]byte{}, data...)
+	}
 	r.CopyCost(int64(len(data)))
 	out[root] = own
 	for src := 0; src < size; src++ {
@@ -120,8 +139,7 @@ func (r *Rank) Scatterv(root int, parts [][]byte) []byte {
 			}
 			r.Send(dst, tag, parts[dst])
 		}
-		own := make([]byte, len(parts[root]))
-		copy(own, parts[root])
+		own := append([]byte{}, parts[root]...)
 		r.CopyCost(int64(len(own)))
 		return own
 	}
@@ -137,8 +155,7 @@ func (r *Rank) Allgatherv(data []byte) [][]byte {
 	tag := r.collTag()
 	size := r.Size()
 	out := make([][]byte, size)
-	own := make([]byte, len(data))
-	copy(own, data)
+	own := append([]byte{}, data...)
 	out[r.rank] = own
 	if size == 1 {
 		r.proc.Yield()
@@ -161,6 +178,23 @@ func (r *Rank) Allgatherv(data []byte) [][]byte {
 // buffers, using the classic rotated pairwise exchange (deadlock-free under
 // buffered sends).
 func (r *Rank) Alltoallv(parts [][]byte) [][]byte {
+	return r.alltoallv(parts, false)
+}
+
+// AlltoallvScratch is Alltoallv minus the per-destination payload clones:
+// messages deliver the caller's buffers by reference. The caller must
+// guarantee that no rank mutates or recycles its parts buffers until every
+// rank has left the enclosing operation — satisfied trivially when the
+// buffers become garbage right after the exchange, and by construction for
+// per-collective scratch arenas when the enclosing operation ends with a
+// barrier (no rank can re-enter and reset its arena before every receiver
+// has finished consuming the aliases). Virtual times, costs, and stats are
+// identical to Alltoallv.
+func (r *Rank) AlltoallvScratch(parts [][]byte) [][]byte {
+	return r.alltoallv(parts, true)
+}
+
+func (r *Rank) alltoallv(parts [][]byte, scratch bool) [][]byte {
 	size := r.Size()
 	if len(parts) != size {
 		panic(fmt.Sprintf("mpi: Alltoallv got %d parts for %d ranks", len(parts), size))
@@ -172,14 +206,22 @@ func (r *Rank) Alltoallv(parts [][]byte) [][]byte {
 	defer obs.Begin(r.proc, obs.LayerMPI, "alltoallv").Bytes(total).End()
 	tag := r.collTag()
 	out := make([][]byte, size)
-	own := make([]byte, len(parts[r.rank]))
-	copy(own, parts[r.rank])
+	own := parts[r.rank]
+	if !scratch {
+		own = append([]byte{}, parts[r.rank]...)
+	}
+	// The local copy is still charged in scratch mode so both variants keep
+	// identical virtual times.
 	r.CopyCost(int64(len(own)))
 	out[r.rank] = own
 	for step := 1; step < size; step++ {
 		dst := (r.rank + step) % size
 		src := (r.rank - step + size) % size
-		r.Send(dst, tag, parts[dst])
+		if scratch {
+			r.sendScratch(dst, tag, parts[dst])
+		} else {
+			r.Send(dst, tag, parts[dst])
+		}
 		msg, _, _ := r.Recv(src, tag)
 		out[src] = msg
 	}

@@ -98,6 +98,19 @@ func (s Subarray) NumElems() int64 {
 // Bytes returns the byte size of the block.
 func (s Subarray) Bytes() int64 { return s.NumElems() * int64(s.ElemSize) }
 
+// contigFrom returns the first dimension of the block's fully-spanned
+// suffix: every dim d >= m has Subsizes[d] == Sizes[d]. Consecutive
+// indices of dim m-1 are therefore adjacent in memory, so one coalesced
+// run covers dims [m-1, nd-1] and the run count is the product of the
+// subsizes before that.
+func (s Subarray) contigFrom() int {
+	m := len(s.Sizes)
+	for m > 0 && s.Subsizes[m-1] == s.Sizes[m-1] {
+		m--
+	}
+	return m
+}
+
 // Flatten converts the subarray into a sorted, coalesced run list of byte
 // extents relative to the start of the full array. It panics on an invalid
 // subarray (programming error, not data error).
@@ -105,28 +118,76 @@ func (s Subarray) Flatten() []Run {
 	if err := s.Validate(); err != nil {
 		panic(err)
 	}
+	if s.NumElems() == 0 {
+		return nil
+	}
+	count := 1
+	for d := 0; d < s.contigFrom()-1; d++ {
+		count *= s.Subsizes[d]
+	}
+	runs := make([]Run, 0, count)
+	s.visitRuns(func(r Run) { runs = append(runs, r) })
+	return runs
+}
+
+// visitRuns calls fn for each coalesced run of the subarray in ascending
+// offset order, without materializing the run list — the copy paths below
+// use it directly so a gather/scatter allocates nothing. Runs are emitted
+// whole (the fully-spanned suffix of dims collapses analytically), so the
+// cost is one callback per coalesced run, not per row. It panics on an
+// invalid subarray (programming error, not data error).
+func (s Subarray) visitRuns(fn func(Run)) {
+	if err := s.Validate(); err != nil {
+		panic(err)
+	}
+	if s.NumElems() == 0 {
+		return
+	}
 	nd := len(s.Sizes)
-	// Byte strides per dimension in the full array.
-	strides := make([]int64, nd)
+	// Byte strides per dimension in the full array. Stack arrays cover
+	// every dimensionality this codebase uses (this is the per-access hot
+	// path of both I/O backends).
+	var stridesArr [8]int64
+	var idxArr [8]int
+	strides := stridesArr[:nd]
+	if nd > len(stridesArr) {
+		strides = make([]int64, nd)
+	}
 	strides[nd-1] = int64(s.ElemSize)
 	for d := nd - 2; d >= 0; d-- {
 		strides[d] = strides[d+1] * int64(s.Sizes[d+1])
 	}
-	if s.NumElems() == 0 {
-		return nil
+	base := int64(0)
+	for d := 0; d < nd; d++ {
+		base += int64(s.Starts[d]) * strides[d]
 	}
-	rowLen := int64(s.Subsizes[nd-1]) * int64(s.ElemSize)
-	// Iterate the outer dims in order; rows come out offset-sorted.
-	idx := make([]int, nd-1)
-	var runs []Run
-	for {
-		off := int64(s.Starts[nd-1]) * strides[nd-1]
-		for d := 0; d < nd-1; d++ {
-			off += int64(s.Starts[d]+idx[d]) * strides[d]
+	// One run spans dims [m-1, nd-1] (all of them when m <= 1).
+	m := s.contigFrom()
+	runLen := int64(s.ElemSize)
+	for d := m - 1; d < nd; d++ {
+		if d < 0 {
+			continue
 		}
-		runs = append(runs, Run{Off: off, Len: rowLen})
+		runLen *= int64(s.Subsizes[d])
+	}
+	if m <= 1 {
+		fn(Run{Off: base, Len: runLen})
+		return
+	}
+	// Iterate the dims before the contiguous suffix in order; runs come
+	// out offset-sorted and non-adjacent by construction.
+	idx := idxArr[:m-1]
+	if m-1 > len(idxArr) {
+		idx = make([]int, m-1)
+	}
+	for {
+		off := base
+		for d := 0; d < m-1; d++ {
+			off += int64(idx[d]) * strides[d]
+		}
+		fn(Run{Off: off, Len: runLen})
 		// increment multi-index
-		d := nd - 2
+		d := m - 2
 		for d >= 0 {
 			idx[d]++
 			if idx[d] < s.Subsizes[d] {
@@ -139,7 +200,6 @@ func (s Subarray) Flatten() []Run {
 			break
 		}
 	}
-	return CoalesceRuns(runs)
 }
 
 // GatherSub copies the subarray's elements out of the full array `src`
@@ -147,10 +207,10 @@ func (s Subarray) Flatten() []Run {
 func (s Subarray) GatherSub(src []byte) []byte {
 	dst := make([]byte, s.Bytes())
 	var p int64
-	for _, r := range s.Flatten() {
+	s.visitRuns(func(r Run) {
 		copy(dst[p:p+r.Len], src[r.Off:r.Off+r.Len])
 		p += r.Len
-	}
+	})
 	return dst
 }
 
@@ -161,10 +221,10 @@ func (s Subarray) ScatterSub(dst, src []byte) {
 		panic(fmt.Sprintf("mpi: ScatterSub src len %d, want %d", len(src), s.Bytes()))
 	}
 	var p int64
-	for _, r := range s.Flatten() {
+	s.visitRuns(func(r Run) {
 		copy(dst[r.Off:r.Off+r.Len], src[p:p+r.Len])
 		p += r.Len
-	}
+	})
 }
 
 // BlockDecompose3D splits a 3-D domain of extent dims (ordered z,y,x) into

@@ -62,9 +62,11 @@ func (q *Request) Wait() (data []byte, fromSrc, fromTag int) {
 			r.proc.AdvanceTo(m.arrival)
 			q.done = true
 			q.data, q.fromSrc, q.fromTag = m.data, m.src, m.tag
+			r.world.putMsg(m)
 			return q.data, q.fromSrc, q.fromTag
 		}
-		r.waiting = &recvWait{src: q.src, tag: q.tag}
+		r.waiting = recvWait{src: q.src, tag: q.tag}
+		r.hasWaiting = true
 		r.proc.Block(fmt.Sprintf("Wait(Irecv src=%d, tag=%d)", q.src, q.tag))
 	}
 }
@@ -91,6 +93,7 @@ func (q *Request) Test() bool {
 	if m := q.r.takeMatchBefore(q.src, q.tag, q.r.Now()); m != nil {
 		q.done = true
 		q.data, q.fromSrc, q.fromTag = m.data, m.src, m.tag
+		q.r.world.putMsg(m)
 		return true
 	}
 	return false
@@ -118,7 +121,7 @@ func (r *Rank) Waitall(reqs ...*Request) {
 // arrived by the cutoff time — used by Test, which must not advance the
 // clock and therefore cannot deliver a message from the future.
 func (r *Rank) takeMatchBefore(src, tag int, cutoff float64) *message {
-	w := &recvWait{src: src, tag: tag}
+	w := recvWait{src: src, tag: tag}
 	bestIdx := -1
 	for i, m := range r.inbox {
 		if !matches(w, m) || m.arrival > cutoff {

@@ -14,6 +14,29 @@ type World struct {
 	mach  *machine.Machine
 	size  int
 	ranks []*Rank
+
+	// msgFree recycles message envelopes (not payloads — those are handed
+	// to receivers). Per-world, not global: worlds on different engines run
+	// concurrently, and within one engine only one process runs at a time,
+	// so the free list needs no locking.
+	msgFree []*message
+}
+
+// getMsg pops a recycled envelope or allocates a fresh one.
+func (w *World) getMsg() *message {
+	if n := len(w.msgFree); n > 0 {
+		m := w.msgFree[n-1]
+		w.msgFree = w.msgFree[:n-1]
+		return m
+	}
+	return &message{}
+}
+
+// putMsg returns a consumed envelope to the free list. The payload slice
+// now belongs to the receiver, so the reference is dropped here.
+func (w *World) putMsg(m *message) {
+	m.data = nil
+	w.msgFree = append(w.msgFree, m)
 }
 
 // NewWorld creates a world of nprocs ranks on the given machine, spawning
@@ -78,10 +101,11 @@ type Rank struct {
 	rank  int
 	proc  *sim.Proc
 
-	inbox   []*message
-	waiting *recvWait
-	msgSeq  int64
-	collSeq int // per-rank collective sequence number (SPMD order)
+	inbox      []*message
+	waiting    recvWait
+	hasWaiting bool
+	msgSeq     int64
+	collSeq    int // per-rank collective sequence number (SPMD order)
 
 	// Stats
 	bytesSent int64
@@ -145,26 +169,43 @@ func (r *Rank) Send(dst, tag int, data []byte) {
 	r.proc.AdvanceTo(r.post(dst, tag, data))
 }
 
+// sendScratch is Send without the payload clone: the receiver gets the
+// caller's buffer by reference. Timing, stats, and matching are identical
+// to Send; only the defensive copy is skipped. See AlltoallvScratch for
+// the aliasing contract callers must uphold.
+func (r *Rank) sendScratch(dst, tag int, data []byte) {
+	r.proc.AdvanceTo(r.postRef(dst, tag, data))
+}
+
 // post does all the sender-side work of a buffered send — payload copy,
 // transfer charging, inbox insertion, waiter wake-up — except advancing the
 // caller's clock, and returns the virtual time at which the sender CPU is
 // free. Send completes by advancing to it; Isend defers that advance to the
 // matching Wait.
 func (r *Rank) post(dst, tag int, data []byte) (senderFree float64) {
+	// append instead of make+copy: the clone must not pay for zeroing
+	// memory it immediately overwrites — this copy is on every message's
+	// path.
+	return r.postRef(dst, tag, append([]byte{}, data...))
+}
+
+// postRef is post minus the defensive clone: the message delivers payload
+// by reference. Callers must guarantee the buffer is not mutated until the
+// receiver has consumed it (see AlltoallvScratch for the contract).
+func (r *Rank) postRef(dst, tag int, payload []byte) (senderFree float64) {
 	if dst < 0 || dst >= r.world.size {
 		panic(fmt.Sprintf("mpi: Send to invalid rank %d", dst))
 	}
-	payload := make([]byte, len(data))
-	copy(payload, data)
-	senderFree, arrival := r.world.mach.Transfer(r.rank, dst, int64(len(data)), r.Now())
-	r.bytesSent += int64(len(data))
+	senderFree, arrival := r.world.mach.Transfer(r.rank, dst, int64(len(payload)), r.Now())
+	r.bytesSent += int64(len(payload))
 	r.msgsSent++
 	target := r.world.ranks[dst]
 	target.msgSeq++
-	m := &message{src: r.rank, tag: tag, data: payload, arrival: arrival, seq: target.msgSeq}
+	m := r.world.getMsg()
+	*m = message{src: r.rank, tag: tag, data: payload, arrival: arrival, seq: target.msgSeq}
 	target.inbox = append(target.inbox, m)
-	if target.waiting != nil && matches(target.waiting, m) {
-		target.waiting = nil
+	if target.hasWaiting && matches(target.waiting, m) {
+		target.hasWaiting = false
 		r.world.eng.Wake(target.proc, arrival)
 	}
 	return senderFree
@@ -178,19 +219,22 @@ func (r *Rank) Recv(src, tag int) (data []byte, fromSrc, fromTag int) {
 	for {
 		if m := r.takeMatch(src, tag); m != nil {
 			r.proc.AdvanceTo(m.arrival)
-			return m.data, m.src, m.tag
+			data, fromSrc, fromTag = m.data, m.src, m.tag
+			r.world.putMsg(m)
+			return data, fromSrc, fromTag
 		}
-		r.waiting = &recvWait{src: src, tag: tag}
+		r.waiting = recvWait{src: src, tag: tag}
+		r.hasWaiting = true
 		r.proc.Block(fmt.Sprintf("Recv(src=%d, tag=%d)", src, tag))
 	}
 }
 
-func matches(w *recvWait, m *message) bool {
+func matches(w recvWait, m *message) bool {
 	return (w.src == AnySource || w.src == m.src) && (w.tag == AnyTag || w.tag == m.tag)
 }
 
 func (r *Rank) takeMatch(src, tag int) *message {
-	w := &recvWait{src: src, tag: tag}
+	w := recvWait{src: src, tag: tag}
 	bestIdx := -1
 	for i, m := range r.inbox {
 		if !matches(w, m) {

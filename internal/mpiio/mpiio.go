@@ -14,7 +14,8 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
-	"sort"
+	"slices"
+	"sync"
 
 	"repro/internal/mpi"
 	"repro/internal/obs"
@@ -99,6 +100,84 @@ type File struct {
 	// reqs numbers this handle's raw device requests; together with the
 	// rank it identifies a request for deterministic retry jitter.
 	reqs int64
+
+	// Scratch reused across blocking collective calls so the two-phase hot
+	// path stops allocating per call; pooled across handles, since files
+	// are opened and closed every dump cycle. The split-collective ops
+	// deliberately do not touch any of it: they hold pieces across
+	// Begin/End, and everything here is recycled at the next blocking call.
+	*fileScratch
+}
+
+// fileScratch is the recycled scratch bundle behind a File. Open takes one
+// from a pool and Close returns it (nil afterwards, so use-after-close
+// fails loudly); the grown buffers then amortize across every handle of
+// the process instead of being rebuilt per open.
+type fileScratch struct {
+	scratch   arena    // wire messages + aggregator collective buffers
+	i64s      arena64  // run bookkeeping that does not escape the call
+	cbBuf     []byte   // writeCoalesced assembly buffer (cap CBBufferSize)
+	dsBuf     []byte   // ReadRuns sieving buffer (cap DSBufferSize)
+	pieces    []piece  // WriteAtAll assembly list
+	rpieces   []rpiece // ReadAtAll aggregator request list
+	extents   []mpi.Run
+	extData   [][]byte
+	order     []int
+	srcCounts []int
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(fileScratch) }}
+
+// arena is a grow-only scratch allocator for the blocking collective I/O
+// paths: alloc returns an UNINITIALIZED slice that the caller fully
+// overwrites, and reset recycles the whole block at the next collective
+// entry. Allocations are only valid until that reset — safe here because
+// mpi.Send copies payloads at post time and every wire message and
+// collective buffer dies when the call returns.
+type arena struct {
+	buf []byte
+	off int
+}
+
+func (a *arena) reset() { a.off = 0 }
+
+func (a *arena) alloc(n int) []byte {
+	if a.off+n > len(a.buf) {
+		// Fresh block (old outstanding slices keep the old one alive);
+		// the zeroing cost of make is paid once per growth, not per call.
+		c := 2*len(a.buf) + n
+		if c < 1<<16 {
+			c = 1 << 16
+		}
+		a.buf = make([]byte, c)
+		a.off = 0
+	}
+	s := a.buf[a.off : a.off+n : a.off+n]
+	a.off += n
+	return s
+}
+
+// arena64 is arena's int64 counterpart, for run bookkeeping (offsets,
+// lengths, buffer positions) that dies when the collective call returns.
+type arena64 struct {
+	buf []int64
+	off int
+}
+
+func (a *arena64) reset() { a.off = 0 }
+
+func (a *arena64) alloc(n int) []int64 {
+	if a.off+n > len(a.buf) {
+		c := 2*len(a.buf) + n
+		if c < 4096 {
+			c = 4096
+		}
+		a.buf = make([]int64, c)
+		a.off = 0
+	}
+	s := a.buf[a.off : a.off+n : a.off+n]
+	a.off += n
+	return s
 }
 
 // Mode selects open semantics.
@@ -135,7 +214,8 @@ func Open(r *mpi.Rank, fs pfs.FileSystem, name string, mode Mode, hints Hints) (
 		return nil, fmt.Errorf("mpiio: open %q: %w", name, err)
 	}
 	recordHints(r, name, hints)
-	return &File{r: r, fs: fs, f: f, client: client, hints: hints}, nil
+	return &File{r: r, fs: fs, f: f, client: client, hints: hints,
+		fileScratch: scratchPool.Get().(*fileScratch)}, nil
 }
 
 // OpenIndependent opens name from a single rank without collective
@@ -155,7 +235,8 @@ func OpenIndependent(r *mpi.Rank, fs pfs.FileSystem, name string, mode Mode, hin
 		return nil, fmt.Errorf("mpiio: open %q: %w", name, err)
 	}
 	recordHints(r, name, hints)
-	return &File{r: r, fs: fs, f: f, client: client, hints: hints}, nil
+	return &File{r: r, fs: fs, f: f, client: client, hints: hints,
+		fileScratch: scratchPool.Get().(*fileScratch)}, nil
 }
 
 // recordHints exposes the normalized hint set to the tracer, giving the
@@ -182,7 +263,13 @@ func (f *File) Size() int64 { return f.f.Size(f.client) }
 // Close releases the handle. For collectively opened files call it from
 // every rank; it does not synchronize (matching MPI semantics, where the
 // barrier is optional).
-func (f *File) Close() { f.f.Close(f.client) }
+func (f *File) Close() {
+	f.f.Close(f.client)
+	if f.fileScratch != nil {
+		scratchPool.Put(f.fileScratch)
+		f.fileScratch = nil
+	}
+}
 
 // WriteAt writes a contiguous buffer at an explicit offset (independent).
 func (f *File) WriteAt(data []byte, off int64) {
@@ -245,8 +332,12 @@ func (f *File) ReadRuns(runs []mpi.Run, buf []byte) {
 	defer sp.End()
 	lo := runs[0].Off
 	hi := runs[len(runs)-1].Off + runs[len(runs)-1].Len
-	chunk := make([]byte, f.hints.DSBufferSize)
-	bufOff := make([]int64, len(runs)) // prefix of buf positions per run
+	if int64(cap(f.dsBuf)) < f.hints.DSBufferSize {
+		f.dsBuf = make([]byte, f.hints.DSBufferSize)
+	}
+	chunk := f.dsBuf[:f.hints.DSBufferSize]
+	f.i64s.reset()
+	bufOff := f.i64s.alloc(len(runs)) // prefix of buf positions per run
 	var acc int64
 	for i, run := range runs {
 		bufOff[i] = acc
@@ -357,7 +448,15 @@ func (f *File) accessRange(runs []mpi.Run) (lo, hi int64, interleaved bool) {
 		}
 		exts = append(exts, ext{allLo[i], allHi[i]})
 	}
-	sort.Slice(exts, func(i, j int) bool { return exts[i].lo < exts[j].lo })
+	slices.SortFunc(exts, func(a, b ext) int {
+		switch {
+		case a.lo < b.lo:
+			return -1
+		case a.lo > b.lo:
+			return 1
+		}
+		return 0
+	})
 	for i := 1; i < len(exts); i++ {
 		if exts[i].lo < exts[i-1].hi {
 			interleaved = true
@@ -419,9 +518,137 @@ func decodePieces(msg []byte, withPayload bool) []piece {
 	return out
 }
 
+// appendPieces is decodePieces(msg, true) without the intermediate
+// offs/lens allocations: payload slices alias msg, headers are walked in
+// place, and the pieces land in dst (reused across calls).
+func appendPieces(dst []piece, msg []byte) []piece {
+	if len(msg) < 4 {
+		return dst
+	}
+	count := int(binary.LittleEndian.Uint32(msg))
+	hp, dp := 4, 4+16*count
+	for i := 0; i < count; i++ {
+		off := int64(binary.LittleEndian.Uint64(msg[hp:]))
+		n := int(binary.LittleEndian.Uint64(msg[hp+8:]))
+		hp += 16
+		dst = append(dst, piece{off: off, data: msg[dp : dp+n]})
+		dp += n
+	}
+	return dst
+}
+
+// rpiece is one requested extent on a read aggregator: who asked (src),
+// which request of theirs it was (idx), the file range, and — once the
+// extent reads complete — the collective-buffer bytes that satisfy it.
+type rpiece struct {
+	src, idx int
+	off, n   int64
+	data     []byte
+}
+
+// encodeHdrs builds a header-only wire message (read requests) in arena
+// scratch.
+func (a *arena) encodeHdrs(offs, lens []int64) []byte {
+	out := a.alloc(4 + 16*len(offs))
+	binary.LittleEndian.PutUint32(out, uint32(len(offs)))
+	p := 4
+	for i := range offs {
+		binary.LittleEndian.PutUint64(out[p:], uint64(offs[i]))
+		binary.LittleEndian.PutUint64(out[p+8:], uint64(lens[i]))
+		p += 16
+	}
+	return out
+}
+
+// encodeRuns builds a piece wire message in arena scratch, copying the
+// payloads straight out of the caller's data buffer (no [][]byte
+// indirection).
+func (a *arena) encodeRuns(offs, lens, bpos []int64, data []byte) []byte {
+	var total int64
+	for _, n := range lens {
+		total += n
+	}
+	out := a.alloc(4 + 16*len(offs) + int(total))
+	binary.LittleEndian.PutUint32(out, uint32(len(offs)))
+	p := 4
+	for i := range offs {
+		binary.LittleEndian.PutUint64(out[p:], uint64(offs[i]))
+		binary.LittleEndian.PutUint64(out[p+8:], uint64(lens[i]))
+		p += 16
+	}
+	for i := range offs {
+		p += copy(out[p:], data[bpos[i]:bpos[i]+lens[i]])
+	}
+	return out
+}
+
+// encodeRPieces builds a reply wire message in arena scratch from one
+// source's satisfied request pieces, already in request (idx) order.
+func (a *arena) encodeRPieces(ps []rpiece) []byte {
+	var total int64
+	for i := range ps {
+		total += ps[i].n
+	}
+	out := a.alloc(4 + 16*len(ps) + int(total))
+	binary.LittleEndian.PutUint32(out, uint32(len(ps)))
+	p := 4
+	for i := range ps {
+		binary.LittleEndian.PutUint64(out[p:], uint64(ps[i].off))
+		binary.LittleEndian.PutUint64(out[p+8:], uint64(ps[i].n))
+		p += 16
+	}
+	for i := range ps {
+		p += copy(out[p:], ps[i].data)
+	}
+	return out
+}
+
+// intersectInto is intersectRuns on the handle's int64 arena: the result
+// slices die with the enclosing blocking collective call, so they need no
+// allocation of their own. The split-collective paths keep the allocating
+// intersectRuns — they hold bpos across Begin/End, past the next reset.
+func (f *File) intersectInto(runs []mpi.Run, bufOff []int64, dLo, dHi int64) (offs, lens, bpos []int64) {
+	k := 0
+	for _, run := range runs {
+		if max64(run.Off, dLo) < min64(run.Off+run.Len, dHi) {
+			k++
+		}
+	}
+	if k == 0 {
+		return nil, nil, nil
+	}
+	offs = f.i64s.alloc(k)[:0]
+	lens = f.i64s.alloc(k)[:0]
+	bpos = f.i64s.alloc(k)[:0]
+	for i, run := range runs {
+		s := max64(run.Off, dLo)
+		e := min64(run.Off+run.Len, dHi)
+		if s >= e {
+			continue
+		}
+		offs = append(offs, s)
+		lens = append(lens, e-s)
+		bpos = append(bpos, bufOff[i]+(s-run.Off))
+	}
+	return
+}
+
 // intersectRuns returns, for each of this rank's runs, its overlap with
-// [dLo,dHi): file offsets, lengths and the matching buffer positions.
+// [dLo,dHi): file offsets, lengths and the matching buffer positions. The
+// counting pass keeps the result slices exactly sized (no append growth).
 func intersectRuns(runs []mpi.Run, bufOff []int64, dLo, dHi int64) (offs, lens, bpos []int64) {
+	k := 0
+	for _, run := range runs {
+		if max64(run.Off, dLo) < min64(run.Off+run.Len, dHi) {
+			k++
+		}
+	}
+	if k == 0 {
+		return nil, nil, nil
+	}
+	offs = make([]int64, 0, k)
+	lens = make([]int64, 0, k)
+	bpos = make([]int64, 0, k)
 	for i, run := range runs {
 		s := max64(run.Off, dLo)
 		e := min64(run.Off+run.Len, dHi)
@@ -436,7 +663,10 @@ func intersectRuns(runs []mpi.Run, bufOff []int64, dLo, dHi int64) (offs, lens, 
 }
 
 func bufPrefix(runs []mpi.Run) []int64 {
-	bufOff := make([]int64, len(runs))
+	return bufPrefixInto(make([]int64, len(runs)), runs)
+}
+
+func bufPrefixInto(bufOff []int64, runs []mpi.Run) []int64 {
 	var acc int64
 	for i, run := range runs {
 		bufOff[i] = acc
@@ -475,45 +705,56 @@ func (f *File) WriteAtAll(runs []mpi.Run, data []byte) {
 		return
 	}
 	all.Attr("path", "two-phase")
+	f.scratch.reset()
+	f.i64s.reset()
 	naggs, rot := f.aggregators(lo, hi)
-	bufOff := bufPrefix(runs)
+	bufOff := bufPrefixInto(f.i64s.alloc(len(runs)), runs)
 
 	// Communication phase: ship each aggregator its domain's pieces.
 	parts := make([][]byte, f.r.Size())
 	for a := 0; a < naggs; a++ {
 		dLo, dHi := domain(lo, hi, naggs, a)
-		offs, lens, bpos := intersectRuns(runs, bufOff, dLo, dHi)
+		offs, lens, bpos := f.intersectInto(runs, bufOff, dLo, dHi)
 		if len(offs) == 0 {
 			continue
 		}
-		payload := make([][]byte, len(offs))
-		for i := range offs {
-			payload[i] = data[bpos[i] : bpos[i]+lens[i]]
-		}
-		parts[f.aggRank(a, rot)] = encodePieces(offs, lens, payload)
+		parts[f.aggRank(a, rot)] = f.scratch.encodeRuns(offs, lens, bpos, data)
 	}
+	// Scratch exchange: parts live in f.scratch, which is only reset at the
+	// next collective entry — after this call's trailing barrier, by which
+	// time every aggregator has consumed its pieces.
 	exch := obs.Begin(proc, obs.LayerMPIIO, "exchange")
-	recvd := f.r.Alltoallv(parts)
+	recvd := f.r.AlltoallvScratch(parts)
 	exch.End()
 
 	// I/O phase (aggregators only): assemble, coalesce, write in
 	// CBBufferSize chunks.
 	if f.myAggIndex(naggs, rot) >= 0 {
 		iop := obs.Begin(proc, obs.LayerMPIIO, "io")
-		var pieces []piece
+		pieces := f.pieces[:0]
 		var assembled int64
 		for _, msg := range recvd {
-			ps := decodePieces(msg, true)
-			for _, pc := range ps {
-				assembled += int64(len(pc.data))
-			}
-			pieces = append(pieces, ps...)
+			pieces = appendPieces(pieces, msg)
+		}
+		for _, pc := range pieces {
+			assembled += int64(len(pc.data))
 		}
 		if len(pieces) > 0 {
 			f.r.CopyCost(assembled) // pack into the collective buffer
-			sort.Slice(pieces, func(i, j int) bool { return pieces[i].off < pieces[j].off })
+			// Offsets are unique (runs never overlap across ranks), so the
+			// comparison is a total order and the sort is deterministic.
+			slices.SortFunc(pieces, func(a, b piece) int {
+				switch {
+				case a.off < b.off:
+					return -1
+				case a.off > b.off:
+					return 1
+				}
+				return 0
+			})
 			f.writeCoalesced(pieces)
 		}
+		f.pieces = pieces[:0]
 		iop.Bytes(assembled).End()
 	}
 	// Keep the participants in lockstep (ROMIO's two-phase iterations
@@ -525,7 +766,11 @@ func (f *File) WriteAtAll(runs []mpi.Run, data []byte) {
 // writes them in chunks of at most CBBufferSize.
 func (f *File) writeCoalesced(pieces []piece) {
 	cb := f.hints.CBBufferSize
-	buf := make([]byte, 0, cb)
+	if int64(cap(f.cbBuf)) < cb {
+		f.cbBuf = make([]byte, 0, cb)
+	}
+	buf := f.cbBuf[:0]
+	defer func() { f.cbBuf = buf[:0] }()
 	var start int64 = -1
 	flush := func() {
 		if start >= 0 && len(buf) > 0 {
@@ -589,25 +834,28 @@ func (f *File) ReadAtAll(runs []mpi.Run, buf []byte) {
 		return
 	}
 	allSp.Attr("path", "two-phase")
+	f.scratch.reset()
+	f.i64s.reset()
 	naggs, rot := f.aggregators(lo, hi)
-	bufOff := bufPrefix(runs)
+	bufOff := bufPrefixInto(f.i64s.alloc(len(runs)), runs)
 
 	// Request phase: tell each aggregator which extents we need and
 	// remember the matching buffer positions, in order.
-	type want struct{ bpos []int64 }
-	wants := make([]want, naggs)
+	wants := make([][]int64, naggs)
 	reqs := make([][]byte, f.r.Size())
 	for a := 0; a < naggs; a++ {
 		dLo, dHi := domain(lo, hi, naggs, a)
-		offs, lens, bpos := intersectRuns(runs, bufOff, dLo, dHi)
+		offs, lens, bpos := f.intersectInto(runs, bufOff, dLo, dHi)
 		if len(offs) == 0 {
 			continue
 		}
-		wants[a] = want{bpos: bpos}
-		reqs[f.aggRank(a, rot)] = encodePieces(offs, lens, make([][]byte, len(offs)))
+		wants[a] = bpos
+		reqs[f.aggRank(a, rot)] = f.scratch.encodeHdrs(offs, lens)
 	}
+	// Scratch exchange: reqs live in f.scratch, reset only at the next
+	// collective entry — after this call's trailing barrier.
 	exch := obs.Begin(proc, obs.LayerMPIIO, "exchange")
-	reqsRecvd := f.r.Alltoallv(reqs)
+	reqsRecvd := f.r.AlltoallvScratch(reqs)
 	exch.End()
 
 	// I/O phase: aggregators read the coalesced union of requested
@@ -615,98 +863,154 @@ func (f *File) ReadAtAll(runs []mpi.Run, buf []byte) {
 	replies := make([][]byte, f.r.Size())
 	if f.myAggIndex(naggs, rot) >= 0 {
 		iop := obs.Begin(proc, obs.LayerMPIIO, "io")
-		// Collect every requested extent.
-		type reqPiece struct {
-			src  int
-			idx  int
-			off  int64
-			n    int64
-			data []byte
+		// Collect every requested extent (header walk, no decode allocs).
+		// The walk visits sources in rank order, so all lands naturally
+		// grouped by src, and within one group the pieces are both idx- and
+		// off-ascending (intersectRuns emits offsets in request order) —
+		// which is why no sort appears below.
+		size := f.r.Size()
+		all := f.rpieces[:0]
+		srcStart := f.srcCounts
+		if cap(srcStart) < size+1 {
+			srcStart = make([]int, size+1)
 		}
-		var all []reqPiece
+		srcStart = srcStart[:size+1]
 		for src, msg := range reqsRecvd {
-			for i, pc := range decodePieces(msg, false) {
-				all = append(all, reqPiece{src: src, idx: i, off: pc.off, n: int64(len(pc.data))})
+			srcStart[src] = len(all)
+			if len(msg) < 4 {
+				continue
+			}
+			count := int(binary.LittleEndian.Uint32(msg))
+			p := 4
+			for i := 0; i < count; i++ {
+				all = append(all, rpiece{
+					src: src,
+					idx: i,
+					off: int64(binary.LittleEndian.Uint64(msg[p:])),
+					n:   int64(binary.LittleEndian.Uint64(msg[p+8:])),
+				})
+				p += 16
 			}
 		}
+		srcStart[size] = len(all)
 		if len(all) > 0 {
-			sort.Slice(all, func(i, j int) bool {
-				if all[i].off != all[j].off {
-					return all[i].off < all[j].off
+			// Coalesce the requested extents without materializing a
+			// globally sorted piece list: a k-way merge over the per-src
+			// groups visits offsets in nondecreasing order, which is all
+			// interval union needs (the order among equal offsets cannot
+			// change the union). heads is a binary min-heap of one cursor
+			// per non-empty group, keyed by the head piece's offset.
+			heads := f.order[:0]
+			for s := 0; s < size; s++ {
+				if srcStart[s] < srcStart[s+1] {
+					heads = append(heads, srcStart[s])
 				}
-				if all[i].src != all[j].src {
-					return all[i].src < all[j].src
-				}
-				return all[i].idx < all[j].idx
-			})
-			// Coalesce into covering extents and read them chunked.
-			var extents []mpi.Run
-			for _, rp := range all {
-				if len(extents) > 0 {
-					last := &extents[len(extents)-1]
-					if rp.off <= last.Off+last.Len {
-						if e := rp.off + rp.n; e > last.Off+last.Len {
-							last.Len = e - last.Off
-						}
-						continue
-					}
-				}
-				extents = append(extents, mpi.Run{Off: rp.off, Len: rp.n})
 			}
+			sift := func(i int) {
+				for {
+					l, r, m := 2*i+1, 2*i+2, i
+					if l < len(heads) && all[heads[l]].off < all[heads[m]].off {
+						m = l
+					}
+					if r < len(heads) && all[heads[r]].off < all[heads[m]].off {
+						m = r
+					}
+					if m == i {
+						return
+					}
+					heads[i], heads[m] = heads[m], heads[i]
+					i = m
+				}
+			}
+			for i := len(heads)/2 - 1; i >= 0; i-- {
+				sift(i)
+			}
+			extents := f.extents[:0]
+			for len(heads) > 0 {
+				rp := &all[heads[0]]
+				if n := len(extents); n > 0 && rp.off <= extents[n-1].Off+extents[n-1].Len {
+					if e := rp.off + rp.n; e > extents[n-1].Off+extents[n-1].Len {
+						extents[n-1].Len = e - extents[n-1].Off
+					}
+				} else {
+					extents = append(extents, mpi.Run{Off: rp.off, Len: rp.n})
+				}
+				if h := heads[0] + 1; h < srcStart[rp.src+1] {
+					heads[0] = h
+				} else {
+					heads[0] = heads[len(heads)-1]
+					heads = heads[:len(heads)-1]
+				}
+				sift(0)
+			}
+			// Read the extents chunked into arena scratch (fully
+			// overwritten by devReadAt, so the uninitialized alloc is
+			// safe).
 			var readBytes int64
-			extData := make([][]byte, len(extents))
-			for i, ext := range extents {
-				extData[i] = make([]byte, ext.Len)
+			extData := f.extData[:0]
+			for _, ext := range extents {
+				data := f.scratch.alloc(int(ext.Len))
 				for base := int64(0); base < ext.Len; base += f.hints.CBBufferSize {
 					n := min64(f.hints.CBBufferSize, ext.Len-base)
-					f.devReadAt(extData[i][base:base+n], ext.Off+base)
+					f.devReadAt(data[base:base+n], ext.Off+base)
 				}
+				extData = append(extData, data)
 				readBytes += ext.Len
 			}
 			f.r.CopyCost(readBytes) // scatter out of the collective buffer
-			// Fill each request from the extents.
-			find := func(off, n int64) []byte {
-				for i, ext := range extents {
-					if off >= ext.Off && off+n <= ext.Off+ext.Len {
-						return extData[i][off-ext.Off : off-ext.Off+n]
+			// Fill each group's requests from the extents and encode its
+			// reply: group and extents are both off-ascending, so each
+			// group's containing-extent cursor only moves forward, and the
+			// group's natural order is already the idx order the requester
+			// expects.
+			for s := 0; s < size; s++ {
+				g := all[srcStart[s]:srcStart[s+1]]
+				if len(g) == 0 {
+					continue
+				}
+				ei := 0
+				for i := range g {
+					rp := &g[i]
+					for rp.off >= extents[ei].Off+extents[ei].Len {
+						ei++
 					}
+					if rp.off < extents[ei].Off || rp.off+rp.n > extents[ei].Off+extents[ei].Len {
+						panic("mpiio: request outside read extents")
+					}
+					rp.data = extData[ei][rp.off-extents[ei].Off : rp.off-extents[ei].Off+rp.n]
 				}
-				panic("mpiio: request outside read extents")
+				replies[s] = f.scratch.encodeRPieces(g)
 			}
-			perSrc := make(map[int][]reqPiece)
-			for _, rp := range all {
-				rp.data = find(rp.off, rp.n)
-				perSrc[rp.src] = append(perSrc[rp.src], rp)
-			}
-			for src, rps := range perSrc {
-				sort.Slice(rps, func(i, j int) bool { return rps[i].idx < rps[j].idx })
-				offs := make([]int64, len(rps))
-				lens := make([]int64, len(rps))
-				payload := make([][]byte, len(rps))
-				for i, rp := range rps {
-					offs[i], lens[i], payload[i] = rp.off, rp.n, rp.data
-				}
-				replies[src] = encodePieces(offs, lens, payload)
-			}
+			f.order, f.extents, f.extData = heads[:0], extents[:0], extData[:0]
 		}
+		f.srcCounts, f.rpieces = srcStart[:0], all[:0]
 		iop.End()
 	}
 	exch = obs.Begin(proc, obs.LayerMPIIO, "exchange")
-	got := f.r.Alltoallv(replies)
+	got := f.r.AlltoallvScratch(replies)
 	exch.End()
 
 	// Place the received pieces into buf, in the order we requested them.
 	for a := 0; a < naggs; a++ {
-		if len(wants[a].bpos) == 0 {
+		bpos := wants[a]
+		if len(bpos) == 0 {
 			continue
 		}
-		ps := decodePieces(got[f.aggRank(a, rot)], true)
-		if len(ps) != len(wants[a].bpos) {
-			panic(fmt.Sprintf("mpiio: aggregator %d returned %d pieces, want %d",
-				a, len(ps), len(wants[a].bpos)))
+		msg := got[f.aggRank(a, rot)]
+		count := 0
+		if len(msg) >= 4 {
+			count = int(binary.LittleEndian.Uint32(msg))
 		}
-		for i, pc := range ps {
-			copy(buf[wants[a].bpos[i]:wants[a].bpos[i]+int64(len(pc.data))], pc.data)
+		if count != len(bpos) {
+			panic(fmt.Sprintf("mpiio: aggregator %d returned %d pieces, want %d",
+				a, count, len(bpos)))
+		}
+		hp, dp := 4, 4+16*count
+		for i := 0; i < count; i++ {
+			n := int(binary.LittleEndian.Uint64(msg[hp+8:]))
+			hp += 16
+			copy(buf[bpos[i]:bpos[i]+int64(n)], msg[dp:dp+n])
+			dp += n
 		}
 	}
 	f.r.Barrier()

@@ -152,7 +152,7 @@ func (f *File) WriteAtAllBegin(runs []mpi.Run, data []byte) *SplitWrite {
 		parts[f.aggRank(a, rot)] = encodePieces(offs, lens, payload)
 	}
 	exch := obs.Begin(proc, obs.LayerMPIIO, "exchange")
-	recvd := f.r.Alltoallv(parts)
+	recvd := f.r.AlltoallvScratch(parts) // parts are fresh encodePieces messages, garbage after this call
 	exch.End()
 
 	end := proc.Now()

@@ -14,6 +14,7 @@
 package mpiio
 
 import (
+	"encoding/binary"
 	"fmt"
 	"sort"
 
@@ -125,7 +126,7 @@ func (f *File) ReadAtAllBegin(runs []mpi.Run, buf []byte) *SplitRead {
 		reqs[f.aggRank(a, rot)] = encodePieces(offs, lens, make([][]byte, len(offs)))
 	}
 	exch := obs.Begin(proc, obs.LayerMPIIO, "exchange")
-	reqsRecvd := f.r.Alltoallv(reqs)
+	reqsRecvd := f.r.AlltoallvScratch(reqs) // reqs are fresh encodePieces messages, garbage after this call
 	exch.End()
 
 	// I/O phase: aggregators issue the coalesced union of requested extents
@@ -147,8 +148,21 @@ func (f *File) ReadAtAllBegin(runs []mpi.Run, buf []byte) *SplitRead {
 	if f.myAggIndex(naggs, rot) >= 0 {
 		iop := obs.Begin(proc, obs.LayerMPIIO, "io").Attr("deferred", "1")
 		for src, msg := range reqsRecvd {
-			for i, pc := range decodePieces(msg, false) {
-				all2 = append(all2, reqPiece{src: src, idx: i, off: pc.off, n: int64(len(pc.data))})
+			if len(msg) < 4 {
+				continue
+			}
+			// Header walk: a read request carries no payload, so decoding
+			// pieces (with their placeholder buffers) would only allocate.
+			count := int(binary.LittleEndian.Uint32(msg))
+			p := 4
+			for i := 0; i < count; i++ {
+				all2 = append(all2, reqPiece{
+					src: src,
+					idx: i,
+					off: int64(binary.LittleEndian.Uint64(msg[p:])),
+					n:   int64(binary.LittleEndian.Uint64(msg[p+8:])),
+				})
+				p += 16
 			}
 		}
 		if len(all2) > 0 {
@@ -216,7 +230,7 @@ func (f *File) ReadAtAllBegin(runs []mpi.Run, buf []byte) *SplitRead {
 			}
 		}
 		exch := obs.Begin(f.client.Proc, obs.LayerMPIIO, "exchange")
-		got := f.r.Alltoallv(replies)
+		got := f.r.AlltoallvScratch(replies) // replies are fresh encodePieces messages, garbage after this call
 		exch.End()
 		for a := 0; a < naggs; a++ {
 			if len(wants[a].bpos) == 0 {

@@ -133,7 +133,8 @@ type procTrace struct {
 	t     *Tracer
 	rank  int
 	spans []Span
-	stack []int // open span indices, innermost last
+	stack []int     // open span indices, innermost last
+	free  []*Active // recycled span handles; see Begin/End
 }
 
 // Attach registers rank's Proc with the tracer. Every span opened by p
@@ -181,6 +182,16 @@ func Begin(p *sim.Proc, layer Layer, name string) *Active {
 		Depth:  len(h.stack),
 	})
 	h.stack = append(h.stack, idx)
+	// Handles are recycled through a per-rank free list: traced hot paths
+	// open millions of spans, and each handle would otherwise escape to the
+	// heap. A handle is dead once End returns it here; the strict-nesting
+	// panic in End catches most use-after-End mistakes.
+	if n := len(h.free); n > 0 {
+		a := h.free[n-1]
+		h.free = h.free[:n-1]
+		*a = Active{h: h, p: p, idx: idx}
+		return a
+	}
 	return &Active{h: h, p: p, idx: idx}
 }
 
@@ -217,6 +228,7 @@ func (a *Active) End() {
 	}
 	h.stack = h.stack[:n-1]
 	h.spans[a.idx].End = a.p.Now()
+	h.free = append(h.free, a)
 }
 
 // Mark returns p's current span-stack depth (0 when untraced), for use

@@ -41,6 +41,16 @@ func (s *ByteStore) WriteAt(data []byte, off int64) {
 		pageOff := pos % storePageSize
 		page, ok := s.pages[pageIdx]
 		if !ok {
+			if pageOff == 0 && len(rem) >= storePageSize {
+				// The write covers the whole missing page: clone via
+				// append, which skips zeroing memory that is immediately
+				// overwritten (large streaming writes hit this path for
+				// nearly every page).
+				s.pages[pageIdx] = append([]byte(nil), rem[:storePageSize]...)
+				rem = rem[storePageSize:]
+				pos += storePageSize
+				continue
+			}
 			page = make([]byte, storePageSize)
 			s.pages[pageIdx] = page
 		}

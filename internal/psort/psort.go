@@ -80,7 +80,7 @@ func SampleSort(r *mpi.Rank, rows [][]byte, rowSize int, key Key) [][]byte {
 		b := sort.Search(len(splitters), func(i int) bool { return k <= splitters[i] })
 		parts[b] = append(parts[b], row...)
 	}
-	recvd := r.Alltoallv(parts)
+	recvd := r.AlltoallvScratch(parts) // freshly bucketed parts, garbage after this call
 
 	// Unpack and merge (received pieces are each sorted; a final sort is
 	// simplest and deterministic).

@@ -5,10 +5,12 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"runtime"
 	"sort"
 	"sync"
 	"testing"
 	"testing/quick"
+	"time"
 )
 
 func TestSingleProcAdvance(t *testing.T) {
@@ -183,10 +185,11 @@ func TestAdvanceToPast(t *testing.T) {
 }
 
 func TestManyProcsDeterministic(t *testing.T) {
-	// Run the same randomized workload twice; virtual end times must match
-	// exactly.
-	run := func() []float64 {
-		e := NewEngine()
+	// Run the same randomized workload twice on the heap scheduler and once
+	// on the retained linear-scan reference scheduler; virtual end times
+	// must match exactly across all three.
+	run := func(newEngine func() *Engine) []float64 {
+		e := newEngine()
 		times := make([]float64, 16)
 		for i := 0; i < 16; i++ {
 			id := i
@@ -203,11 +206,163 @@ func TestManyProcsDeterministic(t *testing.T) {
 		}
 		return times
 	}
-	a, b := run(), run()
+	a, b := run(NewEngine), run(NewEngine)
+	ref := run(NewReferenceEngine)
 	for i := range a {
 		if a[i] != b[i] {
 			t.Fatalf("run differs at proc %d: %g vs %g", i, a[i], b[i])
 		}
+		if a[i] != ref[i] {
+			t.Fatalf("heap and reference schedulers differ at proc %d: %g vs %g", i, a[i], ref[i])
+		}
+	}
+}
+
+// TestHeapMatchesReferenceOracle is the dual-run property test for the heap
+// scheduler: a randomized workload mixing Advance, Block/Wake message
+// passing and shared-server contention must produce the identical dispatch
+// sequence (every proc observes the same (step, virtual time) trace) and
+// identical final clocks on NewEngine and NewReferenceEngine. The reference
+// engine is the original pre-heap linear scan, so agreement here is the
+// determinism argument for the O(log n) scheduler (DESIGN.md §13).
+func TestHeapMatchesReferenceOracle(t *testing.T) {
+	type result struct {
+		trace  []string
+		times  []float64
+		events int64
+	}
+	const nprocs = 12
+	run := func(newEngine func() *Engine) result {
+		e := newEngine()
+		var trace []string
+		times := make([]float64, nprocs)
+		procs := make([]*Proc, nprocs)
+		disk := NewServer("disk")
+		// Proc 0 is the sweeper: it never blocks and, after its own steps,
+		// keeps waking any blocked peer until every other proc has finished,
+		// so the randomized Blocks below can never deadlock. Everything is
+		// driven by engine dispatch order, so the run stays deterministic.
+		for i := 0; i < nprocs; i++ {
+			id := i
+			rng := rand.New(rand.NewSource(int64(1000 + i)))
+			procs[i] = e.Spawn(fmt.Sprintf("p%d", i), func(p *Proc) {
+				for k := 0; k < 40; k++ {
+					trace = append(trace, fmt.Sprintf("p%d#%d@%.9g", id, k, p.Now()))
+					switch rng.Intn(4) {
+					case 0:
+						p.Advance(rng.Float64())
+					case 1:
+						_, end := disk.Serve(p.Now(), 0.01+rng.Float64()/10)
+						p.AdvanceTo(end)
+					case 2:
+						// Message a peer (only a blocked one may be woken).
+						peer := rng.Intn(nprocs)
+						if peer != id && procs[peer].state == stateBlocked {
+							p.Engine().Wake(procs[peer], p.Now()+rng.Float64())
+						}
+						p.Advance(rng.Float64() / 4)
+					case 3:
+						if id != 0 {
+							p.Block("awaiting sweep or peer wake")
+						} else {
+							p.Yield()
+						}
+					}
+				}
+				if id == 0 {
+					for e.done < nprocs-1 {
+						for _, q := range procs[1:] {
+							if q.state == stateBlocked {
+								p.Engine().Wake(q, p.Now()+rng.Float64()/2)
+							}
+						}
+						p.Advance(0.5)
+					}
+				}
+				times[id] = p.Now()
+			})
+		}
+		if err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return result{trace: trace, times: times, events: e.Events()}
+	}
+	heap := run(NewEngine)
+	ref := run(NewReferenceEngine)
+	if len(heap.trace) != len(ref.trace) {
+		t.Fatalf("trace lengths differ: heap %d vs reference %d", len(heap.trace), len(ref.trace))
+	}
+	for i := range heap.trace {
+		if heap.trace[i] != ref.trace[i] {
+			t.Fatalf("dispatch traces diverge at step %d: heap %q vs reference %q",
+				i, heap.trace[i], ref.trace[i])
+		}
+	}
+	for i := range heap.times {
+		if heap.times[i] != ref.times[i] {
+			t.Fatalf("final clock differs at proc %d: heap %g vs reference %g",
+				i, heap.times[i], ref.times[i])
+		}
+	}
+	if heap.events != ref.events {
+		t.Fatalf("event counts differ: heap %d vs reference %d", heap.events, ref.events)
+	}
+}
+
+// TestNoGoroutineLeakOnFailure asserts that a failed simulation — deadlock
+// or a panicking process body — releases every process goroutine: blocked,
+// parked-ready and never-dispatched alike. Regression test for the leak the
+// old central-loop engine had on both failure paths.
+func TestNoGoroutineLeakOnFailure(t *testing.T) {
+	base := runtime.NumGoroutine()
+
+	// Deadlock path: every proc blocks with no pending wake.
+	e := NewEngine()
+	for i := 0; i < 8; i++ {
+		e.Spawn(fmt.Sprintf("stuck%d", i), func(p *Proc) {
+			p.Advance(float64(p.ID()))
+			p.Block("never woken")
+		})
+	}
+	var dl *DeadlockError
+	if err := e.Run(); !errors.As(err, &dl) {
+		t.Fatalf("want DeadlockError, got %v", err)
+	}
+
+	// Panic path: the bomb fails the engine while peers are a mix of
+	// parked-ready (large advances) and blocked.
+	e = NewEngine()
+	e.Spawn("bomb", func(p *Proc) {
+		p.Advance(1)
+		panic("boom")
+	})
+	for i := 0; i < 4; i++ {
+		e.Spawn(fmt.Sprintf("ready%d", i), func(p *Proc) {
+			for {
+				p.Advance(100)
+			}
+		})
+	}
+	e.Spawn("blocked", func(p *Proc) {
+		p.Block("waiting forever")
+	})
+	var pe *PanicError
+	if err := e.Run(); !errors.As(err, &pe) {
+		t.Fatalf("want PanicError, got %v", err)
+	}
+
+	// Released goroutines unwind asynchronously after Run returns; poll
+	// until the count is back at (or below) the pre-test baseline.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if runtime.NumGoroutine() <= base {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: %d now vs %d at baseline", runtime.NumGoroutine(), base)
+		}
+		runtime.Gosched()
+		time.Sleep(time.Millisecond)
 	}
 }
 
