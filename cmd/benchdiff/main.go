@@ -2,9 +2,9 @@
 // regression gate. The simulation is virtual-time: identical code must
 // produce bit-identical results on every machine, so the committed
 // baselines (BENCH_baseline.json, BENCH_faults.json, BENCH_reads.json,
-// BENCH_dedup.json, BENCH_scale.json) are compared with EXACT equality — any drift, however
-// small, means the model's timing changed and must be either fixed or
-// consciously re-baselined.
+// BENCH_dedup.json, BENCH_scale.json, BENCH_hints.json) are compared with
+// EXACT equality — any drift, however small, means the model's timing
+// changed and must be either fixed or consciously re-baselined.
 //
 // Usage:
 //
@@ -13,13 +13,19 @@
 //	benchdiff -checkdedup  assert the committed dedup baseline's invariant
 //	                       (castore device bytes strictly below plain at
 //	                       retention depth >= 2) without running anything
+//	benchdiff -checkhints  assert the committed hints baseline's invariant
+//	                       (autotuned total I/O time never above the
+//	                       defaults, strictly below on at least one pvfs
+//	                       row) without running anything
 //
 // The benchmark set: Table 1 volumes (all problems), the codec, overlap
 // and restart-read sweeps at AMR128/np=8, the fault sweep (stragglers
 // and corruption recovery) at AMR64/np=8, the dedup sweep
-// (content-addressed store vs plain dumps) at AMR64+AMR128/np=8, and the
+// (content-addressed store vs plain dumps) at AMR64+AMR128/np=8, the
 // scale sweep (virtual time and deterministic events/op vs rank count) at
-// AMR128/AMR256 with np up to 256.
+// AMR128/AMR256 with np up to 256, and the hints sweep (autotuned MPI-IO
+// hint vector vs defaults) across three machines x pvfs/gpfs x
+// mpiio/hdf5 at AMR64/np=8.
 package main
 
 import (
@@ -67,6 +73,12 @@ type Scale struct {
 	Scale []experiments.ScaleRow
 }
 
+// Hints is the serialized hints sweep, in its own file so autotuner
+// changes re-baseline separately.
+type Hints struct {
+	Hints []experiments.HintsRow
+}
+
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
@@ -80,7 +92,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	readPath := fl.String("reads", "BENCH_reads.json", "restart-read sweep baseline file")
 	dedupPath := fl.String("dedup", "BENCH_dedup.json", "dedup sweep baseline file")
 	scalePath := fl.String("scale", "BENCH_scale.json", "scale sweep baseline file")
+	hintsPath := fl.String("hints", "BENCH_hints.json", "hints sweep baseline file")
 	checkDedup := fl.Bool("checkdedup", false, "only check the committed dedup baseline's savings invariant (no simulations)")
+	checkHints := fl.Bool("checkhints", false, "only check the committed hints baseline's tuned-beats-default invariant (no simulations)")
 	if err := fl.Parse(args); err != nil {
 		return 2
 	}
@@ -104,6 +118,23 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return 1
 		}
 		fmt.Fprintf(stdout, "dedup baseline ok: castore device bytes strictly below plain at every depth >= 2\n")
+		return 0
+	}
+
+	if *checkHints {
+		var baseHints Hints
+		if err := readJSON(*hintsPath, &baseHints); err != nil {
+			fmt.Fprintln(stderr, "error:", err)
+			return 1
+		}
+		if problems := checkHintsInvariant(baseHints.Hints); len(problems) > 0 {
+			fmt.Fprintf(stdout, "HINTS INVARIANT VIOLATED in %s:\n", *hintsPath)
+			for _, p := range problems {
+				fmt.Fprintln(stdout, " ", p)
+			}
+			return 1
+		}
+		fmt.Fprintf(stdout, "hints baseline ok: tuned I/O time never above the defaults, strictly below on pvfs\n")
 		return 0
 	}
 
@@ -146,13 +177,27 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "error:", err)
 		return 1
 	}
+	fmt.Fprintln(stderr, "running hints sweep (AMR64, np=8)...")
+	hints, err := experiments.HintsSweep(o)
+	if err != nil {
+		fmt.Fprintln(stderr, "error:", err)
+		return 1
+	}
 	fresh := Baseline{Table1: table1, Codecs: codecs, Overlap: overlap}
 	freshFaults := Faults{Stragglers: stragglers, Recovery: recovery}
 	freshReads := Reads{Reads: reads}
 	freshDedup := Dedup{Dedup: dedup}
 	freshScale := Scale{Scale: experiments.StripWallClock(scale)}
+	freshHints := Hints{Hints: hints}
 	if problems := checkDedupInvariant(dedup); len(problems) > 0 {
 		fmt.Fprintln(stdout, "DEDUP INVARIANT VIOLATED in the fresh sweep:")
+		for _, p := range problems {
+			fmt.Fprintln(stdout, " ", p)
+		}
+		return 1
+	}
+	if problems := checkHintsInvariant(hints); len(problems) > 0 {
+		fmt.Fprintln(stdout, "HINTS INVARIANT VIOLATED in the fresh sweep:")
 		for _, p := range problems {
 			fmt.Fprintln(stdout, " ", p)
 		}
@@ -180,7 +225,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintln(stderr, "error:", err)
 			return 1
 		}
-		fmt.Fprintf(stdout, "baselines updated: %s, %s, %s, %s, %s\n", *basePath, *faultPath, *readPath, *dedupPath, *scalePath)
+		if err := writeJSON(*hintsPath, freshHints); err != nil {
+			fmt.Fprintln(stderr, "error:", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "baselines updated: %s, %s, %s, %s, %s, %s\n", *basePath, *faultPath, *readPath, *dedupPath, *scalePath, *hintsPath)
 		return 0
 	}
 
@@ -209,6 +258,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "error:", err)
 		return 1
 	}
+	var baseHints Hints
+	if err := readJSON(*hintsPath, &baseHints); err != nil {
+		fmt.Fprintln(stderr, "error:", err)
+		return 1
+	}
 	var drift []string
 	drift = append(drift, CompareRows("table1", base.Table1, fresh.Table1)...)
 	drift = append(drift, CompareRows("codecs", base.Codecs, fresh.Codecs)...)
@@ -218,9 +272,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	drift = append(drift, CompareRows("reads", baseReads.Reads, freshReads.Reads)...)
 	drift = append(drift, CompareRows("dedup", baseDedup.Dedup, freshDedup.Dedup)...)
 	drift = append(drift, CompareRows("scale", baseScale.Scale, freshScale.Scale)...)
+	drift = append(drift, CompareRows("hints", baseHints.Hints, freshHints.Hints)...)
 	if len(drift) > 0 {
-		fmt.Fprintf(stdout, "BENCHMARK DRIFT: %d difference(s) against %s / %s / %s / %s / %s\n\n",
-			len(drift), *basePath, *faultPath, *readPath, *dedupPath, *scalePath)
+		fmt.Fprintf(stdout, "BENCHMARK DRIFT: %d difference(s) against %s / %s / %s / %s / %s / %s\n\n",
+			len(drift), *basePath, *faultPath, *readPath, *dedupPath, *scalePath, *hintsPath)
 		for _, d := range drift {
 			fmt.Fprintln(stdout, d)
 		}
@@ -267,6 +322,37 @@ func checkDedupInvariant(rows []experiments.DedupRow) []string {
 	}
 	if checked == 0 {
 		problems = append(problems, "no castore rows at depth >= 2 to check")
+	}
+	return problems
+}
+
+// checkHintsInvariant asserts the hints sweep's headline claim: the
+// autotuned hint vector's total I/O time is never above the hand-picked
+// defaults on any row, and strictly below on at least one pvfs row (the
+// paper's tuning target). Every row must also still verify. An empty row
+// set is a violation — the gate must never pass vacuously.
+func checkHintsInvariant(rows []experiments.HintsRow) []string {
+	var problems []string
+	checked, pvfsWins := 0, 0
+	for _, r := range rows {
+		checked++
+		if !r.Verified {
+			problems = append(problems, fmt.Sprintf(
+				"%s/%s %s: tuned run failed verification", r.Machine, r.FS, r.Backend))
+		}
+		if r.TunedIOSec > r.DefaultIOSec {
+			problems = append(problems, fmt.Sprintf(
+				"%s/%s %s: tuned I/O %.3fs above default %.3fs",
+				r.Machine, r.FS, r.Backend, r.TunedIOSec, r.DefaultIOSec))
+		}
+		if r.FS == "pvfs" && r.TunedIOSec < r.DefaultIOSec {
+			pvfsWins++
+		}
+	}
+	if checked == 0 {
+		problems = append(problems, "no hints rows to check")
+	} else if pvfsWins == 0 {
+		problems = append(problems, "no pvfs row where tuned I/O is strictly below the default")
 	}
 	return problems
 }

@@ -7,7 +7,7 @@
 //	enzosim [-machine origin2000|sp2|chiba|cluster1024] [-fs xfs|gpfs|pvfs|local]
 //	        [-np N] [-problem AMR64|AMR128|AMR256|AMR512|tiny] [-membudget MIB]
 //	        [-backend hdf4|mpiio|mpiio-cb|hdf5] [-dumps N]
-//	        [-codec none|rle|delta|lzss] [-async]
+//	        [-codec none|rle|delta|lzss] [-async] [-autotune]
 //	        [-scrub] [-generations N] [-straggler FACTOR] [-corrupt N]
 //	        [-castore] [-replicas K]
 //
@@ -33,6 +33,7 @@ import (
 	"os"
 
 	"repro/internal/compress"
+	"repro/internal/diag"
 	"repro/internal/enzo"
 	"repro/internal/faultfs"
 	"repro/internal/iotrace"
@@ -57,6 +58,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	refine := fl.Int("refine", 0, "dynamic refinement passes during evolution")
 	codec := fl.String("codec", "none", "transparent field compression: none, rle, delta, lzss")
 	async := fl.Bool("async", false, "write-behind checkpoint I/O: overlap dumps with the next step's compute")
+	autotune := fl.Bool("autotune", false, "tune the MPI-IO hint vector off a short probe run before the main run")
 	scrub := fl.Bool("scrub", false, "read-back scrub after each dump, with re-dump and generation-fallback recovery")
 	generations := fl.Int("generations", 0, "dump generations the restart fallback scans, newest first (0 = all; needs -scrub)")
 	castore := fl.Bool("castore", false, "content-addressed checkpoint store: chunked dumps with cross-generation dedup (not with -backend hdf4)")
@@ -181,6 +183,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return fs
 		}
 	}
+	var tuneDeltas []diag.HintsDelta
+	if *autotune {
+		var tuned enzo.Config
+		tuned, tuneDeltas, _, err = diag.AutoTune(machine.ByName(*machName), *fsKind, *np, cfg, backend)
+		if err != nil {
+			fmt.Fprintln(stderr, "autotune failed:", err)
+			return 1
+		}
+		cfg = tuned
+	}
 	res, err := enzo.RunOnceWrapped(machine.ByName(*machName), *fsKind, *np, cfg, backend, wrap)
 	if err != nil {
 		fmt.Fprintln(stderr, "simulation failed:", err)
@@ -191,6 +203,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fmt.Fprintf(stdout, "platform     %s / %s, %d ranks\n", *machName, *fsKind, *np)
 	fmt.Fprintf(stdout, "backend      %s\n", res.Backend)
 	fmt.Fprintf(stdout, "codec        %s\n", res.Codec)
+	if *autotune {
+		if len(tuneDeltas) == 0 {
+			fmt.Fprintln(stdout, "autotune     defaults already optimal (no deltas)")
+		}
+		for _, d := range tuneDeltas {
+			fmt.Fprintf(stdout, "autotune     %s: %s -> %s (%s)\n", d.Param, d.From, d.To, d.Why)
+		}
+	}
 	for _, p := range res.Phases {
 		fmt.Fprintf(stdout, "  %-10s %10.3f s\n", p.Name, p.Seconds)
 	}

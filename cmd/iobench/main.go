@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	iobench [-exp <sweep>|all] [-quick] [-codec none|rle|delta|lzss] [-async]
+//	iobench [-exp <sweep>|all] [-quick] [-codec none|rle|delta|lzss] [-async] [-autotune]
 //
 // The sweep names come from the experiments registry; -exp with an unknown
 // name lists them.
@@ -48,6 +48,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	tracedir := fl.String("tracedir", "", "write per-case Perfetto timelines and counter reports into this directory")
 	codec := fl.String("codec", "none", "run the figure cases with transparent field compression: none, rle, delta, lzss")
 	async := fl.Bool("async", false, "run the figure cases with the write-behind dump pipeline")
+	autotune := fl.Bool("autotune", false, "run the figure cases with the probe-based MPI-IO hint autotuner")
 	diagnose := fl.Bool("diagnose", false, "diagnose every figure/codec case and print its findings after each sweep")
 	cpuprofile := fl.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memprofile := fl.String("memprofile", "", "write an allocation profile to this file at exit")
@@ -113,7 +114,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fl.Usage()
 		return 2
 	}
-	o := experiments.Options{Quick: *quick, TraceDir: *tracedir, Codec: *codec, Async: *async}
+	o := experiments.Options{Quick: *quick, TraceDir: *tracedir, Codec: *codec, Async: *async, AutoTune: *autotune}
 	var findings []experiments.CaseFindings
 	if *diagnose {
 		o.DiagnoseSink = func(cf experiments.CaseFindings) { findings = append(findings, cf) }
@@ -204,6 +205,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return 1
 		}
 		experiments.PrintScaleSweep(stdout, rows)
+		fmt.Fprintln(stdout)
+	}
+	if *exp == "hints" || *exp == "all" {
+		fmt.Fprintln(stdout, experiments.SweepTitle("hints"))
+		rows, err := experiments.HintsSweep(o)
+		if err != nil {
+			fmt.Fprintln(stderr, "error:", err)
+			return 1
+		}
+		experiments.PrintHintsSweep(stdout, rows)
 		fmt.Fprintln(stdout)
 	}
 	for _, d := range drivers {

@@ -9,6 +9,7 @@
 //
 //	iodoctor [-machine chiba] [-fs pvfs] [-backend mpiio] [-problem AMR128]
 //	         [-np 8] [-membudget MIB] [-quick] [-codec none] [-async] [-scrub] [-cbnodes N]
+//	         [-autotune] [-probe-report FILE]
 //	         [-straggler FACTOR] [-corrupt N] [-castore] [-replicas K]
 //	         [-format text|json|metrics] [-o FILE] [-report FILE]
 //	         [-diff BASELINE.json] [-fail-on none|warning|critical]
@@ -19,6 +20,12 @@
 // -format json the findings table still goes to stdout, so one invocation
 // serves both humans and artifact collection. -fail-on exits 3 when any
 // finding reaches the given severity.
+//
+// -autotune runs the short probe first, feeds its report through the
+// detector registry, and applies the derived hint deltas to the main run;
+// -probe-report saves the probe's diagnosis document (report + chosen
+// deltas) as a JSON artifact. Neither combines with -report, which skips
+// the simulation entirely.
 //
 // All output derives from deterministic virtual-time telemetry: repeated
 // runs of the same configuration produce byte-identical bytes.
@@ -60,6 +67,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	castore := fl.Bool("castore", false, "content-addressed checkpoint store with cross-generation dedup")
 	replicas := fl.Int("replicas", 1, "data servers each castore chunk/manifest is replicated on (needs -castore)")
 	cbnodes := fl.Int("cbnodes", 0, "override the cb_nodes hint (0 = ROMIO default, one aggregator per node)")
+	autotune := fl.Bool("autotune", false, "tune the MPI-IO hint vector off a short probe run before the main run")
+	probeReport := fl.String("probe-report", "", "write the -autotune probe's diagnosis document (report + chosen deltas) here")
 	straggler := fl.Float64("straggler", 1, "degrade one data server of a striped fs by this service-time factor")
 	corrupt := fl.Int64("corrupt", 0, "silently corrupt every Nth sizeable checkpoint write (0 = off)")
 	format := fl.String("format", "text", "output format: text, json or metrics (OpenMetrics)")
@@ -95,7 +104,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	var rep *diag.Report
+	var tuneDeltas []diag.HintsDelta
 	if *reportPath != "" {
+		if *autotune {
+			return fail("iodoctor: -autotune needs a simulation run, not -report")
+		}
+		if *probeReport != "" {
+			return fail("iodoctor: -probe-report needs -autotune, not -report")
+		}
 		var err error
 		rep, err = loadReport(*reportPath)
 		if err != nil {
@@ -103,6 +119,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return 1
 		}
 	} else {
+		if *probeReport != "" && !*autotune {
+			return fail("iodoctor: -probe-report needs -autotune")
+		}
 		cfg, err := configByName(*problem)
 		if err != nil {
 			return fail("%v", err)
@@ -186,6 +205,28 @@ func run(args []string, stdout, stderr io.Writer) int {
 			}
 		}
 
+		if *autotune {
+			tuned, deltas, probeRep, err := diag.AutoTune(machCfg, *fsKind, *np, cfg, backend)
+			if err != nil {
+				fmt.Fprintln(stderr, "error:", err)
+				return 1
+			}
+			cfg = tuned
+			tuneDeltas = deltas
+			if *probeReport != "" {
+				doc := diag.Document{Report: probeRep, Suggestions: deltas}
+				b, err := json.MarshalIndent(doc, "", "  ")
+				if err != nil {
+					fmt.Fprintln(stderr, "error:", err)
+					return 1
+				}
+				if err := os.WriteFile(*probeReport, append(b, '\n'), 0o644); err != nil {
+					fmt.Fprintln(stderr, "error:", err)
+					return 1
+				}
+			}
+		}
+
 		tr := obs.NewTracer()
 		res, err := enzo.RunOnceWrappedTraced(machCfg, *fsKind, *np, cfg, backend, wrap, tr)
 		if err != nil {
@@ -235,6 +276,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 	case "metrics":
 		diag.WriteOpenMetrics(out, rep, findings)
 	default:
+		if *autotune {
+			if len(tuneDeltas) == 0 {
+				fmt.Fprintln(out, "autotune: defaults already optimal (no deltas applied)")
+			}
+			for _, d := range tuneDeltas {
+				fmt.Fprintf(out, "autotune: applied %s: %s -> %s (%s)\n", d.Param, d.From, d.To, d.Why)
+			}
+			fmt.Fprintln(out)
+		}
 		diag.WriteReportText(out, rep)
 		fmt.Fprintln(out)
 		diag.WriteFindings(out, findings)

@@ -50,6 +50,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	quick := fl.Bool("quick", false, "shrink the problem for a fast smoke run")
 	codec := fl.String("codec", "none", "transparent field compression: none, rle, delta, lzss")
 	async := fl.Bool("async", false, "write-behind checkpoint I/O: overlap dumps with the next step's compute")
+	autotune := fl.Bool("autotune", false, "tune the MPI-IO hint vector off a short probe run before the main run")
 	scrub := fl.Bool("scrub", false, "read-back scrub after each dump, with re-dump and generation-fallback recovery")
 	castore := fl.Bool("castore", false, "content-addressed checkpoint store with cross-generation dedup")
 	replicas := fl.Int("replicas", 1, "data servers each castore chunk/manifest is replicated on (needs -castore)")
@@ -116,6 +117,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return fail(fmt.Errorf("ioreport: -np must be at least 1 (got %d)", *np))
 	}
 
+	var tuneDeltas []diag.HintsDelta
+	if *autotune {
+		var tuned enzo.Config
+		tuned, tuneDeltas, _, err = diag.AutoTune(machCfg, *fsKind, *np, cfg, backend)
+		if err != nil {
+			fmt.Fprintln(stderr, "error:", err)
+			return 1
+		}
+		cfg = tuned
+	}
 	tr := obs.NewTracer()
 	res, err := enzo.RunOnceTraced(machCfg, *fsKind, *np, cfg, backend, tr)
 	if err != nil {
@@ -151,6 +162,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	fmt.Fprintf(out, "%s %s/%s backend=%s np=%d verified=%v\n",
 		res.Problem, *mach, *fsKind, res.Backend, res.Procs, res.Verified)
+	if *autotune {
+		if len(tuneDeltas) == 0 {
+			fmt.Fprintln(out, "autotune: defaults already optimal (no deltas)")
+		}
+		for _, d := range tuneDeltas {
+			fmt.Fprintf(out, "autotune: %s: %s -> %s (%s)\n", d.Param, d.From, d.To, d.Why)
+		}
+	}
 	fmt.Fprintf(out, "phases: read=%.3fs write=%.3fs restart=%.3fs\n",
 		res.ReadTime(), res.WriteTime(), res.RestartTime())
 	if *scrub {

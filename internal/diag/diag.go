@@ -237,6 +237,8 @@ var mpiioDataOps = map[string]bool{
 	"iwrite_indep": true, "iwrite_runs": true,
 	"iread_indep": true, "iread_runs": true,
 	"write_all_begin": true, "read_all_begin": true,
+	"write_list": true, "read_list": true,
+	"iwrite_list": true, "iread_list": true,
 }
 
 var mpiioCollectiveOps = map[string]bool{

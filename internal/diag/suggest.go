@@ -7,16 +7,19 @@ import (
 )
 
 // HintsDelta is one candidate tuning change derived from a report — the
-// seed of the ROADMAP's hint autotuner. Exactly one of the typed fields is
-// set; Apply patches an mpiio.Hints, and AsyncIO (an enzo.Config knob, not
-// an MPI-IO hint) is surfaced for the caller to apply at that level.
+// rendered form of an mpiio.TuneStep, the ROADMAP's hint autotuner loop.
+// Exactly one of the typed fields is set; Apply patches an mpiio.Hints,
+// ApplyConfig (autotune.go) patches an enzo.Config, and AsyncIO (an
+// enzo.Config knob, not an MPI-IO hint) is surfaced for the caller to
+// apply at that level.
 type HintsDelta struct {
-	Param string `json:"param"` // "cb_nodes", "sieve_buffer", "data_sieving", "retry", "async_io"
+	Param string `json:"param"` // "cb_nodes", "cb_buffer", "sieve_buffer", "data_sieving", "retry", "async_io"
 	From  string `json:"from"`
 	To    string `json:"to"`
 	Why   string `json:"why"`
 
 	CBNodes          *int   `json:"cb_nodes,omitempty"`
+	CBBufferSize     *int64 `json:"cb_buffer_bytes,omitempty"`
 	DSBufferSize     *int64 `json:"sieve_buffer_bytes,omitempty"`
 	DataSieving      *bool  `json:"data_sieving,omitempty"`
 	RetryMaxAttempts *int   `json:"retry_max_attempts,omitempty"`
@@ -29,6 +32,8 @@ func (d HintsDelta) Apply(h mpiio.Hints) mpiio.Hints {
 	switch {
 	case d.CBNodes != nil:
 		h.CBNodes = *d.CBNodes
+	case d.CBBufferSize != nil:
+		h.CBBufferSize = *d.CBBufferSize
 	case d.DSBufferSize != nil:
 		h.DSBufferSize = *d.DSBufferSize
 	case d.DataSieving != nil:
@@ -50,89 +55,102 @@ func ApplyAll(deltas []HintsDelta, h mpiio.Hints) mpiio.Hints {
 	return h
 }
 
-// Suggest derives candidate hints deltas from a report's pathologies. The
-// list is deterministic (fixed rule order) and conservative: each delta
-// targets one detected condition, so a rerun with the delta applied should
-// be no slower.
+// ProbeFromReport distills a report into the neutral probe summary the
+// mpiio tuner consumes (mpiio cannot import this package). Zero-valued
+// fields keep the matching rules silent, so a partial report never
+// produces a guessed hint.
+func ProbeFromReport(rep *Report) mpiio.Probe {
+	if rep == nil {
+		return mpiio.Probe{}
+	}
+	return mpiio.Probe{
+		Procs:             rep.Meta.Procs,
+		DataServers:       rep.FS.DataServers,
+		StripeUnit:        rep.FS.StripeUnitBytes,
+		CollectiveOps:     rep.Traffic.CollectiveOps,
+		LogicalReadBytes:  rep.Traffic.LogicalReadBytes,
+		PhysicalReadBytes: rep.Traffic.PhysicalReadBytes,
+		Requests:          rep.Sizes.Requests,
+		SmallRequests:     rep.Sizes.SmallRequests,
+		Timeouts:          rep.Timeouts,
+		RestartFallbacks:  rep.Meta.RestartFallbacks,
+	}
+}
+
+// hintsFromSet reconstructs the mpiio hint vector a report recorded.
+func hintsFromSet(hs HintSet) mpiio.Hints {
+	h := mpiio.DefaultHints()
+	h.CBNodes = hs.CBNodes
+	h.CBBufferSize = hs.CBBufferBytes
+	h.DSBufferSize = hs.SieveBufferBytes
+	h.DataSieving = hs.DataSieving
+	h.CBForce = hs.CBForce
+	if hs.RetryEnabled {
+		h.Retry = mpiio.DefaultRetryPolicy()
+		h.Retry.MaxAttempts = hs.RetryMaxAttempts
+	} else {
+		h.Retry = mpiio.RetryPolicy{}
+	}
+	return h
+}
+
+// deltaFromStep renders one tuner step as a typed delta, reading the
+// applied value back out of the tuned vector.
+func deltaFromStep(st mpiio.TuneStep, tuned mpiio.Hints) HintsDelta {
+	d := HintsDelta{Param: st.Param, From: st.From, To: st.To, Why: st.Why}
+	switch st.Param {
+	case "cb_nodes":
+		v := tuned.CBNodes
+		d.CBNodes = &v
+	case "cb_buffer":
+		v := tuned.CBBufferSize
+		d.CBBufferSize = &v
+	case "sieve_buffer":
+		v := tuned.DSBufferSize
+		d.DSBufferSize = &v
+	case "data_sieving":
+		v := tuned.DataSieving
+		d.DataSieving = &v
+	case "retry":
+		v := tuned.Retry.MaxAttempts
+		d.RetryMaxAttempts = &v
+	}
+	return d
+}
+
+// Suggest derives candidate hints deltas from a report's pathologies by
+// running the mpiio tuner's rule set ((Hints).AutoTuneSteps — the single
+// source of truth for the detector→hint mapping) over the report's
+// recorded hint vector, plus the config-level async rule. The list is
+// deterministic (fixed rule order) and conservative: each delta targets
+// one detected condition, so a rerun with the delta applied should be no
+// slower.
 func Suggest(rep *Report) []HintsDelta {
 	if rep == nil {
 		return nil
 	}
 	var out []HintsDelta
 
-	// Rule 1: collective-buffering mismatch -> one aggregator per data
-	// server (the paper's fix for its second experiment).
-	if rep.FS.DataServers >= 2 && rep.Traffic.CollectiveOps > 0 && len(rep.Hints) > 0 {
-		h := rep.Hints[0]
-		eff := h.CBNodes
-		if eff <= 0 {
-			eff = rep.Meta.Procs
-		}
-		if eff != rep.FS.DataServers {
-			v := rep.FS.DataServers
-			out = append(out, HintsDelta{
-				Param:   "cb_nodes",
-				From:    fmt.Sprint(h.CBNodes),
-				To:      fmt.Sprint(v),
-				Why:     fmt.Sprintf("%d effective aggregators vs %d data servers", eff, rep.FS.DataServers),
-				CBNodes: &v,
-			})
-		}
+	probe := ProbeFromReport(rep)
+	h := mpiio.Hints{}
+	if len(rep.Hints) > 0 {
+		h = hintsFromSet(rep.Hints[0])
+	} else {
+		// No recorded hint set: the hint-shaped rules have no baseline to
+		// diff against, so silence their inputs and keep only the
+		// fault-counter rule (which can arm retries from scratch).
+		probe.CollectiveOps = 0
+		probe.LogicalReadBytes, probe.PhysicalReadBytes = 0, 0
+		probe.StripeUnit = 0
+	}
+	tuned, steps := h.AutoTuneSteps(probe)
+	for _, st := range steps {
+		out = append(out, deltaFromStep(st, tuned))
 	}
 
-	// Rule 2: read amplification from sieving. Heavy waste: turn sieving
-	// off. Moderate waste: shrink the sieve buffer to the stripe unit so
-	// each sieved chunk maps to one server-side access.
-	if l, p := rep.Traffic.LogicalReadBytes, rep.Traffic.PhysicalReadBytes; l > 0 && p-l >= 1<<20 && len(rep.Hints) > 0 {
-		h := rep.Hints[0]
-		amp := float64(p) / float64(l)
-		if h.DataSieving && amp >= 4 {
-			v := false
-			out = append(out, HintsDelta{
-				Param:       "data_sieving",
-				From:        "true",
-				To:          "false",
-				Why:         fmt.Sprintf("read amplification %.2fx: sieved holes dominate the transfers", amp),
-				DataSieving: &v,
-			})
-		} else if amp >= 1.5 && rep.FS.StripeUnitBytes > 0 && h.SieveBufferBytes > rep.FS.StripeUnitBytes {
-			v := rep.FS.StripeUnitBytes
-			out = append(out, HintsDelta{
-				Param:        "sieve_buffer",
-				From:         fmtBytes(h.SieveBufferBytes),
-				To:           fmtBytes(v),
-				Why:          fmt.Sprintf("read amplification %.2fx: align sieve chunks to the stripe unit", amp),
-				DSBufferSize: &v,
-			})
-		}
-	}
-
-	// Rule 3: timeouts without a retry policy, or retries exhausting into
-	// restart fallbacks: budget more attempts.
-	if rep.Timeouts > 0 {
-		retryOn := len(rep.Hints) > 0 && rep.Hints[0].RetryEnabled
-		if !retryOn {
-			v := mpiio.DefaultRetryPolicy().MaxAttempts
-			out = append(out, HintsDelta{
-				Param:            "retry",
-				From:             "disabled",
-				To:               fmt.Sprintf("%d attempts", v),
-				Why:              fmt.Sprintf("%d deadline timeouts with no retry policy", rep.Timeouts),
-				RetryMaxAttempts: &v,
-			})
-		} else if rep.Meta.RestartFallbacks > 0 {
-			v := rep.Hints[0].RetryMaxAttempts + 2
-			out = append(out, HintsDelta{
-				Param:            "retry",
-				From:             fmt.Sprintf("%d attempts", rep.Hints[0].RetryMaxAttempts),
-				To:               fmt.Sprintf("%d attempts", v),
-				Why:              "retries exhausted into restart fallbacks",
-				RetryMaxAttempts: &v,
-			})
-		}
-	}
-
-	// Rule 4: a dominant synchronous write phase: hide it behind compute.
+	// Config-level rule: a dominant synchronous write phase: hide it
+	// behind compute. Not an MPI-IO hint, so it lives here, above the
+	// mpiio tuner.
 	if m := rep.Meta; !m.Async && m.Makespan > 0 {
 		if w := m.Phase("write"); w >= 0.2*m.Makespan {
 			v := true

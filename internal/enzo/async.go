@@ -50,6 +50,16 @@ func (s *Sim) dWriteAt(f *mpiio.File, data []byte, off int64) {
 	s.pend.drains = append(s.pend.drains, pw.Wait)
 }
 
+func (s *Sim) dWriteList(f *mpiio.File, offs, lens []int64, data []byte) {
+	if s.pend == nil {
+		f.WriteList(offs, lens, data)
+		return
+	}
+	pw := f.IwriteList(offs, lens, data)
+	s.pend.note(pw.Completion())
+	s.pend.drains = append(s.pend.drains, pw.Wait)
+}
+
 func (s *Sim) dWriteAtAll(f *mpiio.File, runs []mpi.Run, data []byte) {
 	if s.pend == nil {
 		f.WriteAtAll(runs, data)

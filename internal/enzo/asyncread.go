@@ -105,6 +105,23 @@ func (s *Sim) rReadAtTol(f *mpiio.File, buf []byte, off int64) func() {
 	return settle
 }
 
+func (s *Sim) rReadList(f *mpiio.File, offs, lens []int64, buf []byte) func() {
+	if s.rpend == nil {
+		f.ReadList(offs, lens, buf)
+		return func() {}
+	}
+	t0 := s.r.Now()
+	p := f.IreadList(offs, lens, buf)
+	return s.rDefer(t0, p.Completion(), p.Wait)
+}
+
+// rReadListTol is rReadList under tolerantIO, like rReadAtTol.
+func (s *Sim) rReadListTol(f *mpiio.File, offs, lens []int64, buf []byte) func() {
+	settle := func() {}
+	s.tolerantIO(func() { settle = s.rReadList(f, offs, lens, buf) })
+	return settle
+}
+
 func (s *Sim) rReadAtAll(f *mpiio.File, runs []mpi.Run, buf []byte) func() {
 	if s.rpend == nil {
 		f.ReadAtAll(runs, buf)

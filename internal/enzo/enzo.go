@@ -113,6 +113,25 @@ type Config struct {
 	// physical node.
 	CBNodes int
 
+	// CBBufferSize and SieveBufferSize override the matching MPI-IO hints
+	// (cb_buffer_size, ind_rd_buffer_size) in bytes; 0 keeps the ROMIO
+	// defaults. DataSieving is a tri-state override for the data sieving
+	// hint: 0 keeps the default (enabled), 1 forces it on, -1 forces it
+	// off. The autotuner writes its chosen hint vector through these
+	// fields, so a tuned Config is self-contained and replayable.
+	CBBufferSize    int64
+	SieveBufferSize int64
+	DataSieving     int
+
+	// AutoTune tunes the MPI-IO hint vector before the run: a short
+	// deterministic probe (the same problem at reduced depth, one dump
+	// plus one restart read) runs first, its diagnosis report feeds the
+	// detector registry, and the resulting hint deltas are applied to
+	// this configuration (diag.Suggest is the single source of truth for
+	// the mapping). Requires the diag package in the program — it
+	// registers the tuner via RegisterAutoTuner; RunOnce fails otherwise.
+	AutoTune bool
+
 	// Codec enables transparent compression of the regular baryon field
 	// arrays in the MPI-IO and HDF5 paths ("" or "none" = off; see
 	// compress.Names for the menu). Particle arrays stay raw — they are
@@ -629,8 +648,32 @@ func RunOnceWrappedTraced(machCfg machine.Config, fsKind string, nprocs int, cfg
 	return runOnce(machCfg, fsKind, nprocs, cfg, backend, wrap, tr)
 }
 
+// autoTuner is the probe-based configuration tuner RunOnce consults when
+// Config.AutoTune is set. The diagnosis layer owns the implementation but
+// cannot be imported from here (it sits above this package), so it
+// registers itself via RegisterAutoTuner in an init.
+var autoTuner func(machine.Config, string, int, Config, Backend) (Config, error)
+
+// RegisterAutoTuner installs the probe-based configuration tuner that
+// Config.AutoTune dispatches to. The diag package registers its tuner on
+// import; applications opt in per run with Config.AutoTune.
+func RegisterAutoTuner(fn func(machine.Config, string, int, Config, Backend) (Config, error)) {
+	autoTuner = fn
+}
+
 func runOnce(machCfg machine.Config, fsKind string, nprocs int, cfg Config,
 	backend Backend, wrap func(pfs.FileSystem) pfs.FileSystem, tr *obs.Tracer) (*Result, error) {
+	if cfg.AutoTune {
+		if autoTuner == nil {
+			return nil, fmt.Errorf("enzo: Config.AutoTune needs the autotuner registered (import repro/internal/diag)")
+		}
+		tuned, err := autoTuner(machCfg, fsKind, nprocs, cfg, backend)
+		if err != nil {
+			return nil, fmt.Errorf("enzo: autotune probe failed: %w", err)
+		}
+		cfg = tuned
+		cfg.AutoTune = false // the probe ran; the tuned run must not re-probe
+	}
 	eng := sim.NewEngine()
 	if _, err := compress.Resolve(cfg.Codec); err != nil {
 		return nil, err
@@ -726,6 +769,18 @@ func NewSim(r *mpi.Rank, fs pfs.FileSystem, backend Backend, cfg Config, res *Re
 	hints.CBNodes = len(nodes)
 	if cfg.CBNodes > 0 {
 		hints.CBNodes = cfg.CBNodes
+	}
+	if cfg.CBBufferSize > 0 {
+		hints.CBBufferSize = cfg.CBBufferSize
+	}
+	if cfg.SieveBufferSize > 0 {
+		hints.DSBufferSize = cfg.SieveBufferSize
+	}
+	switch {
+	case cfg.DataSieving > 0:
+		hints.DataSieving = true
+	case cfg.DataSieving < 0:
+		hints.DataSieving = false
 	}
 	if backend == BackendMPIIOCB {
 		hints.CBForce = true

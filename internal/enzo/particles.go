@@ -68,6 +68,30 @@ func columnsFromRows(rows []byte) [][]byte {
 	return cols
 }
 
+// flatColumnsFromRows is columnsFromRows into a single backing buffer:
+// column k occupies flat[pos_k : pos_k+n*elem_k] in array order, so the
+// same bytes serve directly as a WriteList payload (entries in array
+// order) without a second gather copy.
+func flatColumnsFromRows(rows []byte) (flat []byte, cols [][]byte) {
+	rs := rowSize()
+	n := len(rows) / rs
+	flat = make([]byte, len(rows))
+	cols = make([][]byte, len(amr.ParticleArrays))
+	pos := 0
+	for k, a := range amr.ParticleArrays {
+		cols[k] = flat[pos : pos+n*a.ElemSize]
+		pos += n * a.ElemSize
+	}
+	for i := 0; i < n; i++ {
+		off := 0
+		for k, a := range amr.ParticleArrays {
+			copy(cols[k][i*a.ElemSize:], rows[i*rs+off:i*rs+off+a.ElemSize])
+			off += a.ElemSize
+		}
+	}
+	return flat, cols
+}
+
 // rowsFromColumns reassembles row-major bytes from per-array buffers.
 func rowsFromColumns(cols [][]byte) []byte {
 	if len(cols) != len(amr.ParticleArrays) {

@@ -49,6 +49,35 @@ func (s *Sim) fieldRuns(g core.GridMeta, name string, sub mpi.Subarray) []mpi.Ru
 	return runs
 }
 
+// particleColList builds the explicit (offset,length) vector covering
+// rank rows [lo,hi) of every particle array of one grid — the scattered
+// block-wise pattern that list-I/O moves in one file-domain pass instead
+// of one independent request (or sieved extent) per array. arrayOff maps
+// an array name to its base file offset; entries come out in array order,
+// matching the column layout of flatColumnsFromRows/splitCols.
+func particleColList(arrayOff func(name string) int64, lo, hi int64) (offs, lens []int64, total int64) {
+	offs = make([]int64, len(amr.ParticleArrays))
+	lens = make([]int64, len(amr.ParticleArrays))
+	for k, pa := range amr.ParticleArrays {
+		offs[k] = arrayOff(pa.Name) + lo*int64(pa.ElemSize)
+		lens[k] = (hi - lo) * int64(pa.ElemSize)
+		total += lens[k]
+	}
+	return offs, lens, total
+}
+
+// splitCols slices one flat list-I/O buffer into per-array columns
+// (entry order = array order, as particleColList builds it).
+func splitCols(flat []byte, lens []int64) [][]byte {
+	cols := make([][]byte, len(lens))
+	var p int64
+	for k, n := range lens {
+		cols[k] = flat[p : p+n]
+		p += n
+	}
+	return cols
+}
+
 func (s *Sim) rawWriteIC(h *amr.Hierarchy) {
 	if s.r.Rank() != 0 {
 		return
@@ -102,14 +131,13 @@ func (s *Sim) rawReadGridPartitioned(f *mpiio.File, g core.GridMeta) *partition 
 		rng := s.localICRows[g.ID]
 		lo, hi = rng[0], rng[1]
 	}
-	cols := make([][]byte, len(amr.ParticleArrays))
-	for k, pa := range amr.ParticleArrays {
-		base, _ := s.layout.ArrayOffset(g.ID, pa.Name)
-		buf := make([]byte, (hi-lo)*int64(pa.ElemSize))
-		f.ReadAt(buf, base+lo*int64(pa.ElemSize))
-		cols[k] = buf
-	}
-	rows := rowsFromColumns(cols)
+	offs, lens, total := particleColList(func(name string) int64 {
+		base, _ := s.layout.ArrayOffset(g.ID, name)
+		return base
+	}, lo, hi)
+	flat := make([]byte, total)
+	f.ReadList(offs, lens, flat)
+	rows := rowsFromColumns(splitCols(flat, lens))
 	s.r.CopyCost(int64(len(rows)))
 	p.particles = s.redistributeByPosition(rows, g)
 	return p
@@ -145,12 +173,13 @@ func (s *Sim) rawWriteDump(d int) {
 		sortedRows := s.parallelSortByID(&s.top.particles)
 		myCount := int64(len(sortedRows) / rowSize())
 		rowOff := s.r.ExscanInt64(myCount)
-		cols := columnsFromRows(sortedRows)
+		flat, _ := flatColumnsFromRows(sortedRows)
 		s.r.CopyCost(int64(len(sortedRows)))
-		for k, pa := range amr.ParticleArrays {
-			base, _ := s.layout.ArrayOffset(g.ID, pa.Name)
-			s.dWriteAt(f, cols[k], base+rowOff*int64(pa.ElemSize))
-		}
+		offs, lens, _ := particleColList(func(name string) int64 {
+			base, _ := s.layout.ArrayOffset(g.ID, name)
+			return base
+		}, rowOff, rowOff+myCount)
+		s.dWriteList(f, offs, lens, flat)
 		s.localPartRows = [2]int64{rowOff, rowOff + myCount}
 	}
 	topSp.End()
@@ -281,18 +310,13 @@ func (s *Sim) rawReadRestart(d int) {
 		if s.localMode {
 			lo, hi = s.localPartRows[0], s.localPartRows[1]
 		}
-		cols := make([][]byte, len(amr.ParticleArrays))
-		colSettle := make([]func(), len(amr.ParticleArrays))
-		for k, pa := range amr.ParticleArrays {
-			base, _ := s.layout.ArrayOffset(g.ID, pa.Name)
-			buf := make([]byte, (hi-lo)*int64(pa.ElemSize))
-			colSettle[k] = s.rReadAtTol(f, buf, base+lo*int64(pa.ElemSize))
-			cols[k] = buf
-		}
-		for _, settle := range colSettle {
-			settle()
-		}
-		rows := rowsFromColumns(cols)
+		offs, lens, total := particleColList(func(name string) int64 {
+			base, _ := s.layout.ArrayOffset(g.ID, name)
+			return base
+		}, lo, hi)
+		flat := make([]byte, total)
+		s.rReadListTol(f, offs, lens, flat)()
+		rows := rowsFromColumns(splitCols(flat, lens))
 		s.r.CopyCost(int64(len(rows)))
 		s.top.particles = s.redistributeByPosition(rows, g)
 	} else {

@@ -231,11 +231,12 @@ func (s *Sim) rawzProvisionIC(h *amr.Hierarchy) {
 		}
 		myCount := int64(len(st[gi].rows) / rowSize())
 		rowOff := s.r.ExscanInt64(myCount)
-		cols := columnsFromRows(st[gi].rows)
-		for k, pa := range amr.ParticleArrays {
-			base, _ := z.arraySeg(gm.ID, pa.Name)
-			f.WriteAt(cols[k], base+rowOff*int64(pa.ElemSize))
-		}
+		flat, _ := flatColumnsFromRows(st[gi].rows)
+		offs, lens, _ := particleColList(func(name string) int64 {
+			base, _ := z.arraySeg(gm.ID, name)
+			return base
+		}, rowOff, rowOff+myCount)
+		f.WriteList(offs, lens, flat)
 		s.localICRows[gm.ID] = [2]int64{rowOff, rowOff + myCount}
 	}
 	if s.r.Rank() == 0 {
@@ -261,14 +262,13 @@ func (s *Sim) rawzReadGridPartitioned(f *mpiio.File, fname string, z *zLayout, g
 	}
 	rng := s.localICRows[g.ID]
 	lo, hi := rng[0], rng[1]
-	cols := make([][]byte, len(amr.ParticleArrays))
-	for k, pa := range amr.ParticleArrays {
-		base, _ := z.arraySeg(g.ID, pa.Name)
-		buf := make([]byte, (hi-lo)*int64(pa.ElemSize))
-		f.ReadAt(buf, base+lo*int64(pa.ElemSize))
-		cols[k] = buf
-	}
-	rows := rowsFromColumns(cols)
+	offs, lens, total := particleColList(func(name string) int64 {
+		base, _ := z.arraySeg(g.ID, name)
+		return base
+	}, lo, hi)
+	flat := make([]byte, total)
+	f.ReadList(offs, lens, flat)
+	rows := rowsFromColumns(splitCols(flat, lens))
 	s.r.CopyCost(int64(len(rows)))
 	p.particles = s.redistributeByPosition(rows, g)
 	return p
@@ -426,12 +426,13 @@ func (s *Sim) rawzWriteDump(d int) {
 		sortedRows := s.parallelSortByID(&s.top.particles)
 		myCount := int64(len(sortedRows) / rowSize())
 		rowOff := s.r.ExscanInt64(myCount)
-		cols := columnsFromRows(sortedRows)
+		flat, _ := flatColumnsFromRows(sortedRows)
 		s.r.CopyCost(int64(len(sortedRows)))
-		for k, pa := range amr.ParticleArrays {
-			base, _ := z.arraySeg(g.ID, pa.Name)
-			s.dWriteAt(f, cols[k], base+rowOff*int64(pa.ElemSize))
-		}
+		offs, lens, _ := particleColList(func(name string) int64 {
+			base, _ := z.arraySeg(g.ID, name)
+			return base
+		}, rowOff, rowOff+myCount)
+		s.dWriteList(f, offs, lens, flat)
 		s.localPartRows = [2]int64{rowOff, rowOff + myCount}
 	}
 	topSp.End()
@@ -509,18 +510,13 @@ func (s *Sim) rawzReadRestart(d int) {
 		if s.localMode {
 			lo, hi = s.localPartRows[0], s.localPartRows[1]
 		}
-		cols := make([][]byte, len(amr.ParticleArrays))
-		colSettle := make([]func(), len(amr.ParticleArrays))
-		for k, pa := range amr.ParticleArrays {
-			base, _ := z.arraySeg(g.ID, pa.Name)
-			buf := make([]byte, (hi-lo)*int64(pa.ElemSize))
-			colSettle[k] = s.rReadAtTol(f, buf, base+lo*int64(pa.ElemSize))
-			cols[k] = buf
-		}
-		for _, settle := range colSettle {
-			settle()
-		}
-		rows := rowsFromColumns(cols)
+		offs, lens, total := particleColList(func(name string) int64 {
+			base, _ := z.arraySeg(g.ID, name)
+			return base
+		}, lo, hi)
+		flat := make([]byte, total)
+		s.rReadListTol(f, offs, lens, flat)()
+		rows := rowsFromColumns(splitCols(flat, lens))
 		s.r.CopyCost(int64(len(rows)))
 		s.top.particles = s.redistributeByPosition(rows, g)
 	} else {

@@ -73,6 +73,12 @@ type Options struct {
 	// and runs both modes itself.
 	Async bool
 
+	// AutoTune runs every figure case with the probe-based hint autotuner
+	// (Config.AutoTune): each case first runs a short reduced-depth probe
+	// and applies the resulting hint deltas. The hints sweep ignores this
+	// and runs both modes itself.
+	AutoTune bool
+
 	// DiagnoseSink, when non-nil, runs every figure/codec case with the
 	// tracer attached, diagnoses the run (internal/diag) and hands the
 	// ranked findings to the sink in case order — the iobench -diagnose
@@ -102,6 +108,7 @@ func (o Options) problem(name string) enzo.Config {
 		cfg.NParticles = n * n * n / 2
 	}
 	cfg.AsyncIO = o.Async
+	cfg.AutoTune = o.AutoTune
 	return cfg
 }
 

@@ -1,0 +1,198 @@
+// List-I/O: independent noncontiguous access through explicit
+// (offset,length) vectors, after the listless "list I/O" interface of
+// Thakur et al.'s "Optimizing Noncontiguous Accesses in MPI-IO"
+// (PVFS's pvfs_read_list/pvfs_write_list). Where data sieving serves a
+// scattered read by fetching the whole hole-ridden extent and paying its
+// read-amplification tax, list-I/O hands the file system only the bytes
+// the caller named: the vector is sorted into one file-order pass and
+// exactly-adjacent entries are coalesced into single device requests —
+// no holes are ever transferred.
+//
+// All blocking device traffic goes through devWriteAt/devReadAt, so a
+// RetryPolicy in the hints covers list-I/O like every other path and
+// exhaustion surfaces the same typed *IOError. The nonblocking variants
+// (IwriteList/IreadList) issue through the pfs write-behind/read-behind
+// helpers and return the usual Pending handle.
+package mpiio
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/obs"
+	"repro/internal/pfs"
+)
+
+// listEnt is one validated entry of an (offset,length) vector: n bytes at
+// file offset off, living at data[bpos:bpos+n] in the caller's buffer
+// (buffer positions follow the original list order).
+type listEnt struct {
+	off, n, bpos int64
+}
+
+// listEntries validates an explicit (offset,length) vector against the
+// caller's buffer and returns the entries sorted into file order (ties
+// broken by list order, so duplicate offsets stay deterministic).
+// Zero-length entries are dropped.
+func listEntries(op string, offs, lens []int64, nbuf int) ([]listEnt, int64) {
+	if len(offs) != len(lens) {
+		panic(fmt.Sprintf("mpiio: %s %d offsets for %d lengths", op, len(offs), len(lens)))
+	}
+	ents := make([]listEnt, 0, len(offs))
+	var total int64
+	for i := range offs {
+		switch {
+		case lens[i] < 0:
+			panic(fmt.Sprintf("mpiio: %s negative length %d at entry %d", op, lens[i], i))
+		case lens[i] == 0:
+			continue
+		case offs[i] < 0:
+			panic(fmt.Sprintf("mpiio: %s negative offset %d at entry %d", op, offs[i], i))
+		}
+		ents = append(ents, listEnt{off: offs[i], n: lens[i], bpos: total})
+		total += lens[i]
+	}
+	if total != int64(nbuf) {
+		panic(fmt.Sprintf("mpiio: %s buffer %d bytes for %d bytes of list entries", op, nbuf, total))
+	}
+	sort.SliceStable(ents, func(i, j int) bool { return ents[i].off < ents[j].off })
+	return ents, total
+}
+
+// listGroup is one maximal run of exactly file-adjacent entries
+// [i,j) with merged file extent [off,off+glen): a single device request.
+// contig reports whether the group's bytes are also consecutive in the
+// caller's buffer, in which case no gather/scatter copy is needed.
+type listGroup struct {
+	i, j      int
+	off, glen int64
+	contig    bool
+}
+
+// listGroups walks sorted entries and yields each coalesced group. When
+// forbidOverlap is set (writes: two entries covering the same byte would
+// make the result order-dependent) an overlapping pair panics.
+func listGroups(op string, ents []listEnt, forbidOverlap bool, emit func(listGroup)) {
+	for i := 0; i < len(ents); {
+		g := listGroup{i: i, off: ents[i].off, contig: true}
+		end := ents[i].off + ents[i].n
+		j := i + 1
+		for j < len(ents) && ents[j].off == end {
+			if ents[j].bpos != ents[j-1].bpos+ents[j-1].n {
+				g.contig = false
+			}
+			end += ents[j].n
+			j++
+		}
+		if forbidOverlap && j < len(ents) && ents[j].off < end {
+			panic(fmt.Sprintf("mpiio: %s entries overlap at offset %d", op, ents[j].off))
+		}
+		g.j, g.glen = j, end-g.off
+		emit(g)
+		i = j
+	}
+}
+
+// writeListPass flattens the sorted entries into file order and hands each
+// coalesced group to issue as one request. A group whose bytes are already
+// consecutive in data goes out zero-copy; otherwise it is gathered into a
+// fresh buffer at memcpy cost, like the pack into a collective buffer.
+func (f *File) writeListPass(op string, ents []listEnt, data []byte, issue func(seg []byte, off int64)) {
+	listGroups(op, ents, true, func(g listGroup) {
+		if g.contig {
+			b := ents[g.i].bpos
+			issue(data[b:b+g.glen], g.off)
+			return
+		}
+		buf := make([]byte, g.glen)
+		for k := g.i; k < g.j; k++ {
+			e := ents[k]
+			copy(buf[e.off-g.off:], data[e.bpos:e.bpos+e.n])
+		}
+		f.r.CopyCost(g.glen)
+		issue(buf, g.off)
+	})
+}
+
+// readListPass mirrors writeListPass for reads: contiguous groups land
+// directly in the caller's buffer; the rest read into a scratch extent and
+// scatter out at memcpy cost. Reads never amplify — the extent is exactly
+// the union of requested bytes.
+func (f *File) readListPass(op string, ents []listEnt, buf []byte, issue func(seg []byte, off int64)) {
+	listGroups(op, ents, false, func(g listGroup) {
+		if g.contig {
+			b := ents[g.i].bpos
+			issue(buf[b:b+g.glen], g.off)
+			return
+		}
+		scratch := make([]byte, g.glen)
+		issue(scratch, g.off)
+		var copied int64
+		for k := g.i; k < g.j; k++ {
+			e := ents[k]
+			copy(buf[e.bpos:e.bpos+e.n], scratch[e.off-g.off:e.off-g.off+e.n])
+			copied += e.n
+		}
+		f.r.CopyCost(copied)
+	})
+}
+
+// WriteList writes an explicit (offset,length) vector in one file-domain
+// pass: data holds the entries' bytes back to back in list order, entries
+// are sorted by file offset, exactly-adjacent entries coalesce into single
+// requests, and nothing outside the named byte ranges is touched. Entries
+// must not overlap. Honors the hints' RetryPolicy.
+func (f *File) WriteList(offs, lens []int64, data []byte) {
+	ents, total := listEntries("WriteList", offs, lens, len(data))
+	sp := obs.Begin(f.client.Proc, obs.LayerMPIIO, "write_list").Bytes(total)
+	defer sp.End()
+	f.writeListPass("WriteList", ents, data, func(seg []byte, off int64) {
+		f.devWriteAt(seg, off)
+	})
+}
+
+// ReadList reads an explicit (offset,length) vector in one file-domain
+// pass into buf (entry bytes back to back in list order). Unlike the data
+// sieving path this transfers no hole bytes, so scattered reads pay no
+// read amplification. Honors the hints' RetryPolicy.
+func (f *File) ReadList(offs, lens []int64, buf []byte) {
+	ents, total := listEntries("ReadList", offs, lens, len(buf))
+	sp := obs.Begin(f.client.Proc, obs.LayerMPIIO, "read_list").Bytes(total)
+	defer sp.End()
+	f.readListPass("ReadList", ents, buf, func(seg []byte, off int64) {
+		f.devReadAt(seg, off)
+	})
+}
+
+// IwriteList starts a nonblocking WriteList: the same flattened requests
+// are issued write-behind and the Pending completes when the slowest one
+// finishes. On file systems without write-behind support it degrades to
+// blocking requests whose Pending completes immediately.
+func (f *File) IwriteList(offs, lens []int64, data []byte) *Pending {
+	ents, total := listEntries("IwriteList", offs, lens, len(data))
+	sp := obs.Begin(f.client.Proc, obs.LayerMPIIO, "iwrite_list").Bytes(total)
+	defer sp.End()
+	end := f.client.Proc.Now()
+	f.writeListPass("IwriteList", ents, data, func(seg []byte, off int64) {
+		if e := pfs.WriteAtAsync(f.f, f.client, seg, off); e > end {
+			end = e
+		}
+	})
+	return &Pending{f: f, end: end}
+}
+
+// IreadList starts a nonblocking ReadList issued read-behind. buf is
+// valid after Wait (the store fills deferred reads at issue, so scatter
+// copies run eagerly; only the clock settle is deferred).
+func (f *File) IreadList(offs, lens []int64, buf []byte) *Pending {
+	ents, total := listEntries("IreadList", offs, lens, len(buf))
+	sp := obs.Begin(f.client.Proc, obs.LayerMPIIO, "iread_list").Bytes(total)
+	defer sp.End()
+	end := f.client.Proc.Now()
+	f.readListPass("IreadList", ents, buf, func(seg []byte, off int64) {
+		if e := pfs.ReadAtAsync(f.f, f.client, seg, off); e > end {
+			end = e
+		}
+	})
+	return &Pending{f: f, end: end, op: "iread_wait"}
+}
