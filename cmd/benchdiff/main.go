@@ -2,9 +2,10 @@
 // regression gate. The simulation is virtual-time: identical code must
 // produce bit-identical results on every machine, so the committed
 // baselines (BENCH_baseline.json, BENCH_faults.json, BENCH_reads.json,
-// BENCH_dedup.json, BENCH_scale.json, BENCH_hints.json) are compared with
-// EXACT equality — any drift, however small, means the model's timing
-// changed and must be either fixed or consciously re-baselined.
+// BENCH_dedup.json, BENCH_scale.json, BENCH_hints.json,
+// BENCH_tenants.json) are compared with EXACT equality — any drift,
+// however small, means the model's timing changed and must be either
+// fixed or consciously re-baselined.
 //
 // Usage:
 //
@@ -17,6 +18,11 @@
 //	                       (autotuned total I/O time never above the
 //	                       defaults, strictly below on at least one pvfs
 //	                       row) without running anything
+//	benchdiff -checktenants  assert the committed tenants baseline's
+//	                       invariant (fair queueing's worst contended
+//	                       slowdown never above FIFO's, strictly below on
+//	                       at least one pvfs fleet) without running
+//	                       anything
 //
 // The benchmark set: Table 1 volumes (all problems), the codec, overlap
 // and restart-read sweeps at AMR128/np=8, the fault sweep (stragglers
@@ -79,6 +85,12 @@ type Hints struct {
 	Hints []experiments.HintsRow
 }
 
+// Tenants is the serialized multi-tenant sweep, in its own file so
+// scheduling-policy and burst-buffer changes re-baseline separately.
+type Tenants struct {
+	Tenants []experiments.TenantRow
+}
+
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
@@ -93,8 +105,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	dedupPath := fl.String("dedup", "BENCH_dedup.json", "dedup sweep baseline file")
 	scalePath := fl.String("scale", "BENCH_scale.json", "scale sweep baseline file")
 	hintsPath := fl.String("hints", "BENCH_hints.json", "hints sweep baseline file")
+	tenantsPath := fl.String("tenants", "BENCH_tenants.json", "multi-tenant sweep baseline file")
 	checkDedup := fl.Bool("checkdedup", false, "only check the committed dedup baseline's savings invariant (no simulations)")
 	checkHints := fl.Bool("checkhints", false, "only check the committed hints baseline's tuned-beats-default invariant (no simulations)")
+	checkTenants := fl.Bool("checktenants", false, "only check the committed tenants baseline's fairness invariant (no simulations)")
 	if err := fl.Parse(args); err != nil {
 		return 2
 	}
@@ -135,6 +149,23 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return 1
 		}
 		fmt.Fprintf(stdout, "hints baseline ok: tuned I/O time never above the defaults, strictly below on pvfs\n")
+		return 0
+	}
+
+	if *checkTenants {
+		var baseTenants Tenants
+		if err := readJSON(*tenantsPath, &baseTenants); err != nil {
+			fmt.Fprintln(stderr, "error:", err)
+			return 1
+		}
+		if problems := checkTenantsInvariant(baseTenants.Tenants); len(problems) > 0 {
+			fmt.Fprintf(stdout, "TENANTS INVARIANT VIOLATED in %s:\n", *tenantsPath)
+			for _, p := range problems {
+				fmt.Fprintln(stdout, " ", p)
+			}
+			return 1
+		}
+		fmt.Fprintf(stdout, "tenants baseline ok: fair queueing never worsens, and on pvfs strictly improves, the worst contended slowdown\n")
 		return 0
 	}
 
@@ -183,12 +214,19 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "error:", err)
 		return 1
 	}
+	fmt.Fprintln(stderr, "running multi-tenant sweep (fifo vs fair, np=4-8)...")
+	tenants, err := experiments.MultiTenantSweep(o)
+	if err != nil {
+		fmt.Fprintln(stderr, "error:", err)
+		return 1
+	}
 	fresh := Baseline{Table1: table1, Codecs: codecs, Overlap: overlap}
 	freshFaults := Faults{Stragglers: stragglers, Recovery: recovery}
 	freshReads := Reads{Reads: reads}
 	freshDedup := Dedup{Dedup: dedup}
 	freshScale := Scale{Scale: experiments.StripWallClock(scale)}
 	freshHints := Hints{Hints: hints}
+	freshTenants := Tenants{Tenants: tenants}
 	if problems := checkDedupInvariant(dedup); len(problems) > 0 {
 		fmt.Fprintln(stdout, "DEDUP INVARIANT VIOLATED in the fresh sweep:")
 		for _, p := range problems {
@@ -198,6 +236,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if problems := checkHintsInvariant(hints); len(problems) > 0 {
 		fmt.Fprintln(stdout, "HINTS INVARIANT VIOLATED in the fresh sweep:")
+		for _, p := range problems {
+			fmt.Fprintln(stdout, " ", p)
+		}
+		return 1
+	}
+	if problems := checkTenantsInvariant(tenants); len(problems) > 0 {
+		fmt.Fprintln(stdout, "TENANTS INVARIANT VIOLATED in the fresh sweep:")
 		for _, p := range problems {
 			fmt.Fprintln(stdout, " ", p)
 		}
@@ -229,7 +274,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintln(stderr, "error:", err)
 			return 1
 		}
-		fmt.Fprintf(stdout, "baselines updated: %s, %s, %s, %s, %s, %s\n", *basePath, *faultPath, *readPath, *dedupPath, *scalePath, *hintsPath)
+		if err := writeJSON(*tenantsPath, freshTenants); err != nil {
+			fmt.Fprintln(stderr, "error:", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "baselines updated: %s, %s, %s, %s, %s, %s, %s\n", *basePath, *faultPath, *readPath, *dedupPath, *scalePath, *hintsPath, *tenantsPath)
 		return 0
 	}
 
@@ -263,6 +312,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "error:", err)
 		return 1
 	}
+	var baseTenants Tenants
+	if err := readJSON(*tenantsPath, &baseTenants); err != nil {
+		fmt.Fprintln(stderr, "error:", err)
+		return 1
+	}
 	var drift []string
 	drift = append(drift, CompareRows("table1", base.Table1, fresh.Table1)...)
 	drift = append(drift, CompareRows("codecs", base.Codecs, fresh.Codecs)...)
@@ -273,9 +327,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	drift = append(drift, CompareRows("dedup", baseDedup.Dedup, freshDedup.Dedup)...)
 	drift = append(drift, CompareRows("scale", baseScale.Scale, freshScale.Scale)...)
 	drift = append(drift, CompareRows("hints", baseHints.Hints, freshHints.Hints)...)
+	drift = append(drift, CompareRows("tenants", baseTenants.Tenants, freshTenants.Tenants)...)
 	if len(drift) > 0 {
-		fmt.Fprintf(stdout, "BENCHMARK DRIFT: %d difference(s) against %s / %s / %s / %s / %s / %s\n\n",
-			len(drift), *basePath, *faultPath, *readPath, *dedupPath, *scalePath, *hintsPath)
+		fmt.Fprintf(stdout, "BENCHMARK DRIFT: %d difference(s) against %s / %s / %s / %s / %s / %s / %s\n\n",
+			len(drift), *basePath, *faultPath, *readPath, *dedupPath, *scalePath, *hintsPath, *tenantsPath)
 		for _, d := range drift {
 			fmt.Fprintln(stdout, d)
 		}
@@ -353,6 +408,75 @@ func checkHintsInvariant(rows []experiments.HintsRow) []string {
 		problems = append(problems, "no hints rows to check")
 	} else if pvfsWins == 0 {
 		problems = append(problems, "no pvfs row where tuned I/O is strictly below the default")
+	}
+	return problems
+}
+
+// checkTenantsInvariant asserts the multi-tenant sweep's headline claim:
+// on every contended fleet, fair queueing's worst-job slowdown is no
+// worse than FIFO's, and on at least one contended pvfs fleet it is
+// strictly better. Every row must verify, every contended case needs
+// both policy groups, and an empty row set is a violation — the gate
+// must never pass vacuously.
+func checkTenantsInvariant(rows []experiments.TenantRow) []string {
+	type group struct {
+		worst float64
+		rows  int
+	}
+	type caseInfo struct {
+		fs        string
+		contended bool
+		policies  map[string]*group
+	}
+	var problems []string
+	cases := make(map[string]*caseInfo)
+	order := []string{}
+	for _, r := range rows {
+		if !r.Verified {
+			problems = append(problems, fmt.Sprintf(
+				"%s/%s %s job %s failed verification", r.Case, r.Policy, r.Problem, r.Job))
+		}
+		ci, ok := cases[r.Case]
+		if !ok {
+			ci = &caseInfo{fs: r.FS, contended: r.Contended, policies: make(map[string]*group)}
+			cases[r.Case] = ci
+			order = append(order, r.Case)
+		}
+		g, ok := ci.policies[r.Policy]
+		if !ok {
+			g = &group{}
+			ci.policies[r.Policy] = g
+		}
+		g.rows++
+		if r.Slowdown > g.worst {
+			g.worst = r.Slowdown
+		}
+	}
+	checked, pvfsWins := 0, 0
+	for _, name := range order {
+		ci := cases[name]
+		if !ci.contended {
+			continue
+		}
+		fifo, fair := ci.policies["fifo"], ci.policies["fair"]
+		if fifo == nil || fair == nil {
+			problems = append(problems, fmt.Sprintf(
+				"%s: contended case is missing a policy group (fifo=%v fair=%v)", name, fifo != nil, fair != nil))
+			continue
+		}
+		checked++
+		if fair.worst > fifo.worst {
+			problems = append(problems, fmt.Sprintf(
+				"%s: fair worst slowdown %.6f above fifo's %.6f", name, fair.worst, fifo.worst))
+		}
+		if ci.fs == "pvfs" && fair.worst < fifo.worst {
+			pvfsWins++
+		}
+	}
+	if checked == 0 {
+		problems = append(problems, "no contended tenant cases to check")
+	} else if pvfsWins == 0 {
+		problems = append(problems, "no contended pvfs case where fair queueing strictly improves the worst slowdown")
 	}
 	return problems
 }

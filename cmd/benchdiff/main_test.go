@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"os"
 	"strings"
 	"testing"
 
@@ -95,6 +96,110 @@ func TestCheckDedupInvariant(t *testing.T) {
 	}
 	if p := checkDedupInvariant(exempt); len(p) != 0 {
 		t.Fatalf("exempt rows flagged: %v", p)
+	}
+}
+
+// TestCheckTenantsInvariant pins the -checktenants gate's semantics: fair
+// never above fifo on contended fleets, a strict pvfs improvement
+// somewhere, no vacuous pass, failed verification and missing policy
+// groups both reported.
+func TestCheckTenantsInvariant(t *testing.T) {
+	mk := func(cas, fs, policy, job string, slowdown float64, contended bool) experiments.TenantRow {
+		return experiments.TenantRow{
+			Case: cas, Machine: "chiba", FS: fs, Policy: policy, Job: job,
+			Slowdown: slowdown, Contended: contended, Verified: true,
+		}
+	}
+	good := []experiments.TenantRow{
+		mk("twins", "pvfs", "fifo", "a", 1.4, true),
+		mk("twins", "pvfs", "fifo", "b", 1.2, true),
+		mk("twins", "pvfs", "fair", "a", 1.3, true),
+		mk("twins", "pvfs", "fair", "b", 1.25, true),
+	}
+	if p := checkTenantsInvariant(good); len(p) != 0 {
+		t.Fatalf("valid rows flagged: %v", p)
+	}
+	worse := append([]experiments.TenantRow{}, good...)
+	worse[2].Slowdown = 1.5 // fair worst above fifo's 1.4
+	// The regression is both a bound violation and the loss of the strict
+	// pvfs win, so two problems report.
+	if p := checkTenantsInvariant(worse); len(p) != 2 || !strings.Contains(p[0], "above fifo") {
+		t.Fatalf("fair-above-fifo not flagged: %v", p)
+	}
+	tie := append([]experiments.TenantRow{}, good...)
+	tie[2].Slowdown = 1.4 // fair == fifo everywhere: bound holds, no strict pvfs win
+	if p := checkTenantsInvariant(tie); len(p) != 1 || !strings.Contains(p[0], "strictly improves") {
+		t.Fatalf("missing strict pvfs win not flagged: %v", p)
+	}
+	if p := checkTenantsInvariant(nil); len(p) == 0 {
+		t.Fatal("empty sweep passed vacuously")
+	}
+	uncontended := []experiments.TenantRow{
+		mk("scan", "pvfs", "fifo", "a", 1.0, false),
+		mk("scan", "pvfs", "fair", "a", 1.0, false),
+	}
+	if p := checkTenantsInvariant(uncontended); len(p) == 0 {
+		t.Fatal("sweep with only uncontended cases passed vacuously")
+	}
+	halfgroup := []experiments.TenantRow{mk("twins", "pvfs", "fifo", "a", 1.4, true)}
+	if p := checkTenantsInvariant(halfgroup); len(p) == 0 {
+		t.Fatal("contended case missing its fair group not flagged")
+	}
+	unverified := append([]experiments.TenantRow{}, good...)
+	unverified[1].Verified = false
+	if p := checkTenantsInvariant(unverified); len(p) != 1 || !strings.Contains(p[0], "verification") {
+		t.Fatalf("failed verification not flagged: %v", p)
+	}
+	// A gpfs-only sweep bounds but cannot show the pvfs win.
+	gpfsOnly := []experiments.TenantRow{
+		mk("g", "gpfs", "fifo", "a", 1.4, true),
+		mk("g", "gpfs", "fair", "a", 1.3, true),
+	}
+	if p := checkTenantsInvariant(gpfsOnly); len(p) != 1 || !strings.Contains(p[0], "pvfs") {
+		t.Fatalf("missing pvfs case not flagged: %v", p)
+	}
+}
+
+// TestCheckFlagsFailLoudly pins the gates' failure modes across every
+// -check* flag: a missing baseline file and a present-but-empty baseline
+// must both exit nonzero with a diagnostic, never pass silently.
+func TestCheckFlagsFailLoudly(t *testing.T) {
+	cases := []struct {
+		name     string
+		flag     string
+		pathFlag string
+		empty    string // JSON with zero matching rows
+	}{
+		{"dedup", "-checkdedup", "-dedup", `{"Dedup": []}`},
+		{"hints", "-checkhints", "-hints", `{"Hints": []}`},
+		{"tenants", "-checktenants", "-tenants", `{"Tenants": []}`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name+"/missing-file", func(t *testing.T) {
+			var stdout, stderr bytes.Buffer
+			missing := t.TempDir() + "/nope.json"
+			code := run([]string{tc.flag, tc.pathFlag, missing}, &stdout, &stderr)
+			if code != 1 {
+				t.Fatalf("exit code = %d, want 1", code)
+			}
+			if !strings.Contains(stderr.String(), "benchdiff -update") {
+				t.Errorf("missing-file error does not tell how to regenerate: %q", stderr.String())
+			}
+		})
+		t.Run(tc.name+"/zero-rows", func(t *testing.T) {
+			var stdout, stderr bytes.Buffer
+			path := t.TempDir() + "/empty.json"
+			if err := os.WriteFile(path, []byte(tc.empty), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			code := run([]string{tc.flag, tc.pathFlag, path}, &stdout, &stderr)
+			if code != 1 {
+				t.Fatalf("exit code = %d, want 1 (vacuous pass)", code)
+			}
+			if !strings.Contains(stdout.String(), "INVARIANT VIOLATED") {
+				t.Errorf("zero-row baseline did not report a violation: %q", stdout.String())
+			}
+		})
 	}
 }
 

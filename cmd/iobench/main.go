@@ -217,6 +217,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 		experiments.PrintHintsSweep(stdout, rows)
 		fmt.Fprintln(stdout)
 	}
+	if *exp == "tenants" || *exp == "all" {
+		fmt.Fprintln(stdout, experiments.SweepTitle("tenants"))
+		rows, err := experiments.MultiTenantSweep(o)
+		if err != nil {
+			fmt.Fprintln(stderr, "error:", err)
+			return 1
+		}
+		experiments.PrintTenantSweep(stdout, rows)
+		fmt.Fprintln(stdout)
+	}
 	for _, d := range drivers {
 		if *exp != "all" && *exp != d.name {
 			continue

@@ -164,6 +164,23 @@ type DedupStat struct {
 	Failovers     int64 `json:"failovers"`
 }
 
+// JobIO is one tenant job's slice of a multi-job (shared-cluster) run:
+// its I/O time inside the fleet against the same job run alone, and the
+// resulting slowdown. Rows keep the fleet's job order, which is fixed by
+// the fleet spec, so repeated reports are byte-identical.
+type JobIO struct {
+	Name      string  `json:"name"`
+	Kind      string  `json:"kind"`
+	Problem   string  `json:"problem,omitempty"`
+	Procs     int     `json:"procs"`
+	StartSec  float64 `json:"start_sec"`
+	Weight    float64 `json:"weight"`
+	IOSeconds float64 `json:"io_seconds"`
+	AloneSec  float64 `json:"alone_seconds"`
+	Slowdown  float64 `json:"slowdown"`
+	Verified  bool    `json:"verified"`
+}
+
 // Report is the machine-readable diagnosis input: everything the detectors
 // read, in one deterministic structure. It is also ioreport's -format json
 // payload.
@@ -176,6 +193,7 @@ type Report struct {
 	Servers     []ServerLoad `json:"servers,omitempty"`
 	Generations []GenStat    `json:"generations,omitempty"`
 	Dedup       *DedupStat   `json:"dedup,omitempty"`
+	Jobs        []JobIO      `json:"jobs,omitempty"`
 	Traffic     Traffic      `json:"traffic"`
 	Sizes       SizeProfile  `json:"sizes"`
 	Timeouts    int64        `json:"timeouts"`

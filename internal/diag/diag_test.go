@@ -213,3 +213,51 @@ func TestSuggestAndApply(t *testing.T) {
 		t.Fatalf("no data_sieving=false delta: %+v", ds)
 	}
 }
+
+// TestOpenMetricsJobRows pins the multi-job report path: per-job gauges
+// appear in spec order, label values with spaces, quotes and backslashes
+// are escaped, and repeated renders are byte-identical.
+func TestOpenMetricsJobRows(t *testing.T) {
+	rep := &Report{
+		Jobs: []JobIO{
+			{Name: "amr-a", Kind: "enzo", Problem: "AMR64", Procs: 4,
+				IOSeconds: 2.5, AloneSec: 2.0, Slowdown: 1.25, Verified: true},
+			{Name: `scan "job" b\1`, Kind: "reader", Procs: 4,
+				IOSeconds: 3.0, AloneSec: 3.0, Slowdown: 1.0, Verified: true},
+		},
+	}
+
+	var buf bytes.Buffer
+	WriteOpenMetrics(&buf, rep, nil)
+	out := buf.String()
+
+	wantEscaped := `iodoctor_job_slowdown{job="scan \"job\" b\\1",kind="reader"} 1`
+	if !strings.Contains(out, wantEscaped) {
+		t.Fatalf("escaped job label missing:\nwant %s\nin:\n%s", wantEscaped, out)
+	}
+	first := strings.Index(out, `iodoctor_job_io_seconds{job="amr-a"`)
+	second := strings.Index(out, `iodoctor_job_io_seconds{job="scan`)
+	if first < 0 || second < 0 || first > second {
+		t.Fatalf("job gauges missing or out of spec order (%d, %d):\n%s", first, second, out)
+	}
+	if !strings.HasSuffix(out, "# EOF\n") {
+		t.Fatalf("output does not end with the EOF marker:\n%s", out)
+	}
+
+	var again bytes.Buffer
+	WriteOpenMetrics(&again, rep, nil)
+	if again.String() != out {
+		t.Fatal("repeated WriteOpenMetrics renders differ")
+	}
+
+	// The text report renders the same rows and is equally stable.
+	var txt1, txt2 bytes.Buffer
+	WriteReportText(&txt1, rep)
+	WriteReportText(&txt2, rep)
+	if txt1.String() != txt2.String() {
+		t.Fatal("repeated WriteReportText renders differ")
+	}
+	if !strings.Contains(txt1.String(), "tenant jobs") {
+		t.Fatalf("text report missing the jobs section:\n%s", txt1.String())
+	}
+}

@@ -108,6 +108,16 @@ func WriteReportText(w io.Writer, rep *Report) {
 		}
 	}
 
+	if len(rep.Jobs) > 0 {
+		fmt.Fprintf(w, "\n== tenant jobs (fleet vs run-alone) ==\n")
+		fmt.Fprintf(w, "%-16s %-8s %-8s %4s %10s %12s %12s %9s %9s\n",
+			"job", "kind", "problem", "np", "start(s)", "io-alone(s)", "io-fleet(s)", "slowdown", "verified")
+		for _, j := range rep.Jobs {
+			fmt.Fprintf(w, "%-16s %-8s %-8s %4d %10.2f %12.6f %12.6f %8.3fx %9v\n",
+				j.Name, j.Kind, j.Problem, j.Procs, j.StartSec, j.AloneSec, j.IOSeconds, j.Slowdown, j.Verified)
+		}
+	}
+
 	if d := rep.Dedup; d != nil {
 		fmt.Fprintf(w, "\n== content-addressed store ==\n")
 		fmt.Fprintf(w, "chunks: %d put, %d dedup hits", d.ChunkPuts, d.ChunkHits)
@@ -198,6 +208,21 @@ func WriteOpenMetrics(w io.Writer, rep *Report, findings []Finding) {
 		fmt.Fprintln(w, "# HELP iodoctor_castore_failovers Chunk reads rerouted off a failed replica.")
 		fmt.Fprintln(w, "# TYPE iodoctor_castore_failovers gauge")
 		metric(w, "iodoctor_castore_failovers", "", float64(d.Failovers))
+	}
+
+	if len(rep.Jobs) > 0 {
+		fmt.Fprintln(w, "# HELP iodoctor_job_io_seconds Per-job I/O-stack time inside the fleet.")
+		fmt.Fprintln(w, "# TYPE iodoctor_job_io_seconds gauge")
+		for _, j := range rep.Jobs {
+			metric(w, "iodoctor_job_io_seconds",
+				`job="`+escapeLabel(j.Name)+`",kind="`+escapeLabel(j.Kind)+`"`, j.IOSeconds)
+		}
+		fmt.Fprintln(w, "# HELP iodoctor_job_slowdown Per-job I/O slowdown versus the same job run alone.")
+		fmt.Fprintln(w, "# TYPE iodoctor_job_slowdown gauge")
+		for _, j := range rep.Jobs {
+			metric(w, "iodoctor_job_slowdown",
+				`job="`+escapeLabel(j.Name)+`",kind="`+escapeLabel(j.Kind)+`"`, j.Slowdown)
+		}
 	}
 
 	fmt.Fprintln(w, "# HELP iodoctor_findings Findings by severity.")

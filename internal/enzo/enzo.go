@@ -590,7 +590,7 @@ func (s *Sim) tolerantIO(fn func()) (ok bool) {
 
 // client returns this rank's file-system client identity.
 func (s *Sim) client() pfs.Client {
-	return pfs.Client{Proc: s.r.Proc(), Node: s.r.World().Machine().Node(s.r.Rank())}
+	return pfs.Client{Proc: s.r.Proc(), Node: s.r.Node()}
 }
 
 // timed runs f between barriers and accumulates the maximum duration
@@ -761,10 +761,9 @@ func MakeFS(kind string, mach *machine.Machine) (pfs.FileSystem, error) {
 // default).
 func NewSim(r *mpi.Rank, fs pfs.FileSystem, backend Backend, cfg Config, res *Result) *Sim {
 	hints := mpiio.DefaultHints()
-	mach := r.World().Machine()
 	nodes := map[int]bool{}
 	for i := 0; i < r.Size(); i++ {
-		nodes[mach.Node(i)] = true
+		nodes[r.World().Node(i)] = true
 	}
 	hints.CBNodes = len(nodes)
 	if cfg.CBNodes > 0 {

@@ -21,6 +21,7 @@ func Registry() []Sweep {
 		{"dedup", "Dedup sweep: content-addressed checkpoint store vs plain dumps (AMR64/AMR128, np=8)"},
 		{"scale", "Scale sweep: virtual time and simulator throughput vs rank count (cluster1024, MPI-IO, AMR128/AMR256, np=8-256)"},
 		{"hints", "Hints sweep: autotuned MPI-IO hint vector vs hand-picked defaults (origin2000/sp2/chiba, pvfs/gpfs, mpiio/hdf5, AMR64, np=8)"},
+		{"tenants", "Multi-tenant sweep: concurrent jobs on one machine, per-job slowdown vs run-alone, FIFO vs fair-queueing servers (chiba/pvfs, sp2/gpfs, burst buffer)"},
 		{"fig6", "Figure 6: ENZO I/O on SGI Origin2000 with XFS (HDF4 vs MPI-IO)"},
 		{"fig7", "Figure 7: ENZO I/O on IBM SP-2 with GPFS (HDF4 vs MPI-IO)"},
 		{"fig8", "Figure 8: ENZO I/O on Linux cluster with PVFS over fast Ethernet"},

@@ -102,21 +102,31 @@ func (m *Machine) SameNode(a, b int) bool { return m.Node(a) == m.Node(b) }
 // may proceed (software overhead plus NIC injection), and arrival, the time
 // at which the full message is available at the receiver node. Transfer
 // books time on the NIC servers but does not advance any process clock.
+// Ranks map to nodes through Node; multi-tenant worlds placed at a node
+// offset use TransferNodes with their own mapping instead.
 func (m *Machine) Transfer(src, dst int, bytes int64, sendTime float64) (senderFree, arrival float64) {
+	return m.TransferNodes(m.Node(src), m.Node(dst), bytes, sendTime)
+}
+
+// TransferNodes is Transfer between two explicit physical nodes. It exists
+// for callers whose rank→node placement is not the default packing — a
+// tenant world placed on a disjoint node range — and is the common path
+// Transfer itself uses.
+func (m *Machine) TransferNodes(srcNode, dstNode int, bytes int64, sendTime float64) (senderFree, arrival float64) {
 	if bytes < 0 {
 		panic("machine: negative message size")
 	}
-	if m.SameNode(src, dst) {
+	if srcNode == dstNode {
 		// Shared-memory path: one copy through the memory system.
 		end := sendTime + m.cfg.MemLatency + float64(bytes)/m.cfg.MemCopyBW
 		return end, end
 	}
 	ready := sendTime + m.cfg.SendOverhead
 	ser := float64(bytes) / m.cfg.LinkBW
-	sStart, sEnd := m.nics[m.Node(src)].Serve(ready, ser)
+	sStart, sEnd := m.nics[srcNode].Serve(ready, ser)
 	// The receiver NIC drains the message as it comes off the wire: its
 	// service window begins one wire latency after injection starts.
-	_, rEnd := m.nics[m.Node(dst)].Serve(sStart+m.cfg.WireLatency, ser)
+	_, rEnd := m.nics[dstNode].Serve(sStart+m.cfg.WireLatency, ser)
 	arrival = rEnd + m.cfg.RecvOverhead
 	return sEnd, arrival
 }

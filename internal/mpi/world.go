@@ -8,12 +8,22 @@ import (
 )
 
 // World is a simulated MPI_COMM_WORLD: a fixed set of ranks bound to
-// virtual-time processes on one machine.
+// virtual-time processes on one machine. Multiple worlds may share one
+// engine and machine (multi-tenant runs); NewWorldAt places each on a
+// disjoint node range.
 type World struct {
 	eng   *sim.Engine
 	mach  *machine.Machine
 	size  int
 	ranks []*Rank
+
+	// job identifies this world on a shared machine: name prefixes process
+	// names ("" for the default single-tenant world), nodeBase offsets the
+	// rank→node packing, and class tags every rank's Proc for class-aware
+	// server scheduling policies.
+	name     string
+	nodeBase int
+	class    int
 
 	// msgFree recycles message envelopes (not payloads — those are handed
 	// to receivers). Per-world, not global: worlds on different engines run
@@ -42,20 +52,53 @@ func (w *World) putMsg(m *message) {
 // NewWorld creates a world of nprocs ranks on the given machine, spawning
 // one simulation process per rank running body. Call eng.Run to execute.
 func NewWorld(eng *sim.Engine, mach *machine.Machine, nprocs int, body func(r *Rank)) *World {
+	return NewWorldAt(eng, mach, nprocs, Placement{}, body)
+}
+
+// Placement describes where (and as whom) a tenant world runs on a shared
+// machine. The zero Placement is the historical single-tenant world: nodes
+// from 0, processes named "rank<i>", service class 0.
+type Placement struct {
+	// Name prefixes process names ("<name>/rank<i>") so engine diagnostics
+	// and observability distinguish jobs. Empty keeps the bare "rank<i>".
+	Name string
+	// NodeBase is the first physical node of this world's allocation; its
+	// ranks pack nodes [NodeBase, NodeBase+ceil(nprocs/ProcsPerNode)).
+	NodeBase int
+	// Class is the service class every rank's Proc is tagged with, which
+	// class-aware server policies (sim.Server.SetPolicy) arbitrate on.
+	Class int
+}
+
+// NewWorldAt is NewWorld with an explicit Placement, for multi-tenant runs
+// sharing one engine and machine. Worlds must be placed on disjoint node
+// ranges; the placement is validated against the machine's topology.
+func NewWorldAt(eng *sim.Engine, mach *machine.Machine, nprocs int, pl Placement, body func(r *Rank)) *World {
 	if nprocs <= 0 {
 		panic("mpi: world needs at least one rank")
 	}
-	if nprocs > mach.MaxProcs() {
-		panic(fmt.Sprintf("mpi: %d ranks exceed machine %s capacity %d",
-			nprocs, mach.Name(), mach.MaxProcs()))
+	if pl.NodeBase < 0 {
+		panic(fmt.Sprintf("mpi: negative node base %d", pl.NodeBase))
 	}
-	w := &World{eng: eng, mach: mach, size: nprocs}
+	ppn := mach.Config().ProcsPerNode
+	nodesNeeded := (nprocs + ppn - 1) / ppn
+	if pl.NodeBase+nodesNeeded > mach.Config().Nodes {
+		panic(fmt.Sprintf("mpi: %d ranks at node base %d exceed machine %s capacity (%d nodes x %d procs)",
+			nprocs, pl.NodeBase, mach.Name(), mach.Config().Nodes, ppn))
+	}
+	w := &World{eng: eng, mach: mach, size: nprocs,
+		name: pl.Name, nodeBase: pl.NodeBase, class: pl.Class}
+	prefix := ""
+	if pl.Name != "" {
+		prefix = pl.Name + "/"
+	}
 	w.ranks = make([]*Rank, nprocs)
 	for i := 0; i < nprocs; i++ {
 		r := &Rank{world: w, rank: i}
 		w.ranks[i] = r
-		r.proc = eng.Spawn(fmt.Sprintf("rank%d", i), func(p *sim.Proc) {
+		r.proc = eng.Spawn(fmt.Sprintf("%srank%d", prefix, i), func(p *sim.Proc) {
 			r.proc = p
+			p.SetClass(pl.Class)
 			body(r)
 		})
 	}
@@ -64,6 +107,18 @@ func NewWorld(eng *sim.Engine, mach *machine.Machine, nprocs int, body func(r *R
 
 // Size returns the number of ranks.
 func (w *World) Size() int { return w.size }
+
+// JobName returns the world's placement name ("" for the default world).
+func (w *World) JobName() string { return w.name }
+
+// Class returns the service class this world's ranks are tagged with.
+func (w *World) Class() int { return w.class }
+
+// Node maps one of this world's ranks to its physical machine node:
+// the machine's default packing shifted by the world's node base. All
+// rank→node resolution must go through here (not Machine.Node) so tenant
+// worlds land on their own allocation.
+func (w *World) Node(rank int) int { return w.nodeBase + w.mach.Node(rank) }
 
 // Machine returns the platform model the world runs on.
 func (w *World) Machine() *machine.Machine { return w.mach }
@@ -127,6 +182,10 @@ func (r *Rank) World() *World { return r.world }
 
 // Proc exposes the underlying simulation process (for clock access).
 func (r *Rank) Proc() *sim.Proc { return r.proc }
+
+// Node returns the physical machine node this rank runs on (placement-
+// aware; see World.Node).
+func (r *Rank) Node() int { return r.world.Node(r.rank) }
 
 // Now returns the rank's current virtual time.
 func (r *Rank) Now() float64 { return r.proc.Now() }
@@ -196,7 +255,7 @@ func (r *Rank) postRef(dst, tag int, payload []byte) (senderFree float64) {
 	if dst < 0 || dst >= r.world.size {
 		panic(fmt.Sprintf("mpi: Send to invalid rank %d", dst))
 	}
-	senderFree, arrival := r.world.mach.Transfer(r.rank, dst, int64(len(payload)), r.Now())
+	senderFree, arrival := r.world.mach.TransferNodes(r.world.Node(r.rank), r.world.Node(dst), int64(len(payload)), r.Now())
 	r.bytesSent += int64(len(payload))
 	r.msgsSent++
 	target := r.world.ranks[dst]

@@ -194,7 +194,7 @@ const (
 // create, everyone else opens after it.
 func Open(r *mpi.Rank, fs pfs.FileSystem, name string, mode Mode, hints Hints) (*File, error) {
 	hints.normalize()
-	client := pfs.Client{Proc: r.Proc(), Node: r.World().Machine().Node(r.Rank())}
+	client := pfs.Client{Proc: r.Proc(), Node: r.Node()}
 	defer obs.Begin(r.Proc(), obs.LayerMPIIO, "open").Attr("file", name).End()
 	var f pfs.File
 	var err error
@@ -222,7 +222,7 @@ func Open(r *mpi.Rank, fs pfs.FileSystem, name string, mode Mode, hints Hints) (
 // synchronization (used for one-file-per-process output).
 func OpenIndependent(r *mpi.Rank, fs pfs.FileSystem, name string, mode Mode, hints Hints) (*File, error) {
 	hints.normalize()
-	client := pfs.Client{Proc: r.Proc(), Node: r.World().Machine().Node(r.Rank())}
+	client := pfs.Client{Proc: r.Proc(), Node: r.Node()}
 	defer obs.Begin(r.Proc(), obs.LayerMPIIO, "open_indep").Attr("file", name).End()
 	var f pfs.File
 	var err error

@@ -1,0 +1,360 @@
+package pfs
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// BurstConfig parameterizes the node-local burst-buffer staging tier.
+type BurstConfig struct {
+	// Disk is the per-node staging device (a local scratch disk or small
+	// striped pair — fast for the single writer that owns it, invisible to
+	// the shared fabric).
+	Disk DiskParams
+}
+
+// DefaultBurst returns the staging-device calibration: a node-local
+// scratch volume whose sequential bandwidth comfortably beats the shared
+// Ethernet path, which is what makes staging worthwhile on chiba-class
+// clusters.
+func DefaultBurst() BurstConfig {
+	return BurstConfig{Disk: DiskParams{Seek: 9e-3, PerReq: 0.2e-3, BW: 60e6}}
+}
+
+// BurstBuffer is a transparent write-staging tier over any shared
+// FileSystem: every write lands on the writer node's local staging disk at
+// local speed, then drains to the backing file system in the background
+// using the charge-at-issue deferred machinery (the same contract AsyncIO
+// uses), so the shared data servers see exactly the arrivals a direct
+// write issued at the same instants would produce.
+//
+// Ordering/aliasing contract: the backing store's *contents* are updated
+// at issue (bytes are captured immediately; callers may reuse buffers),
+// but the shared copy is only *settled* — readable without time travel —
+// at the drain completion. Every read therefore first waits for the file's
+// latest drain to settle (a flush barrier per file), then pays the backing
+// read path. Readers on other nodes never see a torn or stale file; the
+// price is that a read chasing a hot drain stalls until the drain is done.
+//
+// The wrapper implements the optional capability interfaces by delegation
+// (ServeObservable, StripedVolume, StripeFaultInjector, ReplicaVolume,
+// PlacedCreator, PlacementRestorer, CodecReporter) so fault injection,
+// observability and the castore compose with staging unchanged.
+type BurstBuffer struct {
+	backing FileSystem
+	cfg     BurstConfig
+
+	disks map[int]*Disk // per-node staging disk, lazily created
+	obs   sim.ServeObserver
+
+	// drainEnd is the per-file settle time of the latest drain issued for
+	// it; reads AdvanceTo at least this far before touching the backing
+	// copy.
+	drainEnd map[string]float64
+
+	// staging statistics
+	stagedBytes  int64
+	stagedWrites int64
+	drainStalls  int64   // reads that had to wait for a drain to settle
+	stallTime    float64 // total virtual seconds those reads waited
+	maxDrainLag  float64 // largest (drain settle − local completion) gap
+}
+
+// WrapBurstBuffer wraps backing with a node-local staging tier.
+func WrapBurstBuffer(backing FileSystem, cfg BurstConfig) *BurstBuffer {
+	if cfg.Disk.BW <= 0 {
+		panic("pfs: burst buffer staging disk needs positive bandwidth")
+	}
+	return &BurstBuffer{
+		backing:  backing,
+		cfg:      cfg,
+		disks:    make(map[int]*Disk),
+		drainEnd: make(map[string]float64),
+	}
+}
+
+// Backing returns the wrapped shared file system.
+func (bb *BurstBuffer) Backing() FileSystem { return bb.backing }
+
+// Name implements FileSystem.
+func (bb *BurstBuffer) Name() string { return "bb+" + bb.backing.Name() }
+
+// disk returns (creating on first use) the staging disk of a node.
+func (bb *BurstBuffer) disk(node int) *Disk {
+	d, ok := bb.disks[node]
+	if !ok {
+		d = NewDisk(fmt.Sprintf("bb/node%d", node), bb.cfg.Disk)
+		if bb.obs != nil {
+			d.Server().SetObserver(bb.obs)
+		}
+		bb.disks[node] = d
+	}
+	return d
+}
+
+// SetServeObserver implements ServeObservable: the backing file system's
+// servers plus every staging disk, including ones created later.
+func (bb *BurstBuffer) SetServeObserver(o sim.ServeObserver) {
+	bb.obs = o
+	for _, d := range bb.disks {
+		d.Server().SetObserver(o)
+	}
+	if so, ok := bb.backing.(ServeObservable); ok {
+		so.SetServeObserver(o)
+	}
+}
+
+// Create implements FileSystem (metadata goes to the shared namespace:
+// files must be visible fleet-wide even before their first drain).
+func (bb *BurstBuffer) Create(c Client, name string) (File, error) {
+	f, err := bb.backing.Create(c, name)
+	if err != nil {
+		return nil, err
+	}
+	return &bbFile{bb: bb, f: f}, nil
+}
+
+// Open implements FileSystem.
+func (bb *BurstBuffer) Open(c Client, name string) (File, error) {
+	f, err := bb.backing.Open(c, name)
+	if err != nil {
+		return nil, err
+	}
+	return &bbFile{bb: bb, f: f}, nil
+}
+
+// Exists implements FileSystem.
+func (bb *BurstBuffer) Exists(name string) bool { return bb.backing.Exists(name) }
+
+// Stats implements FileSystem (the backing tier's accounting: every write
+// drains there, so logical traffic is identical).
+func (bb *BurstBuffer) Stats() Stats { return bb.backing.Stats() }
+
+// Snapshot implements FileSystem. Out-of-band staging copies the backing
+// contents, which hold every byte written (drains capture data at issue).
+func (bb *BurstBuffer) Snapshot() map[string][]byte { return bb.backing.Snapshot() }
+
+// Restore implements FileSystem.
+func (bb *BurstBuffer) Restore(files map[string][]byte) { bb.backing.Restore(files) }
+
+// StagingStats reports the tier's own accounting: bytes and writes staged
+// through local disks, how many reads stalled on an unsettled drain (and
+// for how long in total), and the largest local-completion→drain-settle
+// lag observed.
+func (bb *BurstBuffer) StagingStats() (bytes, writes, stalls int64, stallTime, maxLag float64) {
+	return bb.stagedBytes, bb.stagedWrites, bb.drainStalls, bb.stallTime, bb.maxDrainLag
+}
+
+// noteDrain records a drain issued for name settling at end.
+func (bb *BurstBuffer) noteDrain(name string, localEnd, end float64) {
+	if end > bb.drainEnd[name] {
+		bb.drainEnd[name] = end
+	}
+	if lag := end - localEnd; lag > bb.maxDrainLag {
+		bb.maxDrainLag = lag
+	}
+}
+
+// settle blocks c until every drain issued for name has settled, counting
+// the stall. It returns the caller's clock afterwards.
+func (bb *BurstBuffer) settle(c Client, name string) float64 {
+	if end, ok := bb.drainEnd[name]; ok && end > c.Proc.Now() {
+		bb.drainStalls++
+		bb.stallTime += end - c.Proc.Now()
+		c.Proc.AdvanceTo(end)
+	}
+	return c.Proc.Now()
+}
+
+// --- capability delegation ---
+
+// NumDataServers implements StripedVolume/StripeFaultInjector/ReplicaVolume
+// by delegation (0 when the backing tier is not striped).
+func (bb *BurstBuffer) NumDataServers() int {
+	if sv, ok := bb.backing.(StripedVolume); ok {
+		return sv.NumDataServers()
+	}
+	if fi, ok := bb.backing.(StripeFaultInjector); ok {
+		return fi.NumDataServers()
+	}
+	return 0
+}
+
+// StripeUnit implements StripedVolume by delegation.
+func (bb *BurstBuffer) StripeUnit() int64 {
+	if sv, ok := bb.backing.(StripedVolume); ok {
+		return sv.StripeUnit()
+	}
+	return 0
+}
+
+// DegradeDataServer implements StripeFaultInjector by delegation.
+func (bb *BurstBuffer) DegradeDataServer(i int, factor float64) {
+	if fi, ok := bb.backing.(StripeFaultInjector); ok {
+		fi.DegradeDataServer(i, factor)
+	}
+}
+
+// FailDataServerAt implements StripeFaultInjector by delegation.
+func (bb *BurstBuffer) FailDataServerAt(i int, t float64) {
+	if fi, ok := bb.backing.(StripeFaultInjector); ok {
+		fi.FailDataServerAt(i, t)
+	}
+}
+
+// DataServerFreeAt implements ReplicaVolume by delegation.
+func (bb *BurstBuffer) DataServerFreeAt(i int) float64 {
+	if rv, ok := bb.backing.(ReplicaVolume); ok {
+		return rv.DataServerFreeAt(i)
+	}
+	return 0
+}
+
+// DataServerFailAt implements ReplicaVolume by delegation.
+func (bb *BurstBuffer) DataServerFailAt(i int) float64 {
+	if rv, ok := bb.backing.(ReplicaVolume); ok {
+		return rv.DataServerFailAt(i)
+	}
+	return 0
+}
+
+// CreatePlaced implements PlacedCreator by delegation (plain create when
+// the backing tier has no placement).
+func (bb *BurstBuffer) CreatePlaced(c Client, name string, server int) (File, error) {
+	f, err := CreatePlacedOn(bb.backing, c, name, server)
+	if err != nil {
+		return nil, err
+	}
+	return &bbFile{bb: bb, f: f}, nil
+}
+
+// PlaceExisting implements PlacementRestorer by delegation.
+func (bb *BurstBuffer) PlaceExisting(name string, server int) bool {
+	if pr, ok := bb.backing.(PlacementRestorer); ok {
+		return pr.PlaceExisting(name, server)
+	}
+	return false
+}
+
+// RecordCodecBytes implements CodecReporter by delegation.
+func (bb *BurstBuffer) RecordCodecBytes(file string, write bool, logical, physical int64) {
+	if cr, ok := bb.backing.(CodecReporter); ok {
+		cr.RecordCodecBytes(file, write, logical, physical)
+	}
+}
+
+// bbFile is a handle on a staged file: writes hit the local disk then
+// drain; reads settle the drain then hit the backing tier.
+type bbFile struct {
+	bb *BurstBuffer
+	f  File
+}
+
+func (f *bbFile) Name() string        { return f.f.Name() }
+func (f *bbFile) Size(c Client) int64 { return f.f.Size(c) }
+func (f *bbFile) Close(c Client)      { f.f.Close(c) }
+
+// stage charges the caller's local staging disk for a write and returns
+// its completion time (not advancing the clock).
+func (f *bbFile) stage(c Client, n, off int64) float64 {
+	bb := f.bb
+	bb.stagedBytes += n
+	bb.stagedWrites++
+	return bb.disk(c.Node).AccessClass(c.Proc.Now(), off, n, c.Proc.Class())
+}
+
+// WriteAt implements File: block for the local staging write only, then
+// issue the drain in the background (write-behind when the backing file
+// supports it, synchronous otherwise).
+func (f *bbFile) WriteAt(c Client, data []byte, off int64) {
+	n := int64(len(data))
+	if n == 0 {
+		return
+	}
+	c.Proc.AdvanceTo(f.stage(c, n, off))
+	end := WriteAtAsync(f.f, c, data, off)
+	f.bb.noteDrain(f.f.Name(), c.Proc.Now(), end)
+}
+
+// WriteAtDeferred implements DeferredWriter: both tiers are charged at
+// issue (the local disk with the caller's timestamps, the backing tier
+// through its own deferred path) and the returned completion is the
+// *local* one — a burst-buffer dump is done when the staging disk has it.
+// The drain settles via the per-file barrier reads go through.
+func (f *bbFile) WriteAtDeferred(c Client, data []byte, off int64) float64 {
+	n := int64(len(data))
+	if n == 0 {
+		return c.Proc.Now()
+	}
+	localEnd := f.stage(c, n, off)
+	end := WriteAtAsync(f.f, c, data, off)
+	f.bb.noteDrain(f.f.Name(), localEnd, end)
+	return localEnd
+}
+
+// WriteAtDeadline implements FallibleFile: the deadline guards the local
+// staging write (the part the caller waits on); the drain is issued
+// afterwards exactly as in WriteAt.
+func (f *bbFile) WriteAtDeadline(c Client, data []byte, off int64, deadline float64) error {
+	n := int64(len(data))
+	if n == 0 {
+		return nil
+	}
+	localEnd := f.stage(c, n, off)
+	if localEnd > deadline {
+		c.Proc.AdvanceTo(deadline)
+		return &DeviceError{FS: f.bb.Name(), File: f.f.Name(), Op: "write",
+			Deadline: deadline, Completion: localEnd}
+	}
+	c.Proc.AdvanceTo(localEnd)
+	end := WriteAtAsync(f.f, c, data, off)
+	f.bb.noteDrain(f.f.Name(), c.Proc.Now(), end)
+	return nil
+}
+
+// ReadAt implements File: settle the file's drains, then read the shared
+// copy.
+func (f *bbFile) ReadAt(c Client, buf []byte, off int64) {
+	if len(buf) == 0 {
+		return
+	}
+	f.bb.settle(c, f.f.Name())
+	f.f.ReadAt(c, buf, off)
+}
+
+// ReadAtDeferred implements DeferredReader: charged at issue like the
+// backing deferred read; the returned completion additionally covers the
+// drain barrier, so a read-behind of a still-draining file settles no
+// earlier than the drain.
+func (f *bbFile) ReadAtDeferred(c Client, buf []byte, off int64) float64 {
+	if len(buf) == 0 {
+		return c.Proc.Now()
+	}
+	end := ReadAtAsync(f.f, c, buf, off)
+	if drain, ok := f.bb.drainEnd[f.f.Name()]; ok && drain > end {
+		f.bb.drainStalls++
+		f.bb.stallTime += drain - end
+		end = drain
+	}
+	return end
+}
+
+// ReadAtDeadline implements FallibleFile: the drain barrier counts toward
+// the deadline, then the backing deadline path runs.
+func (f *bbFile) ReadAtDeadline(c Client, buf []byte, off int64, deadline float64) error {
+	if len(buf) == 0 {
+		return nil
+	}
+	if end, ok := f.bb.drainEnd[f.f.Name()]; ok && end > deadline {
+		c.Proc.AdvanceTo(deadline)
+		return &DeviceError{FS: f.bb.Name(), File: f.f.Name(), Op: "read",
+			Deadline: deadline, Completion: end}
+	}
+	f.bb.settle(c, f.f.Name())
+	if ff, ok := f.f.(FallibleFile); ok {
+		return ff.ReadAtDeadline(c, buf, off, deadline)
+	}
+	f.f.ReadAt(c, buf, off)
+	return nil
+}

@@ -88,8 +88,17 @@ func (d *Disk) seekClass(off int64) (float64, int) {
 
 // Access enqueues a request for n bytes at offset off arriving at virtual
 // time `at` and returns its completion time. Whether the request is a read
-// or a write does not change its cost at this level.
+// or a write does not change its cost at this level. Access requests carry
+// the default service class 0.
 func (d *Disk) Access(at float64, off, n int64) float64 {
+	return d.AccessClass(at, off, n, 0)
+}
+
+// AccessClass is Access for a request of the given service class: under a
+// scheduling policy installed on the disk's server the class selects the
+// per-tenant queue; under the default FIFO it is ignored and the path is
+// bit-identical to Access.
+func (d *Disk) AccessClass(at float64, off, n int64, class int) float64 {
 	if n < 0 || off < 0 {
 		panic("pfs: invalid disk request")
 	}
@@ -109,7 +118,7 @@ func (d *Disk) Access(at float64, off, n int64) float64 {
 		d.streams = d.streams[1:]
 	}
 	d.streams = append(d.streams, off+n)
-	_, end := d.srv.Serve(at, svc)
+	_, end := d.srv.ServeClass(class, at, svc)
 	return end
 }
 

@@ -127,6 +127,24 @@ func (fs *GPFS) SetServeObserver(o sim.ServeObserver) {
 	}
 }
 
+// SetSchedPolicy installs a server-side scheduling discipline on the
+// shared storage servers — the disks, where cross-tenant seconds are
+// actually spent. The token manager, metanodes and per-node VSD queues
+// stay FIFO: lock traffic is tiny serialized metadata, and a VSD queue is
+// node-local, so disjointly placed tenants never share one. newPolicy is
+// called once per server with its name and must return a fresh policy
+// instance; nil restores the default FIFO everywhere.
+func (fs *GPFS) SetSchedPolicy(newPolicy func(server string) sim.SchedPolicy) {
+	for _, d := range fs.disks {
+		srv := d.Server()
+		if newPolicy == nil {
+			srv.SetPolicy(nil)
+		} else {
+			srv.SetPolicy(newPolicy(srv.Name()))
+		}
+	}
+}
+
 // Name implements FileSystem.
 func (fs *GPFS) Name() string { return "gpfs" }
 
@@ -256,9 +274,10 @@ func (f *gpfsFile) writeIssue(c Client, n, off int64) float64 {
 	f.acquireTokens(c, off, n, true)
 	f.metanodeUpdate(c, off, n)
 	end := c.Proc.Now()
+	class := c.Proc.Class()
 	for _, sp := range f.spans(off, n) {
 		_, arrival := fs.mach.TransferVia(fs.mach.NIC(c.Node), fs.ioNICs[sp.server], sp.n, c.Proc.Now())
-		e := fs.disks[sp.server].Access(arrival, sp.localOff, sp.n)
+		e := fs.disks[sp.server].AccessClass(arrival, sp.localOff, sp.n, class)
 		e += fs.mach.Config().WireLatency // completion acknowledgement
 		if e > end {
 			end = e
@@ -305,9 +324,10 @@ func (f *gpfsFile) readIssue(c Client, n, off int64) float64 {
 	f.acquireTokens(c, off, n, false)
 	end := c.Proc.Now()
 	const reqMsg = 128
+	class := c.Proc.Class()
 	for _, sp := range f.spans(off, n) {
 		_, reqArr := fs.mach.TransferVia(fs.mach.NIC(c.Node), fs.ioNICs[sp.server], reqMsg, c.Proc.Now())
-		diskDone := fs.disks[sp.server].Access(reqArr, sp.localOff, sp.n)
+		diskDone := fs.disks[sp.server].AccessClass(reqArr, sp.localOff, sp.n, class)
 		_, dataArr := fs.mach.TransferVia(fs.ioNICs[sp.server], fs.mach.NIC(c.Node), sp.n, diskDone)
 		if dataArr > end {
 			end = dataArr

@@ -92,6 +92,24 @@ func (fs *PVFS) SetServeObserver(o sim.ServeObserver) {
 	}
 }
 
+// SetSchedPolicy installs a scheduling policy on every data-path server —
+// each iod's CPU and disk queue — arbitrating between tenant service
+// classes (sim.Proc.Class, carried through pfs.Client). newPolicy is
+// called once per server so each gets a fresh state-carrying instance; a
+// nil func restores the built-in FIFO. NICs and the metadata manager stay
+// FIFO: fairness is enforced where the seconds are spent, at the daemons.
+func (fs *PVFS) SetSchedPolicy(newPolicy func(server string) sim.SchedPolicy) {
+	for i := range fs.disks {
+		for _, srv := range []*sim.Server{fs.disks[i].Server(), fs.iodCPU[i]} {
+			if newPolicy == nil {
+				srv.SetPolicy(nil)
+			} else {
+				srv.SetPolicy(newPolicy(srv.Name()))
+			}
+		}
+	}
+}
+
 // Stats implements FileSystem.
 func (fs *PVFS) Stats() Stats { return fs.stats.snapshot() }
 
@@ -198,6 +216,7 @@ func (f *pvfsFile) WriteAtDeferred(c Client, data []byte, off int64) float64 {
 // past its budget while the devices stay charged (they did the work).
 func (f *pvfsFile) writeIssue(c Client, n, off int64) float64 {
 	fs := f.fs
+	class := c.Proc.Class()
 	c.Proc.Advance(fs.cfg.PerCall)
 	end := c.Proc.Now()
 	sp := f.params()
@@ -213,10 +232,10 @@ func (f *pvfsFile) writeIssue(c Client, n, off int64) float64 {
 		}
 		// One request message carries this iod's portion of the data.
 		_, arr := fs.mach.TransferVia(fs.mach.NIC(c.Node), fs.iodNIC[iod], fs.cfg.ReqMsg+bytes, c.Proc.Now())
-		_, cpuDone := fs.iodCPU[iod].Serve(arr, fs.cfg.IODPerReq)
+		_, cpuDone := fs.iodCPU[iod].ServeClass(class, arr, fs.cfg.IODPerReq)
 		e := cpuDone
 		for _, span := range group {
-			e = fs.disks[iod].Access(e, span.localOff, span.n)
+			e = fs.disks[iod].AccessClass(e, span.localOff, span.n, class)
 		}
 		e += fs.mach.Config().WireLatency // ack
 		if e > end {
@@ -259,6 +278,7 @@ func (f *pvfsFile) ReadAt(c Client, buf []byte, off int64) {
 // bytes or advancing the caller (the counterpart of writeIssue).
 func (f *pvfsFile) readIssue(c Client, n, off int64) float64 {
 	fs := f.fs
+	class := c.Proc.Class()
 	c.Proc.Advance(fs.cfg.PerCall)
 	end := c.Proc.Now()
 	sp := f.params()
@@ -273,10 +293,10 @@ func (f *pvfsFile) readIssue(c Client, n, off int64) float64 {
 			bytes += span.n
 		}
 		_, reqArr := fs.mach.TransferVia(fs.mach.NIC(c.Node), fs.iodNIC[iod], fs.cfg.ReqMsg, c.Proc.Now())
-		_, cpuDone := fs.iodCPU[iod].Serve(reqArr, fs.cfg.IODPerReq)
+		_, cpuDone := fs.iodCPU[iod].ServeClass(class, reqArr, fs.cfg.IODPerReq)
 		diskDone := cpuDone
 		for _, span := range group {
-			diskDone = fs.disks[iod].Access(diskDone, span.localOff, span.n)
+			diskDone = fs.disks[iod].AccessClass(diskDone, span.localOff, span.n, class)
 		}
 		_, dataArr := fs.mach.TransferVia(fs.iodNIC[iod], fs.mach.NIC(c.Node), bytes, diskDone)
 		if dataArr > end {

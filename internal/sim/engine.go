@@ -83,6 +83,12 @@ type Proc struct {
 	// instrumentation deep in the stack can find its tracer without
 	// threading a parameter through every layer.
 	trace any
+
+	// class is the service class shared servers use to arbitrate between
+	// tenants (0 = the default class). Like trace it rides on the Proc so
+	// the storage stack can find the requester's class without threading a
+	// parameter through every layer; the engine itself never reads it.
+	class int
 }
 
 // ID returns the process id (dense, starting at 0 in spawn order).
@@ -104,6 +110,15 @@ func (p *Proc) SetTrace(v any) { p.trace = v }
 
 // Trace returns the context set by SetTrace, or nil.
 func (p *Proc) Trace() any { return p.trace }
+
+// SetClass tags this process with a service class. Servers running a
+// class-aware scheduling policy (Server.SetPolicy) use the class to
+// arbitrate between tenants; under the default FIFO policy the class is
+// ignored, so tagging never perturbs a single-tenant run.
+func (p *Proc) SetClass(c int) { p.class = c }
+
+// Class returns the service class set by SetClass (0 by default).
+func (p *Proc) Class() int { return p.class }
 
 // Advance moves this process's virtual clock forward by d seconds and
 // yields to the scheduler so that any process with an earlier clock can

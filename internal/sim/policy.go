@@ -1,0 +1,137 @@
+package sim
+
+import "fmt"
+
+// SchedPolicy is a server-side scheduling discipline arbitrating the
+// server's capacity between service classes (tenants). A policy is
+// consulted once per request with the class, arrival time and service
+// demand, and answers when service starts; completion is always
+// start + service (the server is still a single resource — policies shape
+// queueing delay, they do not create capacity).
+//
+// The model is causal: the engine delivers requests in nondecreasing
+// virtual time and each request's completion is committed at arrival, so a
+// policy cannot reorder requests it has already answered. Fairness is
+// therefore expressed as deterministic virtual-time arithmetic over
+// per-class watermarks rather than literal queue reordering.
+//
+// Policies carry per-class state; install a fresh instance per server.
+// Implementations live in this package (the method set is unexported) so
+// every discipline is validated against the engine's scheduling invariant.
+type SchedPolicy interface {
+	// Name identifies the discipline in diagnostics ("fifo", "fair", ...).
+	Name() string
+	// schedule answers when a request of the given class arriving at `at`
+	// with the given service demand starts service, and commits the
+	// class's state for it. at is finite and service nonnegative (the
+	// Server guards both); slowdown factors are already applied.
+	schedule(class int, at, service float64) (start float64)
+}
+
+// FIFO returns an explicit first-in-first-out policy: one watermark, no
+// class discrimination. It is bit-identical to a server with no policy
+// installed (the built-in default) and exists so policy sets can name FIFO
+// uniformly alongside the fair variants.
+func FIFO() SchedPolicy { return &fifoPolicy{} }
+
+type fifoPolicy struct {
+	freeAt float64
+}
+
+func (f *fifoPolicy) Name() string { return "fifo" }
+
+func (f *fifoPolicy) schedule(class int, at, service float64) float64 {
+	start := at
+	if f.freeAt > start {
+		start = f.freeAt
+	}
+	f.freeAt = start + service
+	return start
+}
+
+// FairQueue returns a deterministic weighted-fair-queueing approximation.
+//
+// Each class keeps its own completion watermark, so a class queues behind
+// its *own* outstanding requests exactly as under FIFO; cross-class
+// interference is then added explicitly, capped by the classic WFQ delay
+// bound: a request of service time S in a class of weight w among classes
+// of total other-weight W' is delayed by at most S·W'/w, and never by more
+// than the other classes' actual backlog. A lone class therefore schedules
+// bit-identically to FIFO (zero interference), while a class issuing a
+// burst cannot push another class's request beyond its weighted share —
+// the property the multi-tenant sweeps gate on.
+//
+// weights maps class → weight; classes not listed (and all classes when
+// weights is nil) get weight 1. Nonpositive weights panic.
+func FairQueue(weights map[int]float64) SchedPolicy {
+	for c, w := range weights {
+		if w <= 0 {
+			panic(fmt.Sprintf("sim: nonpositive fair-queue weight %g for class %d", w, c))
+		}
+	}
+	fq := &fairQueue{index: make(map[int]int)}
+	if len(weights) > 0 {
+		fq.weights = make(map[int]float64, len(weights))
+		for c, w := range weights {
+			fq.weights[c] = w
+		}
+	}
+	return fq
+}
+
+type fairQueue struct {
+	weights map[int]float64
+	// classes is kept in first-arrival order — a deterministic order under
+	// the engine's serialized dispatch — so the backlog summation below
+	// always adds terms in the same sequence (float addition is not
+	// associative; map iteration would jitter the last ulp).
+	classes []fqClass
+	index   map[int]int
+}
+
+type fqClass struct {
+	class  int
+	weight float64
+	end    float64 // completion watermark of the class's last request
+}
+
+func (f *fairQueue) Name() string { return "fair" }
+
+func (f *fairQueue) schedule(class int, at, service float64) float64 {
+	i, ok := f.index[class]
+	if !ok {
+		w := 1.0
+		if cw, ok := f.weights[class]; ok {
+			w = cw
+		}
+		i = len(f.classes)
+		f.index[class] = i
+		f.classes = append(f.classes, fqClass{class: class, weight: w})
+	}
+	c := &f.classes[i]
+	s0 := at
+	if c.end > s0 {
+		s0 = c.end
+	}
+	var backlog, otherWeight float64
+	for j := range f.classes {
+		if j == i {
+			continue
+		}
+		o := &f.classes[j]
+		if o.end > s0 {
+			backlog += o.end - s0
+		}
+		otherWeight += o.weight
+	}
+	var interference float64
+	if backlog > 0 {
+		interference = service * otherWeight / c.weight
+		if backlog < interference {
+			interference = backlog
+		}
+	}
+	start := s0 + interference
+	c.end = start + service
+	return start
+}

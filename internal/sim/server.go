@@ -30,9 +30,19 @@ type Server struct {
 	name   string
 	freeAt float64
 
+	// policy is the scheduling discipline arbitrating between service
+	// classes; nil means the built-in exact-FIFO watermark (bit-identical
+	// to the historical single-policy server).
+	policy SchedPolicy
+
 	// statistics
 	busy     float64
 	requests int64
+	// seen is the latest finite virtual time this server has observed (an
+	// arrival or a completion): the end of its live window. Unlike freeAt
+	// it stays finite when the server dies, so diagnostics keep a usable
+	// utilization window.
+	seen float64
 
 	// queue-wait accounting: time requests spend queued behind freeAt
 	// before their service starts.
@@ -92,11 +102,29 @@ func (s *Server) SetFailAfter(t float64) { s.failAt = t }
 // healthy).
 func (s *Server) FailAt() float64 { return s.failAt }
 
+// SetPolicy installs a scheduling policy arbitrating between service
+// classes (see SchedPolicy). Pass nil to restore the built-in exact-FIFO
+// discipline. Install a fresh policy instance per server: policies carry
+// per-class virtual-time state.
+func (s *Server) SetPolicy(p SchedPolicy) { s.policy = p }
+
+// Policy returns the installed scheduling policy (nil = built-in FIFO).
+func (s *Server) Policy() SchedPolicy { return s.policy }
+
 // Serve enqueues a request arriving at virtual time `at` that needs
 // `service` seconds of exclusive use. It returns the times at which service
 // starts and completes. Serve does not advance any process clock — callers
-// advance their own clocks to the returned completion time.
+// advance their own clocks to the returned completion time. Serve requests
+// belong to the default service class 0.
 func (s *Server) Serve(at, service float64) (start, end float64) {
+	return s.ServeClass(0, at, service)
+}
+
+// ServeClass is Serve for a request of the given service class. Under the
+// default FIFO policy the class is ignored and the path is bit-identical
+// to Serve; under an installed SchedPolicy the class selects the per-tenant
+// queue the policy arbitrates between.
+func (s *Server) ServeClass(class int, at, service float64) (start, end float64) {
 	if service < 0 {
 		panic(fmt.Sprintf("sim: negative service time %g on server %q", service, s.name))
 	}
@@ -112,9 +140,22 @@ func (s *Server) Serve(at, service float64) (start, end float64) {
 		// failure would spread to every client sharing it.
 		return at, math.Inf(1)
 	}
-	start = at
-	if s.freeAt > start {
-		start = s.freeAt
+	if at > s.seen {
+		s.seen = at
+	}
+	if s.policy == nil {
+		start = at
+		if s.freeAt > start {
+			start = s.freeAt
+		}
+	} else {
+		if math.IsInf(s.freeAt, 1) {
+			// The server died on an earlier request; the policy's finite
+			// per-class watermarks must not resurrect it.
+			s.requests++
+			return math.Inf(1), math.Inf(1)
+		}
+		start = s.policy.schedule(class, at, service)
 	}
 	if wait := start - at; wait > 0 && !math.IsInf(wait, 1) {
 		s.waitSum += wait
@@ -131,7 +172,12 @@ func (s *Server) Serve(at, service float64) (start, end float64) {
 		return start, math.Inf(1)
 	}
 	end = start + service
-	s.freeAt = end
+	if end > s.freeAt {
+		s.freeAt = end
+	}
+	if end > s.seen {
+		s.seen = end
+	}
 	s.busy += service
 	s.requests++
 	if s.obs != nil {
@@ -165,20 +211,37 @@ func (s *Server) QueueWait() (total, max float64, delayed int64) {
 }
 
 // Utilization returns the fraction of the window [0, until] this server
-// spent busy (0 if the window is empty). Callers typically pass the
-// engine's makespan.
+// spent busy. Callers typically pass the engine's end time (MaxTime). A
+// zero, negative or infinite window yields 0 — never a division by zero
+// (an infinite window would otherwise report a meaningless 0/Inf and a
+// zero window a NaN).
 func (s *Server) Utilization(until float64) float64 {
-	if until <= 0 {
+	if until <= 0 || math.IsInf(until, 1) {
 		return 0
 	}
 	return s.busy / until
 }
 
+// LiveUntil returns the end of the server's live window: the latest finite
+// virtual time it has observed (arrival or completion). Unlike FreeAt it
+// stays finite after SetFailAfter kills the server, so String and
+// diagnostics keep a usable utilization denominator.
+func (s *Server) LiveUntil() float64 { return s.seen }
+
 // String summarizes the server's load and queueing for diagnostics. The
-// utilization figure is the busy fraction of [0, freeAt] — the window the
-// server has been live; callers wanting the makespan-relative figure use
-// Utilization directly.
+// utilization figure is the busy fraction of [0, LiveUntil] — the window
+// the server has actually been live. It deliberately does not use freeAt:
+// a dead server (freeAt = +Inf) would print 0%% busy and hide that it was
+// saturated right up to the failure. Callers wanting the figure relative
+// to the whole run pass the engine's MaxTime to StringAt (or Utilization).
 func (s *Server) String() string {
+	return s.StringAt(s.seen)
+}
+
+// StringAt is String with an explicit utilization window [0, until] —
+// typically the engine's end time, so an idle-tailed server's figure
+// reflects the whole run rather than just its own live window.
+func (s *Server) StringAt(until float64) string {
 	return fmt.Sprintf("server %q: %d reqs, busy %.6fs (util %.1f%%), queue wait %.6fs (max %.6fs, %d delayed)",
-		s.name, s.requests, s.busy, 100*s.Utilization(s.freeAt), s.waitSum, s.waitMax, s.delayed)
+		s.name, s.requests, s.busy, 100*s.Utilization(until), s.waitSum, s.waitMax, s.delayed)
 }
